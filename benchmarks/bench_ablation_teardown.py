@@ -1,0 +1,62 @@
+"""ABL — ablation of §2.3's power model: persistence is half the story.
+
+Runs the *same* CSA schedule under the three accounting disciplines:
+
+* ``paper``   — persistent configurations (lazy teardown): Theorem 8 holds;
+* ``eager``   — unused connections torn down, survivors not re-charged:
+  the CSA still does well (its rounds reuse connections back-to-back);
+* ``rebuild`` — everything re-established every round: even the CSA pays
+  Θ(w) at the busiest switch, proving the O(1) bound needs configuration
+  persistence *and* the outermost-first order together.
+"""
+
+from repro.comms.generators import crossing_chain
+from repro.core.csa import PADRScheduler
+from repro.cst.power import PowerPolicy
+from repro.experiments.ablation import teardown_matrix
+
+from conftest import emit
+
+
+def test_abl_policy_sweep(benchmark):
+    rows = benchmark(teardown_matrix)
+    emit("ABL: CSA under the three power disciplines", rows)
+
+    for r in rows:
+        # persistence keeps the per-switch bill constant...
+        assert r["paper_max_units"] <= 3
+        # ...rebuilding makes even the CSA pay per round at the root
+        assert r["rebuild_max_units"] == r["width"]
+        # ordering: paper <= eager <= rebuild everywhere
+        assert (
+            r["paper_total"] <= r["eager_total"] <= r["rebuild_total"]
+        )
+
+
+def test_abl_eager_still_cheap_for_csa(benchmark):
+    """Diff-based eager teardown barely hurts the CSA: consecutive rounds
+    reuse the same connections, so little is re-charged."""
+    cset = crossing_chain(64)
+
+    def both():
+        lazy = PADRScheduler().schedule(cset)
+        eager = PADRScheduler().schedule(cset, policy=PowerPolicy.eager())
+        return lazy, eager
+
+    lazy, eager = benchmark(both)
+    emit(
+        "ABL: lazy vs eager for the CSA (width 64)",
+        [
+            {
+                "policy": "paper(lazy)",
+                "total": lazy.power.total_units,
+                "max_units": lazy.power.max_switch_units,
+            },
+            {
+                "policy": "eager",
+                "total": eager.power.total_units,
+                "max_units": eager.power.max_switch_units,
+            },
+        ],
+    )
+    assert eager.power.max_switch_units <= lazy.power.max_switch_units + 2

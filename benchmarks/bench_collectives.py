@@ -1,0 +1,64 @@
+"""COLL — collective programs on the CST (paper §6: other patterns).
+
+Cost table for gather / scatter / shift / reverse as tree sizes grow.
+Expected shapes: gather and scatter take exactly log2 N width-1 steps;
+reverse takes 2 phases of N/2 rounds each; shift costs depend on the
+distance's crossing structure but stay within 2 phases × layers.
+All results are payload-verified inside the collective implementations.
+"""
+
+from repro.extensions.collectives import gather, reverse, scatter, shift
+
+from conftest import emit
+
+
+def test_coll_gather_scatter_costs(benchmark):
+    sizes = [4, 16, 64]
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            g = gather(list(range(n)))
+            s = scatter(list(range(n)))
+            rows.append(
+                {
+                    "n": n,
+                    "gather_steps": g.steps,
+                    "gather_rounds": g.total_rounds,
+                    "gather_power": g.total_power_units,
+                    "scatter_steps": s.steps,
+                    "scatter_rounds": s.total_rounds,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit("COLL: binomial gather/scatter costs", rows)
+    for row in rows:
+        n = row["n"]
+        assert row["gather_steps"] == row["scatter_steps"] == n.bit_length() - 1
+        assert row["gather_rounds"] == row["gather_steps"]  # width-1 steps
+
+
+def test_coll_reverse_and_shift(benchmark):
+    def sweep():
+        rows = []
+        for n in (8, 32):
+            r = reverse(list(range(n)))
+            sh = shift(list(range(n)), n // 4)
+            rows.append(
+                {
+                    "n": n,
+                    "reverse_rounds": r.total_rounds,
+                    "reverse_power": r.total_power_units,
+                    "shift_steps": sh.steps,
+                    "shift_rounds": sh.total_rounds,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit("COLL: reverse and shift costs", rows)
+    for row in rows:
+        # reverse: two phases of width n/2
+        assert row["reverse_rounds"] == row["n"]

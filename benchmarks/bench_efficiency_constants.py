@@ -1,0 +1,27 @@
+"""EFF — Theorem 5's efficiency half: constant words stored / exchanged.
+
+Sweeps the tree size and reports, per switch and per round: words stored
+(always 5), words sent per link per wave (2 up / 3 down), and the total
+control traffic (Θ(N) per wave, independent of the communication set).
+Sweep logic in ``repro.experiments.efficiency`` (CLI:
+``cst-padr experiment EFF-constants``).
+"""
+
+from repro.experiments.efficiency import control_constants, traffic_vs_width
+
+from conftest import emit
+
+
+def test_eff_constants_vs_tree_size(benchmark):
+    rows = benchmark(control_constants)
+    emit("EFF: control-plane constants vs N", rows)
+    # exactly one message per link per wave, constant words each
+    assert all(r["messages/(links*waves)"] == 1.0 for r in rows)
+    assert all(r["stored_words_per_switch"] == 5 for r in rows)
+
+
+def test_eff_traffic_independent_of_set_size(benchmark):
+    """Same tree, growing sets: per-round traffic must not grow."""
+    rows = benchmark(traffic_vs_width)
+    emit("EFF: per-wave traffic vs set width (256 leaves)", rows)
+    assert len({r["messages_per_wave"] for r in rows}) == 1

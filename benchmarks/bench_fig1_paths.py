@@ -1,0 +1,64 @@
+"""FIG1 — paper Figure 1: communications are circuit-switched tree paths.
+
+Regenerates the figure's content: two simultaneous communications on one
+CST, their switch-by-switch crossbar settings, and the end-to-end delivery
+trace.  Benchmarks the path-routing primitive the whole library rests on.
+"""
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.csa import PADRScheduler
+from repro.cst.topology import CSTTopology
+from repro.viz.ascii import render_round_configuration
+
+from conftest import emit
+
+
+def test_fig1_two_circuit_example(benchmark):
+    """Two compatible communications established simultaneously (Figure 1)."""
+    topo = CSTTopology.of(8)
+    comms = [Communication(0, 3), Communication(4, 6)]
+
+    def route_both():
+        return [topo.path_connections(c.src, c.dst) for c in comms]
+
+    plans = benchmark(route_both)
+
+    # the figure's content: each circuit's switch settings
+    rows = []
+    for c, plan in zip(comms, plans):
+        rows.append(
+            {
+                "communication": str(c),
+                "switches": len(plan),
+                "settings": "  ".join(f"{v}:{conn}" for v, conn in plan.items()),
+            }
+        )
+    emit("FIG1: circuits on the CST (8 leaves)", rows)
+
+    # establish both at once and confirm delivery, as the figure depicts
+    cset = CommunicationSet(comms)
+    schedule = PADRScheduler().schedule(cset, 8)
+    assert schedule.n_rounds == 1
+    print(render_round_configuration(schedule, 0))
+
+
+def test_fig1_path_routing_scales_logarithmically(benchmark):
+    """Path length is O(log N): the property the 3-sided switch exists for."""
+    topo = CSTTopology.of(4096)
+
+    result = benchmark(lambda: topo.path_connections(0, 4095))
+    assert len(result) == 2 * topo.height - 1  # 23 switches for N=4096
+
+    rows = []
+    for n in (8, 64, 512, 4096):
+        t = CSTTopology.of(n)
+        rows.append(
+            {
+                "n_leaves": n,
+                "worst_path_switches": t.path_length(0, n - 1),
+                "2*log2(N)-1": 2 * t.height - 1,
+            }
+        )
+    emit("FIG1: path length vs tree size", rows)
+    for row in rows:
+        assert row["worst_path_switches"] == row["2*log2(N)-1"]

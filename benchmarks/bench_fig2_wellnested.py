@@ -1,0 +1,51 @@
+"""FIG2 — paper Figure 2: the worked well-nested example, end to end.
+
+Schedules the figure's communication set with every scheduler and prints
+the round-by-round decomposition; asserts the CSA finishes in width
+(= 2) rounds with every pair delivered.
+"""
+
+from repro.analysis.comparison import compare_schedulers
+from repro.analysis.verifier import verify_schedule
+from repro.baselines import RoyIDScheduler, SequentialScheduler
+from repro.comms.generators import paper_figure2_set
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.viz.ascii import render_leaf_roles, render_schedule_timeline
+
+from conftest import emit
+
+
+def test_fig2_schedule_the_papers_example(benchmark):
+    cset = paper_figure2_set()
+    n = 16
+
+    schedule = benchmark(lambda: PADRScheduler().schedule(cset, n))
+
+    verify_schedule(schedule, cset).raise_if_failed()
+    assert width(cset) == 2
+    assert schedule.n_rounds == 2
+
+    print("\n" + render_leaf_roles(cset, n))
+    print(render_schedule_timeline(schedule))
+
+    rows = [
+        {
+            "round": r.index,
+            "performed": "  ".join(str(c) for c in r.performed),
+            "writers": list(r.writers),
+        }
+        for r in schedule.rounds
+    ]
+    emit("FIG2: CSA rounds on the Figure-2 set", rows)
+
+
+def test_fig2_all_schedulers_on_the_example(benchmark):
+    cset = paper_figure2_set()
+    schedulers = [PADRScheduler(), RoyIDScheduler(), SequentialScheduler()]
+
+    comparison = benchmark(lambda: compare_schedulers(cset, schedulers, 16))
+
+    emit("FIG2: scheduler comparison on the Figure-2 set", comparison.rows())
+    assert comparison.by_name("padr-csa").n_rounds == 2
+    assert comparison.by_name("sequential").n_rounds == len(cset)

@@ -1,0 +1,69 @@
+"""FIG4 — paper Figure 4(a): the five communication types at a switch.
+
+Constructs workloads exhibiting every type at a single switch and
+regenerates the classification table from Phase 1.
+"""
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.wellnested import require_well_nested
+from repro.core.phase1 import phase1_states
+
+from conftest import emit
+
+# the switch under study: heap 6 of a 32-leaf tree covers leaves 16..23
+# (left child heap 12: leaves 16..19; right child heap 13: leaves 20..23).
+U = 6
+
+
+def _four_type_workload():
+    """Types 1, 2, 3 and 4 simultaneously at switch U.
+
+    * (18,22), (19,21) — type 1: matched at U (left-half src, right-half dst)
+    * (23,30)          — type 2: right-subtree source climbing through U
+    * (3,16)           — type 3: left-subtree destination fed from outside
+    * (17,31)          — type 4: left-subtree source unmatched at U
+
+    (Type 5 cannot coexist with type 4 since M = min(S_L, D_R).)
+    """
+    return require_well_nested(
+        CommunicationSet(
+            [
+                Communication(18, 22),
+                Communication(19, 21),
+                Communication(23, 30),
+                Communication(3, 16),
+                Communication(17, 31),
+            ]
+        )
+    )
+
+
+def test_fig4_four_types_at_one_switch(benchmark):
+    cset = _four_type_workload()
+    states = benchmark(lambda: phase1_states(cset, 32))
+
+    st = states[U]
+    names = ["type1 M", "type4 S_L-M", "type3 D_L", "type2 S_R", "type5 D_R-M"]
+    emit(
+        "FIG4(a): classification at switch u (heap 6, leaves 16..23)",
+        [{"field": n, "count": v} for n, v in zip(names, st.as_tuple())],
+    )
+
+    assert st.matched == 2             # (18,22) and (19,21)
+    assert st.right_src == 1           # (23,30)
+    assert st.left_dst == 1            # (3,16)
+    assert st.unmatched_left_src == 1  # (17,31)
+    assert st.unmatched_right_dst == 0
+
+
+def test_fig4_type5_workload(benchmark):
+    """The complementary case: an unmatched right-subtree destination."""
+    cset = require_well_nested(
+        CommunicationSet([Communication(18, 21), Communication(3, 22)])
+    )
+    states = benchmark(lambda: phase1_states(cset, 32))
+    st = states[U]
+    assert st.matched == 1             # (18,21)
+    assert st.unmatched_right_dst == 1  # destination 22, source outside
+    assert st.unmatched_left_src == 0
+    emit("FIG4(a): type-5 variant at switch u", [{"C_S": str(st)}])

@@ -1,0 +1,70 @@
+"""FIG5 — paper Figure 5: the CONFIGURE procedure, case by case.
+
+Times the per-switch CONFIGURE call for each of the four control-word
+cases (Theorem 5's constant-time-per-switch claim made concrete) and
+prints each case's decision: crossbar connections and emitted words.
+"""
+
+import pytest
+
+from repro.core.control import DownWord, StoredState
+from repro.core.phase2 import configure
+
+from conftest import emit
+
+CASES = {
+    "[null,null] matched": (
+        StoredState(matched=2, unmatched_left_src=1),
+        DownWord.none(),
+    ),
+    "[s,null] left": (
+        StoredState(unmatched_left_src=2),
+        DownWord.src(1),
+    ),
+    "[s,null] right+match": (
+        StoredState(matched=1, right_src=1),
+        DownWord.src(0),
+    ),
+    "[d,null] right": (
+        StoredState(unmatched_right_dst=2),
+        DownWord.dst(1),
+    ),
+    "[d,null] left+match": (
+        StoredState(matched=1, left_dst=1),
+        DownWord.dst(0),
+    ),
+    "[s,d] crossing+match": (
+        StoredState(matched=1, right_src=1, left_dst=1),
+        DownWord.both(0, 0),
+    ),
+}
+
+
+@pytest.mark.parametrize("case", list(CASES), ids=list(CASES))
+def test_fig5_configure_case(benchmark, case):
+    template, word = CASES[case]
+
+    def run():
+        return configure(1, template.copy(), word)
+
+    outcome = benchmark(run)
+    assert 0 <= len(outcome.connections) <= 3
+    emit(
+        f"FIG5: CONFIGURE on {case}",
+        [
+            {
+                "received": str(word),
+                "connects": ", ".join(str(c) for c in outcome.connections),
+                "to_left": str(outcome.left_word),
+                "to_right": str(outcome.right_word),
+            }
+        ],
+    )
+
+
+def test_fig5_configure_is_constant_time(benchmark):
+    """One CONFIGURE call does O(1) work regardless of counter magnitude."""
+    big = StoredState(matched=10**6, unmatched_left_src=10**6)
+
+    outcome = benchmark(lambda: configure(1, big.copy(), DownWord.none()))
+    assert outcome.scheduled_matched

@@ -1,0 +1,104 @@
+"""GEN — arbitrary communication sets via well-nested layering (§6).
+
+Extends the paper's future-work direction: crossing pairs and mixed
+orientations handled by decomposing into well-nested layers, sequentially
+(`general-layered`) or with cross-layer round merging
+(`general-interleaved`).  Expected shape: the interleaved variant never
+uses more rounds, and opposite orientations overlap almost freely.
+"""
+
+import numpy as np
+
+from repro.analysis.verifier import verify_schedule
+from repro.comms.communication import Communication, CommunicationSet
+from repro.extensions.general import (
+    GeneralSetScheduler,
+    InterleavedGeneralScheduler,
+    wellnested_layers,
+)
+
+from conftest import emit
+
+
+def _crossing_ladder(k: int, spread: int = 2) -> CommunicationSet:
+    """k pairwise-crossing pairs: (0,k), (1,k+1), ... — worst layering case."""
+    return CommunicationSet(
+        Communication(i, i + k) for i in range(0, k)
+    )
+
+
+def test_gen_crossing_ladder_layering(benchmark):
+    """Fully crossing sets need one layer per communication."""
+    sizes = [2, 4, 8, 16]
+
+    def sweep():
+        rows = []
+        for k in sizes:
+            cset = _crossing_ladder(k)
+            layers = wellnested_layers(cset)
+            seq = GeneralSetScheduler().schedule(cset)
+            verify_schedule(seq, cset).raise_if_failed()
+            rows.append(
+                {"crossing_pairs": k, "layers": len(layers),
+                 "rounds": seq.n_rounds}
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit("GEN: fully-crossing ladders", rows)
+    assert all(r["layers"] == r["crossing_pairs"] for r in rows)
+
+
+def test_gen_interleaving_opposite_orientations(benchmark):
+    """A right chain plus its mirror: sequential pays w+w, merged ~w."""
+    right = [Communication(i, 15 - i) for i in range(3)]
+    left = [Communication(12 - i, 3 + i) for i in range(2)]
+    cset = CommunicationSet(right + left)
+
+    def both():
+        seq = GeneralSetScheduler().schedule(cset, 16)
+        merged = InterleavedGeneralScheduler().schedule(cset, 16)
+        verify_schedule(merged, cset).raise_if_failed()
+        return seq, merged
+
+    seq, merged = benchmark(both)
+    emit(
+        "GEN: opposite orientations, sequential vs interleaved",
+        [
+            {"variant": "sequential", "rounds": seq.n_rounds},
+            {"variant": "interleaved", "rounds": merged.n_rounds},
+        ],
+    )
+    assert merged.n_rounds < seq.n_rounds
+
+
+def test_gen_random_arbitrary_sets(benchmark):
+    """Random arbitrary pairings (crossings + both orientations)."""
+
+    def sweep():
+        rng = np.random.default_rng(5)
+        rows = []
+        for k in (4, 8, 16):
+            pes = rng.choice(64, size=2 * k, replace=False)
+            cset = CommunicationSet(
+                Communication(int(pes[2 * i]), int(pes[2 * i + 1]))
+                for i in range(k)
+            )
+            sched = GeneralSetScheduler()
+            seq = sched.schedule(cset, 64)
+            verify_schedule(seq, cset).raise_if_failed()
+            merged = InterleavedGeneralScheduler().schedule(cset, 64)
+            verify_schedule(merged, cset).raise_if_failed()
+            rows.append(
+                {
+                    "pairs": k,
+                    "layers": sched.last_layering.total_layers,
+                    "seq_rounds": seq.n_rounds,
+                    "interleaved_rounds": merged.n_rounds,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit("GEN: random arbitrary sets (64 leaves)", rows)
+    assert all(r["interleaved_rounds"] <= r["seq_rounds"] for r in rows)

@@ -1,0 +1,84 @@
+"""GRID — XY point-to-point routing across the SRGA (substrate composition).
+
+Routes batches of random point-to-point messages across an SRGA grid by
+dimension order (row tree, handoff, column tree).  Expected shapes: row
+trees route concurrently (the phase costs the slowest tree, not the sum),
+and cost grows with per-tree congestion, not with message count per se.
+"""
+
+import numpy as np
+
+from repro.extensions.grid_routing import GridMessage, route_xy
+from repro.extensions.srga import SRGA
+
+from conftest import emit
+
+
+def _random_messages(grid, k, rng):
+    """k messages with per-tree endpoint disjointness (retry sampling)."""
+    messages = []
+    used_row: dict[int, set] = {}
+    used_col: dict[int, set] = {}
+    used_dst: set = set()
+    tries = 0
+    while len(messages) < k and tries < 10000:
+        tries += 1
+        r1, r2 = rng.integers(0, grid.rows, size=2)
+        c1, c2 = rng.integers(0, grid.cols, size=2)
+        if (r1, c1) == (r2, c2):
+            continue
+        r1, r2, c1, c2 = int(r1), int(r2), int(c1), int(c2)
+        if (r2, c2) in used_dst:
+            continue
+        row_pts = {c1, c2} if c1 != c2 else set()
+        col_pts = {r1, r2} if r1 != r2 else {r2}
+        if row_pts & used_row.get(r1, set()):
+            continue
+        if col_pts & used_col.get(c2, set()):
+            continue
+        used_row.setdefault(r1, set()).update(row_pts)
+        used_col.setdefault(c2, set()).update(col_pts)
+        used_dst.add((r2, c2))
+        messages.append(GridMessage((r1, c1), (r2, c2), f"m{len(messages)}"))
+    return messages
+
+
+def test_grid_random_batches(benchmark):
+    grid = SRGA(16, 16)
+    rng = np.random.default_rng(5)
+    batches = {k: _random_messages(grid, k, rng) for k in (4, 16, 32)}
+
+    def sweep():
+        rows = []
+        for k, messages in batches.items():
+            result = route_xy(grid, messages)
+            assert all(
+                result.delivered[m.dst] == m.payload for m in messages
+            )
+            rows.append(
+                {
+                    "messages": len(messages),
+                    "row_rounds": result.row_rounds,
+                    "col_rounds": result.col_rounds,
+                    "total_power": result.total_power_units,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit("GRID: XY routing on a 16x16 SRGA", rows)
+    assert all(r["row_rounds"] + r["col_rounds"] >= 1 for r in rows)
+
+
+def test_grid_row_concurrency(benchmark):
+    """One message per row: the row phase costs one round total."""
+    grid = SRGA(8, 8)
+    messages = [GridMessage((r, 0), (r, 7), f"r{r}") for r in range(8)]
+
+    result = benchmark(lambda: route_xy(grid, messages))
+    emit(
+        "GRID: 8 concurrent same-row transfers",
+        [{"row_rounds": result.row_rounds, "col_rounds": result.col_rounds}],
+    )
+    assert result.row_rounds == 1
+    assert result.col_rounds == 0

@@ -1,0 +1,70 @@
+"""MONO — chain-service monotonicity: the mechanism behind Theorem 8.
+
+Measures per-edge service inversions across schedulers on width-stress
+workloads, next to the per-switch changes they cause.  Expected shape:
+the CSA's inversions are 0 on single-chain workloads while the random
+order accumulates Θ(w²); changes track inversions.
+"""
+
+from repro.baselines import RandomOrderScheduler
+from repro.comms.generators import crossing_chain
+from repro.core.csa import PADRScheduler
+from repro.analysis.monotonicity import chain_service_analysis
+
+from conftest import emit
+
+
+def test_mono_inversions_vs_width(benchmark):
+    widths = [8, 32, 128]
+
+    def sweep():
+        rows = []
+        for w in widths:
+            cset = crossing_chain(w)
+            csa = PADRScheduler().schedule(cset)
+            rand = RandomOrderScheduler(seed=1).schedule(cset)
+            r_csa = chain_service_analysis(csa, cset)
+            r_rand = chain_service_analysis(rand, cset)
+            rows.append(
+                {
+                    "width": w,
+                    "csa_inversions": r_csa.total_inversions,
+                    "csa_max_changes": csa.power.max_switch_changes,
+                    "random_inversions": r_rand.total_inversions,
+                    "random_max_changes": rand.power.max_switch_changes,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit("MONO: service inversions vs width (crossing chains)", rows)
+    assert all(r["csa_inversions"] == 0 for r in rows)
+    # random order: inversions grow superlinearly, changes grow with them
+    assert rows[-1]["random_inversions"] > 16 * rows[0]["random_inversions"]
+    assert all(
+        r["random_max_changes"] > r["csa_max_changes"] for r in rows[1:]
+    )
+
+
+def test_mono_idle_subtree_nuance(benchmark):
+    """The documented multi-chain exception: inversions without power cost."""
+    from repro.comms.adversarial import idle_subtree_inversion_set
+
+    cset = idle_subtree_inversion_set()
+
+    def run():
+        s = PADRScheduler().schedule(cset, 64)
+        return s, chain_service_analysis(s, cset)
+
+    s, report = benchmark(run)
+    emit(
+        "MONO: idle-subtree example — inversion without power cost",
+        [
+            {
+                "inversions": report.total_inversions,
+                "max_switch_changes": s.power.max_switch_changes,
+            }
+        ],
+    )
+    assert report.total_inversions >= 1
+    assert s.power.max_switch_changes <= 3

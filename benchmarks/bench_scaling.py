@@ -1,0 +1,47 @@
+"""SCALE — engineering throughput: simulator cost vs tree and set size.
+
+No paper counterpart (the paper is analytic); this tracks the
+reproduction's own performance so regressions are visible.  The expected
+shape: per-round work is Θ(N) (one wave touches every link), so total time
+≈ Θ(N · w) for a width-w set on an N-leaf tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comms.generators import crossing_chain, random_well_nested
+from repro.core.csa import PADRScheduler
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024, 4096])
+def test_scale_tree_size(benchmark, n):
+    """Fixed width-8 workload, growing tree."""
+    cset = crossing_chain(8, n)
+    benchmark(lambda: PADRScheduler(validate_input=False).schedule(cset, n))
+
+
+@pytest.mark.parametrize("pairs", [16, 64, 256])
+def test_scale_set_size(benchmark, pairs):
+    """Fixed 1024-leaf tree, growing random sets."""
+    rng = np.random.default_rng(pairs)
+    cset = random_well_nested(pairs, 1024, rng)
+    benchmark(lambda: PADRScheduler(validate_input=False).schedule(cset, 1024))
+
+
+def test_scale_phase1_only(benchmark):
+    """Phase 1 in isolation: one upward wave on a 4096-leaf tree."""
+    from repro.core.phase1 import phase1_states
+
+    cset = crossing_chain(32, 4096)
+    benchmark(lambda: phase1_states(cset, 4096))
+
+
+def test_scale_width_computation(benchmark):
+    """The width oracle on a dense 1024-leaf workload."""
+    from repro.comms.width import width
+    from repro.cst.topology import CSTTopology
+
+    rng = np.random.default_rng(0)
+    cset = random_well_nested(512, 1024, rng)
+    topo = CSTTopology.of(1024)
+    benchmark(lambda: width(cset, topo))

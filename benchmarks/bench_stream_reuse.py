@@ -1,0 +1,69 @@
+"""STREAM — PADR across a workload stream (extension, DESIGN.md EXT2).
+
+The paper bounds configuration changes within one schedule; this
+experiment measures the same persistence principle *across* schedules:
+repeated or overlapping communication sets on one network reuse the
+circuits still sitting in the crossbars.
+
+Expected shape: the first occurrence of a pattern pays full price, every
+repetition pays only the delta against what the intervening phases
+displaced; with fresh networks each step pays full price forever.
+"""
+
+import numpy as np
+
+from repro.comms.generators import random_well_nested, segmentable_bus
+from repro.extensions.stream import StreamScheduler
+
+from conftest import emit
+
+
+def test_stream_repeated_pattern(benchmark):
+    """A fixed segmentation re-issued 6 times."""
+    cset = segmentable_bus([0, 8, 16, 24, 32])
+    program = [cset] * 6
+
+    def both():
+        persistent = StreamScheduler().run(program, 32)
+        fresh = StreamScheduler(fresh_network_per_step=True).run(program, 32)
+        return persistent, fresh
+
+    persistent, fresh = benchmark(both)
+    emit(
+        "STREAM: repeated segmentation, per-step energy",
+        [
+            {"discipline": "persistent", "profile": persistent.power_profile(),
+             "total": persistent.total_power},
+            {"discipline": "fresh", "profile": fresh.power_profile(),
+             "total": fresh.total_power},
+        ],
+    )
+    # repetitions are free under persistence
+    assert persistent.power_profile()[1:] == [0] * 5
+    # and identical full-price under fresh networks
+    assert len(set(fresh.power_profile())) == 1
+    assert persistent.total_power * 6 == fresh.total_power
+
+
+def test_stream_evolving_workload(benchmark):
+    """Random sets drifting over time: persistence still pays."""
+    rng = np.random.default_rng(3)
+    program = [random_well_nested(10, 64, rng) for _ in range(8)]
+
+    def both():
+        persistent = StreamScheduler().run(program, 64)
+        fresh = StreamScheduler(fresh_network_per_step=True).run(program, 64)
+        return persistent, fresh
+
+    persistent, fresh = benchmark(both)
+    saving = 1 - persistent.total_power / fresh.total_power
+    emit(
+        "STREAM: 8 independent random sets (worst case for reuse)",
+        [
+            {"persistent_total": persistent.total_power,
+             "fresh_total": fresh.total_power,
+             "saving": f"{100 * saving:.0f}%"},
+        ],
+    )
+    # even unrelated sets share some spine connections
+    assert persistent.total_power <= fresh.total_power

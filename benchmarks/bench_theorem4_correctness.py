@@ -1,0 +1,56 @@
+"""T4 — Theorem 4: correctness of the CSA on adversarial random workloads.
+
+The CSA never sees the pairing (only counters and ranks); the verifier
+checks every delivery against ground truth.  This benchmark runs a batch
+of random well-nested sets end-to-end (schedule + verify) and reports the
+aggregate: zero failures expected at every size.
+"""
+
+import numpy as np
+
+from repro.analysis.verifier import verify_schedule
+from repro.comms.generators import random_well_nested
+from repro.core.csa import PADRScheduler
+
+from conftest import emit
+
+
+def _run_batch(n_sets: int, n_pairs: int, n_leaves: int, seed: int):
+    rng = np.random.default_rng(seed)
+    ok = 0
+    rounds = []
+    for _ in range(n_sets):
+        cset = random_well_nested(n_pairs, n_leaves, rng)
+        s = PADRScheduler().schedule(cset, n_leaves)
+        report = verify_schedule(s, cset)
+        ok += report.ok
+        rounds.append(s.n_rounds)
+    return ok, rounds
+
+
+def test_t4_small_sets_batch(benchmark):
+    ok, rounds = benchmark(lambda: _run_batch(20, 8, 32, seed=1))
+    assert ok == 20
+    emit(
+        "T4: 20 random 8-pair sets on 32 leaves",
+        [{"verified_ok": ok, "of": 20, "mean_rounds": round(np.mean(rounds), 2)}],
+    )
+
+
+def test_t4_medium_sets_batch(benchmark):
+    ok, rounds = benchmark(lambda: _run_batch(10, 48, 128, seed=2))
+    assert ok == 10
+    emit(
+        "T4: 10 random 48-pair sets on 128 leaves",
+        [{"verified_ok": ok, "of": 10, "mean_rounds": round(np.mean(rounds), 2)}],
+    )
+
+
+def test_t4_dense_sets_batch(benchmark):
+    """Every leaf an endpoint — the densest legal workload."""
+    ok, rounds = benchmark(lambda: _run_batch(5, 128, 256, seed=3))
+    assert ok == 5
+    emit(
+        "T4: 5 dense 128-pair sets on 256 leaves (all leaves endpoints)",
+        [{"verified_ok": ok, "of": 5, "mean_rounds": round(np.mean(rounds), 2)}],
+    )

@@ -1,0 +1,39 @@
+"""T5 — Theorem 5: a width-w set is routed in exactly w rounds.
+
+Sweeps the width on crossing chains and on random sets; reports
+rounds/width for the CSA (expected: identically 1.0) next to the
+sequential baseline's ratio.  The sweep logic lives in
+``repro.experiments.theorem5`` (also runnable via
+``cst-padr experiment T5-crossing``).
+"""
+
+from repro.comms.generators import crossing_chain
+from repro.core.csa import PADRScheduler
+from repro.experiments.theorem5 import (
+    rounds_vs_width_crossing,
+    rounds_vs_width_random,
+)
+
+from conftest import emit
+
+
+def test_t5_width_sweep_crossing_chains(benchmark):
+    rows = benchmark(rounds_vs_width_crossing)
+    emit("T5: rounds vs width (crossing chains)", rows)
+    assert all(r["csa_rounds/width"] == 1.0 for r in rows)
+    # the sequential baseline serialises the whole chain
+    assert all(r["sequential_rounds"] == r["width"] for r in rows)
+
+
+def test_t5_random_sets_always_optimal(benchmark):
+    rows = benchmark(rounds_vs_width_random)
+    emit("T5: rounds vs width (random sets, 128 leaves)", rows)
+    assert all(r["csa_rounds"] == r["width"] for r in rows)
+
+
+def test_t5_one_round_per_width_unit_timing(benchmark):
+    """The per-round cost: one width-64 schedule on a 128-leaf tree."""
+    cset = crossing_chain(64)
+
+    s = benchmark(lambda: PADRScheduler().schedule(cset))
+    assert s.n_rounds == 64

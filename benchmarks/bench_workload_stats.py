@@ -1,0 +1,60 @@
+"""WSTAT — workload characterisation: what do random well-nested sets look like?
+
+Calibrates the benchmark workloads themselves: the expected width of a
+uniform random well-nested set of M pairs grows like Θ(√M) (the height of
+a random Dyck path), so width-stress experiments must use crossing chains
+— random sets alone would never exercise large widths.  This benchmark
+regenerates that calibration table.
+"""
+
+import numpy as np
+
+from repro.analysis.stats import random_width_distribution, workload_statistics
+from repro.comms.generators import crossing_chain, random_well_nested
+
+from conftest import emit
+
+
+def test_wstat_width_distribution_sqrt_growth(benchmark):
+    def sweep():
+        rng = np.random.default_rng(99)
+        rows = []
+        for n_pairs in (8, 32, 128):
+            d = random_width_distribution(n_pairs, 4 * n_pairs, 40, rng)
+            rows.append(
+                {
+                    "pairs": n_pairs,
+                    "mean_width": round(d["mean"], 2),
+                    "p95_width": d["p95"],
+                    "max_width": d["max"],
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit("WSTAT: width of uniform random well-nested sets", rows)
+    # Θ(√M): 16x the pairs should give well under 16x the width
+    assert rows[2]["mean_width"] < 6 * rows[0]["mean_width"]
+    assert rows[2]["mean_width"] > rows[0]["mean_width"]
+
+
+def test_wstat_generator_shapes(benchmark):
+    """Side-by-side stats of the named generators."""
+
+    def collect():
+        rng = np.random.default_rng(1)
+        rows = []
+        for name, cset in [
+            ("crossing_chain(8)", crossing_chain(8)),
+            ("random(32 pairs)", random_well_nested(32, 128, rng)),
+        ]:
+            stats = workload_statistics(cset)
+            row = {"workload": name}
+            row.update(stats.row())
+            rows.append(row)
+        return rows
+
+    rows = benchmark(collect)
+    emit("WSTAT: generator characterisation", rows)
+    chain = rows[0]
+    assert chain["width"] == 8 and chain["max_depth"] == 8

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a figure or a
+theorem's quantitative claim), prints the table/series it reproduces, and
+asserts the *shape* of the result — who wins, by what growth order, where
+the crossovers fall — as described in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed tables are the same ones recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+import pytest
+
+
+def emit(title: str, rows: Sequence[dict]) -> None:
+    """Print a labelled table to stdout (visible with -s or on failure)."""
+    from repro.analysis.comparison import format_table
+
+    banner = f"\n=== {title} ==="
+    print(banner)
+    print(format_table(list(rows)))
+    sys.stdout.flush()
+
+
+@pytest.fixture
+def table_printer():
+    return emit

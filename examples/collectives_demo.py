@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Collective operations as CST programs (paper §6: other patterns).
+
+Runs gather, scatter, shift and reverse on a 16-leaf CST with real
+payloads and prints the cost of each — steps (communication sets),
+routing rounds, and configuration energy.
+
+Run:  python examples/collectives_demo.py
+"""
+
+import sys
+
+from repro.extensions.collectives import gather, reverse, scatter, shift
+
+
+def main() -> int:
+    n = 16
+    values = [f"v{i}" for i in range(n)]
+
+    g = gather(values)
+    print(f"gather : {g.steps} steps, {g.total_rounds} rounds, "
+          f"{g.total_power_units} units -> PE {n - 1} holds {g.values[n - 1][:4]}...")
+    assert g.values[n - 1] == values
+
+    s = scatter(values)
+    print(f"scatter: {s.steps} steps, {s.total_rounds} rounds, "
+          f"{s.total_power_units} units -> PE 5 holds {s.values[5]!r}")
+    assert s.values == {i: v for i, v in enumerate(values)}
+
+    sh = shift(values, 4)
+    print(f"shift+4: {sh.steps} steps, {sh.total_rounds} rounds, "
+          f"{sh.total_power_units} units -> PE 4 holds {sh.values[4]!r}")
+    assert sh.values == {i + 4: values[i] for i in range(n - 4)}
+
+    r = reverse(values)
+    print(f"reverse: {r.steps} phases, {r.total_rounds} rounds, "
+          f"{r.total_power_units} units -> PE 0 holds {r.values[0]!r}")
+    assert r.values == {n - 1 - i: values[i] for i in range(n)}
+
+    print("\nall collectives payload-verified against their semantics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

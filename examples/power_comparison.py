@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's headline result as one table: O(1) vs O(w) switch power.
+
+Sweeps the width on crossing-chain workloads and compares:
+
+* the CSA (persistent configurations, outermost-first) — Theorem 8's O(1);
+* the Roy-style ID scheduler under per-round reconfiguration — Θ(w);
+* random-order scheduling under persistent configurations — the ablation
+  showing the outermost-first rule matters on its own;
+* the sequential scheduler — the round-count anti-baseline.
+
+Run:  python examples/power_comparison.py [max_width]
+"""
+
+import sys
+
+from repro import (
+    PADRScheduler,
+    PowerPolicy,
+    RandomOrderScheduler,
+    RoyIDScheduler,
+    SequentialScheduler,
+    crossing_chain,
+)
+from repro.analysis.comparison import format_table
+
+
+def main() -> int:
+    max_width = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+
+    rows = []
+    w = 4
+    while w <= max_width:
+        cset = crossing_chain(w)
+        csa = PADRScheduler().schedule(cset)
+        roy = RoyIDScheduler().schedule(cset, policy=PowerPolicy.rebuild())
+        rand = RandomOrderScheduler(seed=1).schedule(cset)
+        seq = SequentialScheduler().schedule(cset)
+        rows.append(
+            {
+                "width": w,
+                "csa rounds": csa.n_rounds,
+                "csa max-chg": csa.power.max_switch_changes,
+                "csa max-units": csa.power.max_switch_units,
+                "roy(rebuild) max-units": roy.power.max_switch_units,
+                "random(lazy) max-chg": rand.power.max_switch_changes,
+                "sequential rounds": seq.n_rounds,
+            }
+        )
+        w *= 2
+
+    print("per-switch power vs width w (crossing chains):\n")
+    print(format_table(rows))
+    print(
+        "\nshape check: the CSA columns stay flat (O(1), Theorem 8); the\n"
+        "Roy column equals w (Θ(w), the prior art); random-order grows with\n"
+        "w even under the paper's persistent-configuration power model."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate every registered experiment table into results/.
+
+The tables written here are the machine-readable companions of
+EXPERIMENTS.md — run this script after any algorithmic change and diff the
+output to see which measured quantities moved.
+
+Usage:  python scripts/regenerate_experiments.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.comparison import format_table
+from repro.experiments import REGISTRY
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    index_lines = ["# regenerated experiment tables", ""]
+    for eid in sorted(REGISTRY):
+        exp = REGISTRY[eid]
+        t0 = time.perf_counter()
+        rows = exp.run()
+        elapsed = time.perf_counter() - t0
+        body = f"{eid}: {exp.title}\n\n{format_table(rows)}\n"
+        path = out_dir / f"{eid}.txt"
+        path.write_text(body)
+        index_lines.append(f"- {eid}: {exp.title} ({elapsed:.2f}s) -> {path.name}")
+        print(f"[{elapsed:6.2f}s] {eid}")
+    (out_dir / "INDEX.md").write_text("\n".join(index_lines) + "\n")
+    print(f"\nwrote {len(REGISTRY)} tables to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

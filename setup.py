@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works on old setuptools without wheel.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Verification and measurement of schedules.
+
+``compatibility`` — the directed-edge compatibility predicate of [3].
+``verifier``      — end-to-end schedule verification against ground truth
+                    (Theorem 4 checks).
+``optimality``    — round-count optimality checks (Theorem 5).
+``power_report``  — per-switch power/change tabulation (Theorem 8).
+``comparison``    — run many schedulers on one workload, produce a table.
+"""
+
+from repro.analysis.compatibility import is_compatible_set, conflicting_pairs
+from repro.analysis.verifier import VerificationReport, verify_schedule
+from repro.analysis.optimality import check_round_optimality
+from repro.analysis.power_report import power_table, change_histogram
+from repro.analysis.comparison import SchedulerComparison, compare_schedulers
+from repro.analysis.monotonicity import ChainServiceReport, chain_service_analysis
+from repro.analysis.replay import ReplayReport, replay_schedule
+from repro.analysis.utilization import UtilizationReport, utilization_report
+from repro.analysis.stats import (
+    WorkloadStats,
+    random_width_distribution,
+    workload_statistics,
+)
+
+__all__ = [
+    "is_compatible_set",
+    "conflicting_pairs",
+    "VerificationReport",
+    "verify_schedule",
+    "check_round_optimality",
+    "power_table",
+    "change_histogram",
+    "SchedulerComparison",
+    "compare_schedulers",
+    "ChainServiceReport",
+    "chain_service_analysis",
+    "ReplayReport",
+    "replay_schedule",
+    "UtilizationReport",
+    "utilization_report",
+    "WorkloadStats",
+    "random_width_distribution",
+    "workload_statistics",
+]

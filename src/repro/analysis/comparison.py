@@ -1,0 +1,97 @@
+"""Multi-scheduler comparison on a single workload.
+
+:func:`compare_schedulers` runs every scheduler on the same communication
+set, verifies every result against ground truth, and collects the
+round/power quantities into one comparison record — the building block of
+the Theorem-8 benchmark tables and of ``examples/power_comparison.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.optimality import check_round_optimality
+from repro.analysis.verifier import verify_schedule
+from repro.comms.communication import CommunicationSet
+from repro.comms.width import width
+from repro.core.base import Scheduler
+from repro.core.schedule import Schedule
+from repro.cst.power import PowerPolicy
+from repro.cst.topology import CSTTopology
+
+__all__ = ["SchedulerComparison", "compare_schedulers", "format_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerComparison:
+    """All schedules of one workload plus the workload's width."""
+
+    cset: CommunicationSet
+    n_leaves: int
+    width: int
+    schedules: tuple[Schedule, ...]
+
+    def rows(self) -> list[dict[str, object]]:
+        out = []
+        for s in self.schedules:
+            out.append(
+                {
+                    "scheduler": s.scheduler_name,
+                    "rounds": s.n_rounds,
+                    "width": self.width,
+                    "rounds/width": round(s.n_rounds / self.width, 3)
+                    if self.width
+                    else 0.0,
+                    "power_total": s.power.total_units,
+                    "power_max_switch": s.power.max_switch_units,
+                    "changes_max_switch": s.power.max_switch_changes,
+                }
+            )
+        return out
+
+    def by_name(self, name: str) -> Schedule:
+        for s in self.schedules:
+            if s.scheduler_name == name:
+                return s
+        raise KeyError(f"no schedule named {name!r} in comparison")
+
+
+def compare_schedulers(
+    cset: CommunicationSet,
+    schedulers: Sequence[Scheduler],
+    n_leaves: int | None = None,
+    *,
+    policy: PowerPolicy | None = None,
+    verify: bool = True,
+) -> SchedulerComparison:
+    """Run, verify and tabulate every scheduler on one workload."""
+    n = n_leaves if n_leaves is not None else cset.min_leaves()
+    topo = CSTTopology.of(n)
+    w = width(cset, topo)
+    schedules: list[Schedule] = []
+    for scheduler in schedulers:
+        s = scheduler.schedule(cset, n, policy=policy)
+        if verify:
+            verify_schedule(s, cset).raise_if_failed()
+            check_round_optimality(s, cset)
+        schedules.append(s)
+    return SchedulerComparison(cset, n, w, tuple(schedules))
+
+
+def format_table(rows: Sequence[dict[str, object]]) -> str:
+    """Plain-text table, aligned columns — used by examples and benchmarks."""
+    if not rows:
+        return "(empty table)"
+    headers = list(rows[0].keys())
+    cols = [[str(h)] + [str(r.get(h, "")) for r in rows] for h in headers]
+    widths = [max(len(v) for v in col) for col in cols]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for i in range(len(rows)):
+        lines.append(
+            " | ".join(col[i + 1].ljust(w) for col, w in zip(cols, widths))
+        )
+    return "\n".join(lines)

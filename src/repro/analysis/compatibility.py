@@ -1,0 +1,63 @@
+"""Compatibility of communications: the directed-edge-sharing predicate.
+
+Paper §1 (after [3]): *"A set of communications can be performed
+simultaneously if no two communications use the same edge in the same
+direction."*  Such a set is a *compatible* set; each schedule round must be
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.comms.communication import Communication
+from repro.cst.topology import CSTTopology, DirectedEdge
+
+__all__ = ["is_compatible_set", "conflicting_pairs", "conflicts"]
+
+
+def conflicts(
+    a: Communication, b: Communication, topology: CSTTopology
+) -> bool:
+    """True when the two circuits share a directed edge."""
+    ea = set(topology.path_edges(a.src, a.dst))
+    return any(e in ea for e in topology.path_edges(b.src, b.dst))
+
+
+def is_compatible_set(
+    comms: Iterable[Communication], topology: CSTTopology
+) -> bool:
+    """True when no directed edge is claimed twice across the given circuits."""
+    used: set[DirectedEdge] = set()
+    for c in comms:
+        for e in topology.path_edges(c.src, c.dst):
+            if e in used:
+                return False
+            used.add(e)
+    return True
+
+
+def conflicting_pairs(
+    comms: Sequence[Communication], topology: CSTTopology
+) -> list[tuple[Communication, Communication, DirectedEdge]]:
+    """Every conflicting pair with one witnessing directed edge.
+
+    Quadratic in the number of communications per shared edge — meant for
+    diagnostics and tests, not hot paths.
+    """
+    claimed: dict[DirectedEdge, list[Communication]] = {}
+    for c in comms:
+        for e in topology.path_edges(c.src, c.dst):
+            claimed.setdefault(e, []).append(c)
+    out: list[tuple[Communication, Communication, DirectedEdge]] = []
+    seen: set[tuple[Communication, Communication]] = set()
+    for e, users in claimed.items():
+        if len(users) < 2:
+            continue
+        for i, a in enumerate(users):
+            for b in users[i + 1 :]:
+                key = (a, b) if a <= b else (b, a)
+                if key not in seen:
+                    seen.add(key)
+                    out.append((key[0], key[1], e))
+    return out

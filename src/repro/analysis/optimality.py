@@ -1,0 +1,74 @@
+"""Round-count optimality checks (Theorem 5).
+
+Width is a lower bound for any schedule: the communications congesting one
+directed edge (a *maximum incompatible*, paper §4) must occupy distinct
+rounds.  Theorem 5 states the CSA achieves the bound exactly for
+right-oriented well-nested sets.  :func:`check_round_optimality` verifies
+both directions on a finished schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comms.communication import CommunicationSet
+from repro.comms.width import width, width_lower_bound_witness
+from repro.core.schedule import Schedule
+from repro.cst.topology import CSTTopology
+from repro.exceptions import VerificationError
+
+__all__ = ["OptimalityReport", "check_round_optimality"]
+
+
+@dataclass(frozen=True, slots=True)
+class OptimalityReport:
+    scheduler_name: str
+    n_rounds: int
+    width: int
+
+    @property
+    def optimal(self) -> bool:
+        return self.n_rounds == self.width
+
+    @property
+    def excess_rounds(self) -> int:
+        return self.n_rounds - self.width
+
+    def summary(self) -> str:
+        verdict = "optimal" if self.optimal else f"+{self.excess_rounds} rounds"
+        return (
+            f"optimality[{self.scheduler_name}]: rounds={self.n_rounds}, "
+            f"width={self.width} → {verdict}"
+        )
+
+
+def check_round_optimality(
+    schedule: Schedule,
+    cset: CommunicationSet,
+    *,
+    require_optimal: bool = False,
+) -> OptimalityReport:
+    """Compare a schedule's round count against the width lower bound.
+
+    A schedule using fewer rounds than the width is impossible — if
+    observed it means the schedule lost communications, and a
+    :class:`~repro.exceptions.VerificationError` is raised.  With
+    ``require_optimal`` the same error is raised for any excess round
+    (what Theorem 5 forbids for the CSA).
+    """
+    topo = CSTTopology.of(schedule.n_leaves)
+    w = width(cset, topo)
+    report = OptimalityReport(schedule.scheduler_name, schedule.n_rounds, w)
+    if schedule.n_rounds < w:
+        edge, witness = width_lower_bound_witness(cset, topo)
+        raise VerificationError(
+            f"{schedule.scheduler_name} claims {schedule.n_rounds} rounds but "
+            f"width is {w} (edge {edge} carries {len(witness)} communications) — "
+            "the schedule must have dropped work"
+        )
+    if require_optimal and not report.optimal:
+        raise VerificationError(
+            f"{schedule.scheduler_name} used {schedule.n_rounds} rounds for a "
+            f"width-{w} set; Theorem 5 requires exactly {w}"
+        )
+    return report

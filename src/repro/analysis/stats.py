@@ -1,0 +1,105 @@
+"""Workload statistics: the shape of communication sets, quantified.
+
+Used by the benchmarks to characterise generated workloads (a width sweep
+is only meaningful if the widths actually vary as intended) and by users
+sizing CSTs for expected traffic: the expected width of a random
+well-nested set grows much slower than its size, so round counts stay
+small even for dense workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comms.communication import CommunicationSet
+from repro.comms.generators import random_well_nested
+from repro.comms.wellnested import nesting_depths
+from repro.comms.width import edge_loads, width
+from repro.cst.topology import CSTTopology
+
+__all__ = ["WorkloadStats", "workload_statistics", "random_width_distribution"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Descriptive statistics of one communication set on one tree."""
+
+    n_comms: int
+    width: int
+    max_nesting_depth: int
+    mean_span: float
+    edges_used: int
+    mean_edge_load: float
+    root_crossings: int
+
+    def row(self) -> dict[str, object]:
+        return {
+            "comms": self.n_comms,
+            "width": self.width,
+            "max_depth": self.max_nesting_depth,
+            "mean_span": round(self.mean_span, 2),
+            "edges_used": self.edges_used,
+            "mean_edge_load": round(self.mean_edge_load, 3),
+            "root_crossings": self.root_crossings,
+        }
+
+
+def workload_statistics(
+    cset: CommunicationSet, topology: CSTTopology | None = None
+) -> WorkloadStats:
+    """Compute the stats; requires a right-oriented well-nested set for the
+    depth figure (other fields are orientation-agnostic)."""
+    topo = topology or CSTTopology.of(cset.min_leaves())
+    loads = edge_loads(cset, topo)
+    depths = nesting_depths(cset) if len(cset) else {}
+    half = topo.n_leaves // 2
+    crossings = sum(
+        1 for c in cset if c.leftmost < half <= c.rightmost
+    )
+    spans = [c.rightmost - c.leftmost for c in cset]
+    return WorkloadStats(
+        n_comms=len(cset),
+        width=max(loads.values(), default=0),
+        max_nesting_depth=max(depths.values(), default=-1) + 1,
+        mean_span=float(np.mean(spans)) if spans else 0.0,
+        edges_used=len(loads),
+        mean_edge_load=float(np.mean(list(loads.values()))) if loads else 0.0,
+        root_crossings=crossings,
+    )
+
+
+def random_width_distribution(
+    n_pairs: int,
+    n_leaves: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """Empirical width distribution of uniform random well-nested sets.
+
+    Returns summary statistics over ``trials`` independent draws.  The
+    mean width of a uniform Dyck set of M pairs grows like Θ(√M) (the
+    expected height of a random Dyck path), which the benchmarks check as
+    a shape: doubling M should multiply mean width by ≈ √2, not 2.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    topo = CSTTopology.of(n_leaves)
+    widths = np.array(
+        [
+            width(random_well_nested(n_pairs, n_leaves, rng), topo)
+            for _ in range(trials)
+        ],
+        dtype=float,
+    )
+    return {
+        "n_pairs": float(n_pairs),
+        "trials": float(trials),
+        "mean": float(widths.mean()),
+        "std": float(widths.std()),
+        "min": float(widths.min()),
+        "max": float(widths.max()),
+        "p50": float(np.percentile(widths, 50)),
+        "p95": float(np.percentile(widths, 95)),
+    }

@@ -1,0 +1,83 @@
+"""Per-round utilization: how much of the tree a schedule keeps busy.
+
+Round-count optimality (Theorem 5) says nothing about *how* full each
+round is; two optimal schedules can still differ in parallelism profile
+and link usage.  This report quantifies:
+
+* **parallelism** — communications completed per round;
+* **link utilization** — fraction of directed links carrying traffic per
+  round (an N-leaf CST has ``2·(2N−2)`` directed links);
+* **saturation** — each round, whether the bottleneck edge of the
+  *remaining* workload was actually used (a round that skips the
+  bottleneck wastes a round; width-optimal schedules never do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.comms.communication import Communication
+from repro.core.schedule import Schedule
+from repro.cst.topology import CSTTopology, DirectedEdge
+
+__all__ = ["RoundUtilization", "UtilizationReport", "utilization_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoundUtilization:
+    index: int
+    n_comms: int
+    edges_used: int
+    link_utilization: float
+
+    def row(self) -> dict[str, object]:
+        return {
+            "round": self.index,
+            "comms": self.n_comms,
+            "edges_used": self.edges_used,
+            "link_util": round(self.link_utilization, 3),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationReport:
+    rounds: tuple[RoundUtilization, ...]
+    n_directed_links: int
+
+    @property
+    def mean_parallelism(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return sum(r.n_comms for r in self.rounds) / len(self.rounds)
+
+    @property
+    def peak_parallelism(self) -> int:
+        return max((r.n_comms for r in self.rounds), default=0)
+
+    @property
+    def peak_link_utilization(self) -> float:
+        return max((r.link_utilization for r in self.rounds), default=0.0)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [r.row() for r in self.rounds]
+
+
+def utilization_report(schedule: Schedule) -> UtilizationReport:
+    """Compute the per-round utilization profile of any schedule."""
+    topo = CSTTopology.of(schedule.n_leaves)
+    n_links = 2 * (2 * topo.n_leaves - 2)
+    rounds: list[RoundUtilization] = []
+    for rec in schedule.rounds:
+        edges: set[DirectedEdge] = set()
+        for c in rec.performed:
+            edges.update(topo.path_edges(c.src, c.dst))
+        rounds.append(
+            RoundUtilization(
+                index=rec.index,
+                n_comms=len(rec.performed),
+                edges_used=len(edges),
+                link_utilization=len(edges) / n_links,
+            )
+        )
+    return UtilizationReport(rounds=tuple(rounds), n_directed_links=n_links)

@@ -1,0 +1,116 @@
+"""End-to-end verification of schedules against ground truth (Theorem 4).
+
+The verifier is deliberately independent of every scheduler: it receives
+the finished :class:`~repro.core.schedule.Schedule` and the communication
+set, and checks
+
+1. **delivery** — each source's payload was observed (by crossbar tracing)
+   to arrive at exactly its matching destination;
+2. **completeness** — every communication completed in exactly one round;
+3. **round validity** — the communications of every round form a
+   compatible set (no directed edge claimed twice);
+4. **conservation** — no spurious deliveries (nothing arrived anywhere that
+   is not a destination of the set).
+
+Because the CSA never learns the pairing (it sees counters and ranks only),
+passing check 1 on adversarial workloads is genuine evidence for Lemma 3 /
+Theorem 4 rather than a tautology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.comms.communication import CommunicationSet
+from repro.core.schedule import Schedule
+from repro.analysis.compatibility import is_compatible_set
+from repro.cst.topology import CSTTopology
+from repro.exceptions import VerificationError
+
+__all__ = ["VerificationReport", "verify_schedule"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one schedule."""
+
+    scheduler_name: str
+    n_comms: int
+    n_rounds: int
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self) -> "VerificationReport":
+        if self.failures:
+            head = "; ".join(self.failures[:5])
+            more = f" (+{len(self.failures) - 5} more)" if len(self.failures) > 5 else ""
+            raise VerificationError(
+                f"schedule by {self.scheduler_name!r} failed verification: {head}{more}"
+            )
+        return self
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAILED ({len(self.failures)} problems)"
+        return (
+            f"verify[{self.scheduler_name}]: {status} — "
+            f"{self.n_comms} comms in {self.n_rounds} rounds"
+        )
+
+
+def verify_schedule(schedule: Schedule, cset: CommunicationSet) -> VerificationReport:
+    """Run all Theorem-4 checks; collect every failure rather than stopping."""
+    report = VerificationReport(
+        scheduler_name=schedule.scheduler_name,
+        n_comms=len(cset),
+        n_rounds=schedule.n_rounds,
+    )
+    topo = CSTTopology.of(schedule.n_leaves)
+    truth = dict(cset.partner_of())
+    valid_dsts = set(cset.destinations())
+
+    performed = Counter(schedule.performed())
+
+    # 1. delivery: observed (src → delivered) must equal the true pairing.
+    for comm in performed:
+        expected = truth.get(comm.src)
+        if expected is None:
+            report.failures.append(f"PE {comm.src} transmitted but is not a source")
+        elif comm.dst != expected:
+            report.failures.append(
+                f"payload of PE {comm.src} delivered to PE {comm.dst}, "
+                f"expected PE {expected}"
+            )
+        if comm.dst not in valid_dsts:
+            report.failures.append(
+                f"PE {comm.dst} latched a payload but is not a destination"
+            )
+
+    # 2. completeness / exactly-once.
+    for c in cset:
+        count = sum(n for comm, n in performed.items() if comm.src == c.src)
+        if count == 0:
+            report.failures.append(f"communication {c} never performed")
+        elif count > 1:
+            report.failures.append(f"source PE {c.src} transmitted {count} times")
+
+    # 3. every round is a compatible set.
+    for rnd in schedule.rounds:
+        if not is_compatible_set(rnd.performed, topo):
+            report.failures.append(
+                f"round {rnd.index} is not a compatible set: {list(rnd.performed)}"
+            )
+        if len(set(rnd.writers)) != len(rnd.writers):
+            report.failures.append(f"round {rnd.index} lists duplicate writers")
+
+    # 4. conservation: total deliveries equal total communications.
+    total = sum(performed.values())
+    if total != len(cset):
+        report.failures.append(
+            f"{total} deliveries observed for {len(cset)} communications"
+        )
+
+    return report

@@ -1,0 +1,27 @@
+"""Baseline schedulers the paper compares against (analytically).
+
+``sequential`` — one communication per round: trivially correct, worst
+                 rounds, and a floor for per-round power.
+``greedy``     — repeated maximal compatible sets in a configurable
+                 priority order (outermost-first mirrors the CSA's
+                 selection rule centrally; innermost-first is the
+                 power-adversarial order).
+``roy``        — reconstruction of Roy, Vaidyanathan & Trahan (2006):
+                 assign each communication an integer ID, route all
+                 same-ID communications together.  Optimal rounds but
+                 O(w) configuration changes per switch — the comparison
+                 point of Theorem 8.
+"""
+
+from repro.baselines.sequential import SequentialScheduler
+from repro.baselines.greedy import GreedyScheduler
+from repro.baselines.roy import RoyIDScheduler, assign_ids
+from repro.baselines.random_order import RandomOrderScheduler
+
+__all__ = [
+    "SequentialScheduler",
+    "GreedyScheduler",
+    "RoyIDScheduler",
+    "assign_ids",
+    "RandomOrderScheduler",
+]

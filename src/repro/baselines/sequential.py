@@ -1,0 +1,34 @@
+"""The sequential baseline: one communication per round.
+
+Trivially correct for any communication set (a single circuit can always be
+established), maximally slow (M rounds for M communications), and a useful
+calibration point for the power benchmarks: every switch on a path is
+reconfigured in the round its communication fires, so total power scales
+with the sum of path lengths.
+"""
+
+from __future__ import annotations
+
+from repro.comms.communication import CommunicationSet
+from repro.core.base import Scheduler, execute_round_plan
+from repro.core.schedule import Schedule
+from repro.cst.power import PowerPolicy
+
+__all__ = ["SequentialScheduler"]
+
+
+class SequentialScheduler(Scheduler):
+    """Schedule each communication in its own round, in ``(src, dst)`` order."""
+
+    name = "sequential"
+
+    def schedule(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+    ) -> Schedule:
+        n = n_leaves if n_leaves is not None else cset.min_leaves()
+        plan = [[c] for c in cset]
+        return execute_round_plan(cset, n, plan, self.name, policy=policy)

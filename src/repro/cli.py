@@ -1,0 +1,205 @@
+"""Command-line interface: demos and experiment runners.
+
+Usage (installed as ``cst-padr``, also ``python -m repro``):
+
+.. code-block:: text
+
+    cst-padr demo                 # schedule the paper's Figure 2 set, verbose
+    cst-padr compare --width 16   # scheduler comparison on a width-16 chain
+    cst-padr random --pairs 32 --leaves 128 --seed 7
+    cst-padr sweep --max-width 64 # Theorem 5/8 sweep table
+    cst-padr experiment <id>      # any registered experiment (see --list)
+    cst-padr trace --width 3      # structured event trace of a CSA run
+
+All output is plain text; the same tables the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.comparison import compare_schedulers, format_table
+from repro.baselines import (
+    GreedyScheduler,
+    RandomOrderScheduler,
+    RoyIDScheduler,
+    SequentialScheduler,
+)
+from repro.comms.generators import crossing_chain, paper_figure2_set, random_well_nested
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.cst.power import PowerPolicy
+from repro.viz.ascii import (
+    render_change_profile,
+    render_leaf_roles,
+    render_round_configuration,
+    render_schedule_timeline,
+)
+
+__all__ = ["main"]
+
+
+def _all_schedulers():
+    return [
+        PADRScheduler(),
+        RoyIDScheduler(),
+        GreedyScheduler("outermost"),
+        GreedyScheduler("innermost"),
+        RandomOrderScheduler(seed=1),
+        SequentialScheduler(),
+    ]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    cset = paper_figure2_set()
+    n = 16
+    print("The paper's Figure 2 well-nested set on a 16-leaf CST")
+    print(render_leaf_roles(cset, n))
+    print()
+    schedule = PADRScheduler().schedule(cset, n)
+    print(f"CSA: width={width(cset)}, rounds={schedule.n_rounds}, "
+          f"{schedule.power.summary()}")
+    print()
+    for r in range(schedule.n_rounds):
+        print(render_round_configuration(schedule, r))
+        print()
+    print("timeline:")
+    print(render_schedule_timeline(schedule))
+    print()
+    print("per-switch configuration changes (Theorem 8 view):")
+    print(render_change_profile(schedule))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    cset = crossing_chain(args.width)
+    comparison = compare_schedulers(cset, _all_schedulers())
+    print(f"crossing chain, width={args.width}, {len(cset)} communications")
+    print(format_table(comparison.rows()))
+    return 0
+
+
+def _cmd_random(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    cset = random_well_nested(args.pairs, args.leaves, rng)
+    comparison = compare_schedulers(cset, _all_schedulers(), args.leaves)
+    print(
+        f"random well-nested set: pairs={args.pairs}, leaves={args.leaves}, "
+        f"seed={args.seed}, width={comparison.width}"
+    )
+    print(format_table(comparison.rows()))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    w = 2
+    while w <= args.max_width:
+        cset = crossing_chain(w)
+        csa = PADRScheduler().schedule(cset)
+        roy = RoyIDScheduler().schedule(cset, policy=PowerPolicy.rebuild())
+        rows.append(
+            {
+                "width": w,
+                "csa_rounds": csa.n_rounds,
+                "csa_max_changes": csa.power.max_switch_changes,
+                "csa_max_units": csa.power.max_switch_units,
+                "roy_rounds": roy.n_rounds,
+                "roy_max_units": roy.power.max_switch_units,
+            }
+        )
+        w *= 2
+    print("Theorem 5 + Theorem 8 sweep (crossing chains):")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cst.events import EventLog
+    from repro.cst.network import CSTNetwork
+
+    cset = crossing_chain(args.width)
+    n = cset.min_leaves()
+    log = EventLog()
+    network = CSTNetwork.of_size(n, event_log=log)
+    schedule = PADRScheduler().schedule(cset, network=network)
+    print(
+        f"traced CSA run: width {args.width}, {schedule.n_rounds} rounds, "
+        f"{len(log)} events"
+    )
+    print(log.render(changed_only=args.changed_only))
+    print()
+    print("summary:", log.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY, run_experiment
+
+    if args.list or args.id is None:
+        print("available experiments:")
+        for eid in sorted(REGISTRY):
+            print(f"  {eid:15s} {REGISTRY[eid].title}")
+        return 0
+    try:
+        rows = run_experiment(args.id)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    print(f"{args.id}: {REGISTRY[args.id].title}")
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cst-padr",
+        description="Power-aware routing on the Circuit Switched Tree (IPPS 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="schedule the paper's Figure 2 set, verbosely")
+
+    p = sub.add_parser("compare", help="scheduler comparison on a width-stress chain")
+    p.add_argument("--width", type=int, default=16)
+
+    p = sub.add_parser("random", help="scheduler comparison on a random well-nested set")
+    p.add_argument("--pairs", type=int, default=32)
+    p.add_argument("--leaves", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sweep", help="Theorem 5/8 width sweep")
+    p.add_argument("--max-width", type=int, default=64)
+
+    p = sub.add_parser("experiment", help="run a registered experiment by id")
+    p.add_argument("id", nargs="?", default=None)
+    p.add_argument("--list", action="store_true", help="list experiment ids")
+
+    p = sub.add_parser("trace", help="dump a structured event trace of a CSA run")
+    p.add_argument("--width", type=int, default=3)
+    p.add_argument(
+        "--changed-only", action="store_true", help="hide no-op switch commits"
+    )
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "compare": _cmd_compare,
+        "random": _cmd_random,
+        "sweep": _cmd_sweep,
+        "experiment": _cmd_experiment,
+        "trace": _cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Communication sets on the CST: model, well-nestedness, width, generators."""
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.wellnested import (
+    is_well_nested,
+    nesting_depths,
+    nesting_forest,
+    parenthesis_profile,
+)
+from repro.comms.width import edge_loads, width
+from repro.comms.dyck import random_dyck_word, dyck_words, is_dyck_word
+from repro.comms.generators import (
+    from_dyck_word,
+    random_well_nested,
+    nested_chain,
+    crossing_chain,
+    disjoint_pairs,
+    segmentable_bus,
+    staircase,
+    paper_figure2_set,
+)
+
+__all__ = [
+    "Communication",
+    "CommunicationSet",
+    "is_well_nested",
+    "nesting_depths",
+    "nesting_forest",
+    "parenthesis_profile",
+    "edge_loads",
+    "width",
+    "random_dyck_word",
+    "dyck_words",
+    "is_dyck_word",
+    "from_dyck_word",
+    "random_well_nested",
+    "nested_chain",
+    "crossing_chain",
+    "disjoint_pairs",
+    "segmentable_bus",
+    "staircase",
+    "paper_figure2_set",
+]

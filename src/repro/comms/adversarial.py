@@ -1,0 +1,102 @@
+"""Adversarial workloads: sets constructed to stress specific claims.
+
+Each generator targets one mechanism in the algorithm or its analysis and
+is named for what it attacks.  They complement the statistical generators
+in :mod:`repro.comms.generators`: random sets rarely visit these corners
+(e.g. uniform Dyck sets have width Θ(√M), far from the worst case).
+"""
+
+from __future__ import annotations
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.wellnested import require_well_nested
+from repro.exceptions import CommunicationError
+from repro.util.bitmath import ceil_pow2, is_power_of_two
+
+__all__ = [
+    "idle_subtree_inversion_set",
+    "alternating_demand_set",
+    "full_leaf_utilisation_set",
+    "left_spine_hotspot_set",
+]
+
+
+def idle_subtree_inversion_set() -> CommunicationSet:
+    """The pinned multi-chain example where the CSA fires an inner pair
+    before an outer one: {(0,9),(1,8),(2,7),(4,6)} on 64 leaves.
+
+    The subtree holding (4,6) is idle at round 0 while (2,7)'s LCA is busy
+    forwarding source 0 upward, so the inner pair fires first — a service
+    inversion that costs no power (see
+    :mod:`repro.analysis.monotonicity`).
+    """
+    return require_well_nested(
+        CommunicationSet(
+            Communication(*p) for p in [(0, 9), (1, 8), (2, 7), (4, 6)]
+        )
+    )
+
+
+def alternating_demand_set(k: int, n_leaves: int | None = None) -> CommunicationSet:
+    """A chain that alternates a switch's demands: pass-up, matched,
+    pass-up, matched, ... along one nesting chain.
+
+    The focal switch is the root's left child of an ``8k``-leaf tree: ``k``
+    outer communications pass *up through* it (sources under it,
+    destinations in the right half) and ``k`` inner communications are
+    matched *at* it, all on one nesting chain.  The CSA still pays O(1)
+    there — the chain is served monotonically — but any order that
+    zig-zags the chain pays per zig.
+    """
+    if k < 1:
+        raise CommunicationError("alternating_demand_set requires k >= 1")
+    n = n_leaves if n_leaves is not None else ceil_pow2(8 * k)
+    if not is_power_of_two(n) or n < 8 * k:
+        raise CommunicationError(
+            f"alternating_demand_set k={k} needs a power-of-two tree >= {8 * k}"
+        )
+    half = n // 2
+    quarter = n // 4
+    comms: list[Communication] = []
+    # outer group: sources in the first quarter, destinations in the right
+    # half — they pass *up through* the quarter-subtree's root.
+    for i in range(k):
+        comms.append(Communication(i, n - 1 - i))
+    # inner group: matched at the quarter-subtree's root (sources in its
+    # left half, destinations in its right half), nested inside the outers.
+    for i in range(k):
+        comms.append(Communication(k + i, half - 1 - i))
+    return require_well_nested(CommunicationSet(comms))
+
+
+def full_leaf_utilisation_set(n_leaves: int) -> CommunicationSet:
+    """Every leaf an endpoint, maximal nesting: ``(0,n-1),(1,n-2),...``.
+
+    The densest width-stress set a tree admits: width ``n/2`` on the root
+    links, every control counter at its maximum.
+    """
+    if n_leaves < 2 or not is_power_of_two(n_leaves):
+        raise CommunicationError("n_leaves must be a power of two >= 2")
+    return require_well_nested(
+        CommunicationSet(
+            Communication(i, n_leaves - 1 - i) for i in range(n_leaves // 2)
+        )
+    )
+
+
+def left_spine_hotspot_set(depth: int) -> CommunicationSet:
+    """Communications whose LCAs climb the left spine, one per level.
+
+    Pair *j* (``j = 1..depth``) is ``(2^j − 1, 2^j)`` — adjacent leaves
+    straddling the ``2^j`` alignment boundary, so its LCA is the left-spine
+    switch whose subtree spans ``2^(j+1)`` leaves.  The pairs are disjoint
+    intervals (width 1) but exercise a different spine switch each, which
+    stresses the per-level counter bookkeeping and the rank arithmetic
+    without any of them conflicting.
+    """
+    if depth < 1:
+        raise CommunicationError("left_spine_hotspot_set requires depth >= 1")
+    comms = [
+        Communication((1 << j) - 1, 1 << j) for j in range(1, depth + 1)
+    ]
+    return require_well_nested(CommunicationSet(comms))

@@ -1,0 +1,90 @@
+"""Dyck words: recognition, enumeration, and uniform random sampling.
+
+Right-oriented well-nested communication sets are exactly Dyck words spread
+over the leaves (paper §2.1, Figure 2), so balanced-parenthesis machinery is
+the natural workload generator substrate.
+
+Uniform sampling uses the Cycle Lemma (Dvoretzky & Motzkin): shuffle a
+multiset of ``n`` up-steps and ``n+1`` down-steps; exactly one rotation of
+the resulting word is a Dyck word followed by a down-step, and taking that
+rotation of a uniformly random arrangement yields a uniformly random Dyck
+word of length ``2n``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["is_dyck_word", "dyck_words", "random_dyck_word", "catalan"]
+
+
+def is_dyck_word(word: str) -> bool:
+    """True iff ``word`` over ``()`` is balanced and never dips negative."""
+    depth = 0
+    for ch in word:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+        else:
+            raise ValueError(f"invalid character {ch!r} in Dyck word")
+    return depth == 0
+
+
+def catalan(n: int) -> int:
+    """The n-th Catalan number — the count of Dyck words of length 2n."""
+    if n < 0:
+        raise ValueError("catalan requires n >= 0")
+    c = 1
+    for i in range(n):
+        c = c * 2 * (2 * i + 1) // (i + 2)
+    return c
+
+
+def dyck_words(n_pairs: int) -> Iterator[str]:
+    """All Dyck words with ``n_pairs`` pairs, in lexicographic order.
+
+    Intended for exhaustive small-``n`` testing (``catalan(n)`` words).
+    """
+    if n_pairs < 0:
+        raise ValueError("n_pairs must be >= 0")
+
+    def rec(prefix: list[str], opens: int, closes: int) -> Iterator[str]:
+        if opens == 0 and closes == 0:
+            yield "".join(prefix)
+            return
+        if opens > 0:
+            prefix.append("(")
+            yield from rec(prefix, opens - 1, closes)
+            prefix.pop()
+        if closes > opens:
+            prefix.append(")")
+            yield from rec(prefix, opens, closes - 1)
+            prefix.pop()
+
+    return rec([], n_pairs, n_pairs)
+
+
+def random_dyck_word(n_pairs: int, rng: np.random.Generator) -> str:
+    """A uniformly random Dyck word with ``n_pairs`` pairs (Cycle Lemma)."""
+    if n_pairs < 0:
+        raise ValueError("n_pairs must be >= 0")
+    if n_pairs == 0:
+        return ""
+    # steps: n up (+1), n+1 down (-1); shuffle, find the unique good rotation.
+    steps = np.concatenate([np.ones(n_pairs, dtype=np.int64), -np.ones(n_pairs + 1, dtype=np.int64)])
+    rng.shuffle(steps)
+    # the good rotation starts just after the (unique) position where the
+    # running prefix sum attains its minimum for the first... last time.
+    prefix = np.cumsum(steps)
+    pivot = int(np.argmin(prefix))  # first index attaining the minimum
+    rotated = np.concatenate([steps[pivot + 1 :], steps[: pivot + 1]])
+    # drop the trailing forced down-step; what remains is a Dyck word.
+    body = rotated[:-1]
+    word = "".join("(" if s == 1 else ")" for s in body)
+    assert is_dyck_word(word), "cycle-lemma rotation failed to produce a Dyck word"
+    return word

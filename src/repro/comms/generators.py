@@ -1,0 +1,207 @@
+"""Workload generators: well-nested communication sets of controlled shape.
+
+Every generator returns a :class:`~repro.comms.communication.CommunicationSet`
+that is right-oriented and well-nested (validated), plus enough knobs to
+control the two quantities the paper's analysis cares about: the *width* w
+(maximum same-direction link congestion) and the set size M.
+
+Generators
+----------
+``from_dyck_word``      place a parenthesis word onto chosen leaves.
+``random_well_nested``  uniform Dyck word on uniformly chosen leaves.
+``nested_chain``        ``((...))`` on adjacent leaves.
+``crossing_chain``      ``w`` nested pairs straddling the root — width ``w``.
+``disjoint_pairs``      ``()()...`` — width 1, arbitrarily many pairs.
+``segmentable_bus``     neighbour broadcasts of a segmentable bus (the
+                        motivating superset relationship of paper §1).
+``staircase``           nested chains side by side — tunable width mix.
+``paper_figure2_set``   the worked example of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.dyck import is_dyck_word, random_dyck_word
+from repro.comms.wellnested import require_well_nested
+from repro.exceptions import CommunicationError
+from repro.util.bitmath import ceil_pow2
+
+__all__ = [
+    "from_dyck_word",
+    "random_well_nested",
+    "nested_chain",
+    "crossing_chain",
+    "disjoint_pairs",
+    "segmentable_bus",
+    "staircase",
+    "paper_figure2_set",
+]
+
+
+def from_dyck_word(
+    word: str, leaf_positions: Sequence[int] | None = None
+) -> CommunicationSet:
+    """Build the well-nested set encoded by a Dyck word.
+
+    ``leaf_positions`` supplies one strictly increasing leaf index per
+    character of ``word``; by default character ``i`` sits on leaf ``i``.
+    """
+    if not is_dyck_word(word):
+        raise CommunicationError(f"not a Dyck word: {word!r}")
+    if leaf_positions is None:
+        leaf_positions = range(len(word))
+    positions = list(leaf_positions)
+    if len(positions) != len(word):
+        raise CommunicationError(
+            f"need {len(word)} leaf positions, got {len(positions)}"
+        )
+    if any(b <= a for a, b in zip(positions, positions[1:])):
+        raise CommunicationError("leaf positions must be strictly increasing")
+    stack: list[int] = []
+    comms: list[Communication] = []
+    for ch, pe in zip(word, positions):
+        if ch == "(":
+            stack.append(pe)
+        else:
+            comms.append(Communication(stack.pop(), pe))
+    return require_well_nested(CommunicationSet(comms))
+
+
+def random_well_nested(
+    n_pairs: int,
+    n_leaves: int,
+    rng: np.random.Generator,
+) -> CommunicationSet:
+    """Uniformly random Dyck word on uniformly random distinct leaves.
+
+    ``n_leaves`` must admit ``2 * n_pairs`` endpoints.
+    """
+    if 2 * n_pairs > n_leaves:
+        raise CommunicationError(
+            f"{n_pairs} pairs need {2 * n_pairs} leaves, only {n_leaves} available"
+        )
+    if n_pairs == 0:
+        return CommunicationSet(())
+    word = random_dyck_word(n_pairs, rng)
+    positions = np.sort(rng.choice(n_leaves, size=2 * n_pairs, replace=False))
+    return from_dyck_word(word, positions.tolist())
+
+
+def nested_chain(depth: int, n_leaves: int | None = None) -> CommunicationSet:
+    """``depth`` fully nested pairs on adjacent leaves: ``(((...)))``.
+
+    Sources occupy leaves ``0..depth-1``, destinations ``depth..2*depth-1``
+    reversed.  Note that nesting depth is *not* width: inner pairs sit in
+    low subtrees and share fewer links (e.g. depth 3 on 8 leaves has width
+    2).  Use :func:`crossing_chain` when an exact target width is needed.
+    """
+    if depth < 1:
+        raise CommunicationError("nested_chain requires depth >= 1")
+    need = 2 * depth
+    if n_leaves is not None and n_leaves < need:
+        raise CommunicationError(f"nested_chain depth {depth} needs >= {need} leaves")
+    comms = [Communication(i, 2 * depth - 1 - i) for i in range(depth)]
+    return require_well_nested(CommunicationSet(comms))
+
+
+def crossing_chain(w: int, n_leaves: int | None = None) -> CommunicationSet:
+    """``w`` nested pairs that all cross the root — width exactly ``w``.
+
+    Sources sit on leaves ``0..w-1`` (left half), destination of source
+    ``i`` is leaf ``n-1-i`` (right half), so all ``w`` circuits share the
+    root's left upward link and the root's right downward link.  This is
+    the canonical exact-width workload for Theorems 5 and 8.
+    """
+    if w < 1:
+        raise CommunicationError("crossing_chain requires w >= 1")
+    n = n_leaves if n_leaves is not None else 2 * ceil_pow2(w)
+    if n < 2 * w or ceil_pow2(n) != n:
+        raise CommunicationError(
+            f"crossing_chain width {w} needs a power-of-two tree with >= {2 * w} leaves"
+        )
+    half = n // 2
+    if w > half:
+        raise CommunicationError(f"width {w} exceeds half the tree ({half})")
+    comms = [Communication(i, n - 1 - i) for i in range(w)]
+    return require_well_nested(CommunicationSet(comms))
+
+
+def disjoint_pairs(n_pairs: int, stride: int = 2) -> CommunicationSet:
+    """``n_pairs`` adjacent pairs ``()()()...`` — width 1.
+
+    ``stride >= 2`` spaces consecutive pairs apart.
+    """
+    if n_pairs < 0:
+        raise CommunicationError("n_pairs must be >= 0")
+    if stride < 2:
+        raise CommunicationError("stride must be >= 2 to keep endpoints distinct")
+    comms = [Communication(i * stride, i * stride + 1) for i in range(n_pairs)]
+    return require_well_nested(CommunicationSet(comms))
+
+
+def segmentable_bus(segment_bounds: Sequence[int]) -> CommunicationSet:
+    """Left-to-right neighbour transfers of a segmented bus.
+
+    ``segment_bounds`` lists strictly increasing PE indices
+    ``b_0 < b_1 < ... < b_k``; segment ``i`` communicates ``b_i -> b_{i+1}-1``
+    ... more precisely, the bus master at the left end of each segment
+    broadcasts to the right end of its segment: communications
+    ``(b_i, b_{i+1} - 1)`` for consecutive bounds.  These are pairwise
+    disjoint intervals, hence well-nested with width 1 — the fundamental
+    pattern the paper cites the well-nested class as generalising (§1).
+    """
+    bounds = list(segment_bounds)
+    if len(bounds) < 2:
+        raise CommunicationError("need at least two segment bounds")
+    if any(b <= a for a, b in zip(bounds, bounds[1:])):
+        raise CommunicationError("segment bounds must be strictly increasing")
+    comms = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi - 1 > lo:
+            comms.append(Communication(lo, hi - 1))
+        elif hi - 1 == lo:
+            raise CommunicationError(
+                f"segment [{lo}, {hi}) has a single PE; cannot self-communicate"
+            )
+    return require_well_nested(CommunicationSet(comms))
+
+
+def staircase(n_chains: int, depth: int, gap: int = 0) -> CommunicationSet:
+    """``n_chains`` nested chains of the given depth, side by side.
+
+    Total size is ``n_chains * depth`` pairs while the width stays that of
+    a single chain — useful for separating width effects from set-size
+    effects in the power benchmarks.
+    """
+    if n_chains < 1 or depth < 1:
+        raise CommunicationError("staircase requires n_chains >= 1 and depth >= 1")
+    if gap < 0:
+        raise CommunicationError("gap must be >= 0")
+    comms: list[Communication] = []
+    block = 2 * depth + gap
+    for k in range(n_chains):
+        base = k * block
+        comms.extend(
+            Communication(base + i, base + 2 * depth - 1 - i) for i in range(depth)
+        )
+    return require_well_nested(CommunicationSet(comms))
+
+
+def paper_figure2_set(n_leaves: int = 16) -> CommunicationSet:
+    """A transcription of the paper's Figure 2 well-nested example.
+
+    The figure shows a right-oriented well-nested set with both nesting and
+    adjacency: rendered as a parenthesis word it is ``(()(()))(())`` spread
+    over the first 12 leaves — two outer communications, one containing a
+    singleton and a depth-2 nest, the other a single nested pair.
+    """
+    word = "(()(()))(())"
+    if n_leaves < len(word):
+        raise CommunicationError(f"figure-2 set needs >= {len(word)} leaves")
+    if ceil_pow2(n_leaves) != n_leaves:
+        raise CommunicationError("n_leaves must be a power of two")
+    return from_dyck_word(word)

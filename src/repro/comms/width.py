@@ -1,0 +1,142 @@
+"""Width of a communication set: maximum same-direction link congestion.
+
+Paper §1: *"If at most w communications require to use the same link in the
+same direction, the communication set is of width w."*  Width is the
+round-count lower bound — only one circuit can hold a directed edge per
+round — and Theorem 5 shows the CSA meets it exactly for right-oriented
+well-nested sets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+import numpy as np
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.cst.topology import CSTTopology, DirectedEdge
+from repro.types import Direction
+
+__all__ = [
+    "edge_loads",
+    "edge_loads_fast",
+    "width",
+    "width_fast",
+    "width_lower_bound_witness",
+    "comms_on_edge",
+]
+
+
+def edge_loads(
+    cset: CommunicationSet, topology: CSTTopology
+) -> Mapping[DirectedEdge, int]:
+    """Number of communications requiring each directed edge."""
+    loads: Counter[DirectedEdge] = Counter()
+    for c in cset:
+        loads.update(topology.path_edges(c.src, c.dst))
+    return dict(loads)
+
+
+def width(cset: CommunicationSet, topology: CSTTopology | None = None) -> int:
+    """Width ``w`` of the set (0 for the empty set)."""
+    if len(cset) == 0:
+        return 0
+    topo = topology or CSTTopology.of(cset.min_leaves())
+    return max(edge_loads(cset, topo).values())
+
+
+def comms_on_edge(
+    cset: CommunicationSet, topology: CSTTopology, edge: DirectedEdge
+) -> tuple[Communication, ...]:
+    """The communications whose circuit uses ``edge`` — a *maximum
+    incompatible* when the edge attains the width (paper §4)."""
+    return tuple(
+        c for c in cset if edge in topology.path_edges(c.src, c.dst)
+    )
+
+
+def width_lower_bound_witness(
+    cset: CommunicationSet, topology: CSTTopology
+) -> tuple[DirectedEdge | None, tuple[Communication, ...]]:
+    """An edge attaining the width and the communications congesting it.
+
+    Returns ``(None, ())`` for the empty set.  Useful in optimality checks:
+    any valid schedule needs at least ``len(witness comms)`` rounds.
+    """
+    loads = edge_loads(cset, topology)
+    if not loads:
+        return None, ()
+    edge = max(loads, key=lambda e: loads[e])
+    return edge, comms_on_edge(cset, topology, edge)
+
+
+# ---------------------------------------------------------------------------
+# vectorized fast path (per the profiling-then-vectorise discipline):
+# the per-communication path walk is the hot loop of width computation on
+# large sweeps; the counting below replaces it with O(log N) bincounts.
+# ---------------------------------------------------------------------------
+
+
+def edge_loads_fast(
+    cset: CommunicationSet, topology: CSTTopology
+) -> Mapping[DirectedEdge, int]:
+    """Vectorized :func:`edge_loads` — identical result, no path walks.
+
+    Uses the subtree characterisation of circuit edges: the UP edge out of
+    node ``v`` is used by a communication exactly when its source lies in
+    ``v``'s leaf range and its destination does not (and symmetrically for
+    DOWN edges).  Per tree level, those counts are two ``np.bincount``
+    calls over the endpoints' node indices.
+    """
+    if len(cset) == 0:
+        return {}
+    n = topology.n_leaves
+    src = np.fromiter((c.src for c in cset), dtype=np.int64, count=len(cset))
+    dst = np.fromiter((c.dst for c in cset), dtype=np.int64, count=len(cset))
+
+    loads: dict[DirectedEdge, int] = {}
+    height = topology.height
+    for level in range(1, height + 1):
+        size = n >> level              # leaves per node at this level
+        n_nodes = 1 << level
+        idx_s = src // size
+        idx_d = dst // size
+        inside = idx_s == idx_d        # circuit never leaves this node
+        up = np.bincount(idx_s, minlength=n_nodes) - np.bincount(
+            idx_s[inside], minlength=n_nodes
+        )
+        down = np.bincount(idx_d, minlength=n_nodes) - np.bincount(
+            idx_d[inside], minlength=n_nodes
+        )
+        base = n_nodes  # heap id of the first node at this level
+        for i in np.nonzero(up)[0]:
+            loads[DirectedEdge(int(base + i), Direction.UP)] = int(up[i])
+        for i in np.nonzero(down)[0]:
+            loads[DirectedEdge(int(base + i), Direction.DOWN)] = int(down[i])
+    return loads
+
+
+def width_fast(cset: CommunicationSet, topology: CSTTopology | None = None) -> int:
+    """Vectorized :func:`width` (equivalence property-tested)."""
+    if len(cset) == 0:
+        return 0
+    topo = topology or CSTTopology.of(cset.min_leaves())
+    n = topo.n_leaves
+    src = np.fromiter((c.src for c in cset), dtype=np.int64, count=len(cset))
+    dst = np.fromiter((c.dst for c in cset), dtype=np.int64, count=len(cset))
+    best = 0
+    for level in range(1, topo.height + 1):
+        size = n >> level
+        n_nodes = 1 << level
+        idx_s = src // size
+        idx_d = dst // size
+        inside = idx_s == idx_d
+        up = np.bincount(idx_s, minlength=n_nodes) - np.bincount(
+            idx_s[inside], minlength=n_nodes
+        )
+        down = np.bincount(idx_d, minlength=n_nodes) - np.bincount(
+            idx_d[inside], minlength=n_nodes
+        )
+        best = max(best, int(up.max(initial=0)), int(down.max(initial=0)))
+    return best

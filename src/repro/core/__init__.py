@@ -1,0 +1,32 @@
+"""The paper's contribution: the PADR Configuration & Scheduling Algorithm.
+
+``control``  — the O(1)-word control vocabulary (C_U, C_S, C_D).
+``phase1``   — Step 1.1–1.3: distribute counts up the tree (runs once).
+``phase2``   — the CONFIGURE procedure (paper Figure 5, all four cases).
+``csa``      — :class:`PADRScheduler`: the full distributed algorithm.
+``left``     — :class:`LeftPADRScheduler`: the mirrored variant for
+               left-oriented sets (paper §2.1 symmetry, made native).
+``schedule`` — result types shared by all schedulers.
+"""
+
+from repro.core.control import DownKind, DownWord, StoredState, UpWord
+from repro.core.phase1 import run_phase1
+from repro.core.phase2 import ConfigureOutcome, configure
+from repro.core.csa import PADRScheduler
+from repro.core.left import LeftPADRScheduler
+from repro.core.schedule import RoundRecord, Schedule, ScheduleStats
+
+__all__ = [
+    "DownKind",
+    "DownWord",
+    "StoredState",
+    "UpWord",
+    "run_phase1",
+    "ConfigureOutcome",
+    "configure",
+    "PADRScheduler",
+    "LeftPADRScheduler",
+    "RoundRecord",
+    "Schedule",
+    "ScheduleStats",
+]

@@ -1,0 +1,127 @@
+"""Scheduler abstraction and the shared round-plan executor.
+
+Every scheduler — the paper's CSA and all baselines — produces a
+:class:`~repro.core.schedule.Schedule` by actually driving a
+:class:`~repro.cst.network.CSTNetwork`: staging crossbar connections,
+committing rounds (which is where power is charged), transferring payloads
+and recording what tracing observed.  Centralized baselines share
+:func:`execute_round_plan`, which replays a precomputed per-round plan
+through the network; the CSA drives the network round by round from its
+distributed control waves instead.
+
+Using one executor for all baselines keeps the power comparison fair: the
+meter, the teardown policy and the tracing are identical — only the round
+decomposition differs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.schedule import RoundRecord, Schedule
+from repro.cst.network import CSTNetwork
+from repro.cst.power import PowerPolicy
+from repro.exceptions import SchedulingError
+from repro.types import Connection
+
+__all__ = ["Scheduler", "execute_round_plan"]
+
+
+class Scheduler(abc.ABC):
+    """Common interface of all CST schedulers."""
+
+    #: short identifier used in reports and benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+    ) -> Schedule:
+        """Route ``cset`` on a CST with ``n_leaves`` leaves.
+
+        ``n_leaves`` defaults to the smallest power-of-two tree hosting the
+        set; ``policy`` selects the power-accounting discipline (the paper's
+        lazy model by default).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def execute_round_plan(
+    cset: CommunicationSet,
+    n_leaves: int,
+    plan: Sequence[Sequence[Communication]],
+    scheduler_name: str,
+    *,
+    policy: PowerPolicy | None = None,
+) -> Schedule:
+    """Replay a per-round plan through a real network and record everything.
+
+    Each round's communications are routed along their unique tree paths;
+    the required crossbar connections are staged, the round committed
+    (power charged per newly-established connection), payloads transferred
+    and completions observed by tracing.  Raises
+    :class:`~repro.exceptions.SchedulingError` when the plan's rounds are
+    internally inconsistent (two communications claiming the same switch
+    port — the symptom of an incompatible round).
+    """
+    planned = [c for rnd in plan for c in rnd]
+    if sorted(planned) != sorted(cset.comms):
+        raise SchedulingError(
+            f"{scheduler_name}: plan performs {len(planned)} communications, "
+            f"set has {len(cset)} (or contents differ)"
+        )
+
+    network = CSTNetwork.of_size(n_leaves, policy=policy)
+    network.assign_roles(cset.roles())
+    topo = network.topology
+
+    rounds: list[RoundRecord] = []
+    for index, round_comms in enumerate(plan):
+        staged: dict[int, list[Connection]] = {}
+        for c in round_comms:
+            for switch_id, conn in topo.path_connections(c.src, c.dst).items():
+                staged.setdefault(switch_id, []).append(conn)
+        try:
+            network.stage({k: tuple(v) for k, v in staged.items()})
+            network.commit_round()
+        except Exception as exc:  # port conflicts surface here
+            raise SchedulingError(
+                f"{scheduler_name}: round {index} is not realisable on the "
+                f"crossbars ({exc})"
+            ) from exc
+        writers = tuple(sorted(c.src for c in round_comms))
+        traces = network.transfer(writers, index)
+        performed = tuple(
+            Communication(t.source_pe, t.delivered_pe)
+            for t in traces
+            if t.delivered_pe is not None
+        )
+        if len(performed) != len(writers):
+            dropped = [t.source_pe for t in traces if t.delivered_pe is None]
+            raise SchedulingError(
+                f"{scheduler_name}: round {index} dropped payloads from PEs {dropped}"
+            )
+        rounds.append(
+            RoundRecord(
+                index=index,
+                performed=performed,
+                writers=writers,
+                staged={k: tuple(v) for k, v in staged.items()},
+            )
+        )
+
+    return Schedule(
+        cset=cset,
+        n_leaves=n_leaves,
+        scheduler_name=scheduler_name,
+        rounds=tuple(rounds),
+        power=network.power_report(),
+    )

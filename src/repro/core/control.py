@@ -1,0 +1,206 @@
+"""Control vocabulary of the CSA — everything is O(1) machine words.
+
+Three kinds of control information flow through the CST (paper §2.2, §3):
+
+* **Upward**, Phase 1 only: :class:`UpWord` ``[S, D]`` — how many sources /
+  destinations below this link still need the link to reach their partner.
+* **Stored**, per switch: :class:`StoredState`
+  ``C_S = [M, S_L−M, D_L, S_R, D_R−M]`` — the five communication types of
+  paper Figure 4(a).  Mutable: Phase 2 decrements a counter whenever the
+  corresponding endpoint is scheduled, which is what keeps the rank
+  arguments consistent along a path.
+* **Downward**, each Phase-2 round: :class:`DownWord`
+  ``[kind, x_s, x_d]`` where ``kind`` ∈ {``[null,null]``, ``[s,null]``,
+  ``[d,null]``, ``[s,d]``} and the ranks select the ``x_s``-th remaining
+  leftmost source / ``x_d``-th remaining rightmost destination
+  (Definition 2) of the receiving subtree.
+
+Word-size accounting (for the Theorem 5 efficiency claims) is exposed via
+``wire_words()`` on each type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["UpWord", "StoredState", "DownKind", "DownWord"]
+
+
+@dataclass(frozen=True, slots=True)
+class UpWord:
+    """Phase-1 upward word ``[S, D]`` (paper Step 1.2)."""
+
+    sources: int
+    destinations: int
+
+    def __post_init__(self) -> None:
+        if self.sources < 0 or self.destinations < 0:
+            raise ProtocolError(f"negative counts in up-word: {self}")
+
+    @staticmethod
+    def wire_words() -> int:
+        """Machine words on the wire (constant — Theorem 5)."""
+        return 2
+
+    def __str__(self) -> str:
+        return f"[S={self.sources}, D={self.destinations}]"
+
+
+@dataclass
+class StoredState:
+    """Per-switch stored control information ``C_S`` (paper Step 1.3).
+
+    ``matched``            type 1 — pairs matched at this switch (``M``).
+    ``unmatched_left_src`` type 4 — left-subtree sources matched above
+                           (``S_L − M``).
+    ``left_dst``           type 3 — left-subtree destinations matched above
+                           (``D_L``).
+    ``right_src``          type 2 — right-subtree sources matched above
+                           (``S_R``).
+    ``unmatched_right_dst``type 5 — right-subtree destinations matched above
+                           (``D_R − M``).
+
+    Exactly one of types 4 and 5 can be non-zero (``M = min(S_L, D_R)``).
+    Counters only ever decrease during Phase 2.
+    """
+
+    matched: int = 0
+    unmatched_left_src: int = 0
+    left_dst: int = 0
+    right_src: int = 0
+    unmatched_right_dst: int = 0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.matched,
+            self.unmatched_left_src,
+            self.left_dst,
+            self.right_src,
+            self.unmatched_right_dst,
+        ) < 0:
+            raise ProtocolError(f"negative counter in stored state: {self}")
+        if self.unmatched_left_src and self.unmatched_right_dst:
+            raise ProtocolError(
+                "types 4 and 5 cannot both be non-zero when M = min(S_L, D_R)"
+            )
+
+    # -- remaining-endpoint views used by rank arithmetic ------------------
+
+    @property
+    def sources_up(self) -> int:
+        """Sources still to climb through this switch (|S(u)| remaining)."""
+        return self.unmatched_left_src + self.right_src
+
+    @property
+    def destinations_up(self) -> int:
+        """Destinations still to descend through this switch (|D(u)|)."""
+        return self.unmatched_right_dst + self.left_dst
+
+    @property
+    def exhausted(self) -> bool:
+        """All five counters are zero — nothing left through this switch."""
+        return (
+            self.matched == 0
+            and self.unmatched_left_src == 0
+            and self.left_dst == 0
+            and self.right_src == 0
+            and self.unmatched_right_dst == 0
+        )
+
+    def copy(self) -> "StoredState":
+        return StoredState(
+            self.matched,
+            self.unmatched_left_src,
+            self.left_dst,
+            self.right_src,
+            self.unmatched_right_dst,
+        )
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        """``C_S`` in the paper's order ``[M, S_L−M, D_L, S_R, D_R−M]``."""
+        return (
+            self.matched,
+            self.unmatched_left_src,
+            self.left_dst,
+            self.right_src,
+            self.unmatched_right_dst,
+        )
+
+    @staticmethod
+    def stored_words() -> int:
+        """Machine words stored per switch (constant — Theorem 5)."""
+        return 5
+
+    def __str__(self) -> str:
+        m, t4, t3, t2, t5 = self.as_tuple()
+        return f"C_S[M={m}, S_L-M={t4}, D_L={t3}, S_R={t2}, D_R-M={t5}]"
+
+
+class DownKind(enum.Enum):
+    """The four values of ``C_{D-*_1}`` (paper Step 2.1)."""
+
+    NONE = "[null,null]"
+    SRC = "[s,null]"
+    DST = "[d,null]"
+    BOTH = "[s,d]"
+
+    @property
+    def wants_source(self) -> bool:
+        return self in (DownKind.SRC, DownKind.BOTH)
+
+    @property
+    def wants_destination(self) -> bool:
+        return self in (DownKind.DST, DownKind.BOTH)
+
+
+@dataclass(frozen=True, slots=True)
+class DownWord:
+    """Phase-2 downward word ``[kind, x_s, x_d]``.
+
+    ``x_s`` ranks the requested source among the subtree's *remaining*
+    sources, counted from the left (Definition 2); ``x_d`` ranks the
+    requested destination among remaining destinations, counted from the
+    right.  Ranks are meaningful only when the kind requests them.
+    """
+
+    kind: DownKind
+    x_s: int = 0
+    x_d: int = 0
+
+    def __post_init__(self) -> None:
+        if self.x_s < 0 or self.x_d < 0:
+            raise ProtocolError(f"negative rank in down-word: {self}")
+        if not self.kind.wants_source and self.x_s:
+            raise ProtocolError(f"{self.kind.value} carries no source rank: {self}")
+        if not self.kind.wants_destination and self.x_d:
+            raise ProtocolError(f"{self.kind.value} carries no destination rank: {self}")
+
+    @staticmethod
+    def none() -> "DownWord":
+        return _NONE_WORD
+
+    @staticmethod
+    def src(x_s: int) -> "DownWord":
+        return DownWord(DownKind.SRC, x_s=x_s)
+
+    @staticmethod
+    def dst(x_d: int) -> "DownWord":
+        return DownWord(DownKind.DST, x_d=x_d)
+
+    @staticmethod
+    def both(x_s: int, x_d: int) -> "DownWord":
+        return DownWord(DownKind.BOTH, x_s=x_s, x_d=x_d)
+
+    @staticmethod
+    def wire_words() -> int:
+        """Machine words on the wire (constant — Theorem 5)."""
+        return 3
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}(x_s={self.x_s}, x_d={self.x_d})"
+
+
+_NONE_WORD = DownWord(DownKind.NONE)

@@ -1,0 +1,230 @@
+"""The PADR Configuration & Scheduling Algorithm (paper §3).
+
+:class:`PADRScheduler` runs the full distributed algorithm on a simulated
+CST:
+
+1. **Phase 1** (once): PE roles flow up; every switch stores its five-type
+   counters ``C_S``.
+2. **Phase 2** (repeated): a downward control wave in which every switch
+   runs :func:`~repro.core.phase2.configure` on the word from its parent
+   (the root synthesises ``[null,null]``), stages its crossbar connections
+   and forwards words to its children.  Source leaves that receive
+   ``[s,null]`` write their payloads (Step 2.2); the network traces each
+   payload through the committed crossbars to its destination leaf.
+3. Rounds repeat until no switch holds an unscheduled matched pair
+   (Step 2.3).  Termination is detected with a 1-bit OR carried by the same
+   wave discipline — an O(1)-word addition the paper leaves implicit.
+
+The scheduler never consults the ground-truth pairing: switches see only
+counters and ranks, leaves see only their own role.  Delivery correctness
+is *observed* by the network's tracer and later checked by
+:mod:`repro.analysis.verifier`.
+"""
+
+from __future__ import annotations
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.wellnested import require_well_nested
+from repro.core.base import Scheduler
+from repro.core.control import DownKind, DownWord, StoredState
+from repro.core.phase1 import run_phase1
+from repro.core.phase2 import configure
+from repro.core.schedule import RoundRecord, Schedule
+from repro.cst.engine import CSTEngine
+from repro.cst.network import CSTNetwork
+from repro.cst.power import PowerPolicy
+from repro.exceptions import ProtocolError, SchedulingError
+from repro.types import Connection, Role
+
+__all__ = ["PADRScheduler"]
+
+
+class PADRScheduler(Scheduler):
+    """The paper's power-aware scheduler for right-oriented well-nested sets.
+
+    Parameters
+    ----------
+    validate_input:
+        check well-nestedness up front (O(M log M)); disable only for
+        workloads already validated by a generator.
+    check_postconditions:
+        verify that every counter on every switch is exhausted when the
+        algorithm stops (a cheap global invariant the distributed algorithm
+        itself cannot see).
+    """
+
+    name = "padr-csa"
+
+    def __init__(
+        self,
+        *,
+        validate_input: bool = True,
+        check_postconditions: bool = True,
+        strict: bool = True,
+    ) -> None:
+        self.validate_input = validate_input
+        self.check_postconditions = check_postconditions
+        #: with ``strict`` the scheduler raises the moment a round's data
+        #: transfer contradicts its control decisions (the healthy-hardware
+        #: invariant).  Fault-injection experiments set ``strict=False`` so
+        #: the schedule completes mechanically and the damage is surfaced
+        #: by the verifier instead.
+        self.strict = strict
+        #: populated by :meth:`schedule` for introspection and tests.
+        self.last_network: CSTNetwork | None = None
+        self.last_states: dict[int, StoredState] | None = None
+
+    def schedule(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+        network: CSTNetwork | None = None,
+    ) -> Schedule:
+        """Route ``cset``; see :class:`~repro.core.base.Scheduler`.
+
+        ``network`` supplies a pre-built (possibly pre-configured, possibly
+        faulty) network to run on — used by fault-injection tests and by
+        the stream scheduler, which reuses one network across sets so that
+        configurations persist between them.  When given, ``n_leaves`` and
+        ``policy`` must not conflict with it.
+        """
+        if self.validate_input:
+            require_well_nested(cset)
+        if network is not None:
+            if n_leaves is not None and n_leaves != network.topology.n_leaves:
+                raise SchedulingError(
+                    f"n_leaves={n_leaves} conflicts with the supplied "
+                    f"network of {network.topology.n_leaves} leaves"
+                )
+            if policy is not None and policy != network.meter.policy:
+                raise SchedulingError(
+                    "policy conflicts with the supplied network's meter policy"
+                )
+            n = network.topology.n_leaves
+        else:
+            n = n_leaves if n_leaves is not None else cset.min_leaves()
+            network = CSTNetwork.of_size(n, policy=policy)
+        network.assign_roles(cset.roles())
+        engine = CSTEngine(network)
+
+        states = run_phase1(engine)
+        self.last_network = network
+        self.last_states = states
+
+        rounds: list[RoundRecord] = []
+        max_rounds = len(cset) + 1  # Theorem 5 promises exactly `width` rounds
+
+        while any(st.matched for st in states.values()):
+            if len(rounds) >= max_rounds:
+                raise SchedulingError(
+                    f"CSA exceeded {max_rounds} rounds — algorithm failed to make "
+                    "progress (this indicates a bug or invalid input)"
+                )
+            rounds.append(self._run_round(engine, states, len(rounds)))
+
+        if self.check_postconditions:
+            leftovers = {
+                v: st.as_tuple() for v, st in states.items() if not st.exhausted
+            }
+            if leftovers:
+                raise ProtocolError(
+                    f"CSA finished with non-exhausted switch counters: {leftovers}"
+                )
+            if not network.all_done:
+                pending = [pe.index for pe in network.pes if not pe.done]
+                raise ProtocolError(f"CSA finished but PEs {pending} are unsatisfied")
+
+        return Schedule(
+            cset=cset,
+            n_leaves=n,
+            scheduler_name=self.name,
+            rounds=tuple(rounds),
+            power=network.power_report(),
+            control_messages=engine.trace.messages,
+            control_words=engine.trace.words,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_round(
+        self,
+        engine: CSTEngine,
+        states: dict[int, StoredState],
+        round_no: int,
+    ) -> RoundRecord:
+        """One Phase-2 round: down-wave, commit, transfer, record."""
+        network = engine.network
+        staged: dict[int, tuple[Connection, ...]] = {}
+
+        def emit(switch_id: int, word: DownWord) -> tuple[DownWord, DownWord]:
+            outcome = configure(switch_id, states[switch_id], word)
+            if outcome.connections:
+                staged[switch_id] = outcome.connections
+            return outcome.left_word, outcome.right_word
+
+        leaf_words = engine.downward_wave(
+            DownWord.none(), emit, words_per_message=DownWord.wire_words()
+        )
+
+        writers: list[int] = []
+        receivers: list[int] = []
+        for pe_index, word in leaf_words.items():
+            if word.kind is DownKind.NONE:
+                continue
+            if word.kind is DownKind.BOTH:
+                raise ProtocolError(
+                    f"leaf PE {pe_index} received [s,d] — a PE cannot be both endpoints"
+                )
+            if word.x_s or word.x_d:
+                raise ProtocolError(
+                    f"leaf PE {pe_index} received non-zero rank in {word}"
+                )
+            pe = network.pes[pe_index]
+            if word.kind is DownKind.SRC:
+                if pe.role is not Role.SOURCE:
+                    raise ProtocolError(
+                        f"leaf PE {pe_index} asked to transmit but role is {pe.role.value}"
+                    )
+                writers.append(pe_index)
+            else:
+                if pe.role is not Role.DESTINATION:
+                    raise ProtocolError(
+                        f"leaf PE {pe_index} asked to receive but role is {pe.role.value}"
+                    )
+                receivers.append(pe_index)
+
+        if len(writers) != len(receivers):
+            raise ProtocolError(
+                f"round {round_no}: {len(writers)} writers but {len(receivers)} "
+                "receivers — the control wave is inconsistent"
+            )
+
+        network.stage(staged)
+        network.commit_round()
+
+        traces = network.transfer(sorted(writers), round_no)
+        performed: list[Communication] = []
+        for tr in traces:
+            if tr.delivered_pe is None:
+                if self.strict:
+                    raise ProtocolError(
+                        f"round {round_no}: payload from PE {tr.source_pe} was "
+                        f"dropped after switches {tr.hops}"
+                    )
+                continue  # non-strict: drop recorded by omission; verifier flags
+            performed.append(Communication(tr.source_pe, tr.delivered_pe))
+        delivered_set = {c.dst for c in performed}
+        if self.strict and delivered_set != set(receivers):
+            raise ProtocolError(
+                f"round {round_no}: control wave selected receivers "
+                f"{sorted(receivers)} but data arrived at {sorted(delivered_set)}"
+            )
+
+        return RoundRecord(
+            index=round_no,
+            performed=tuple(performed),
+            writers=tuple(sorted(writers)),
+            staged=staged,
+        )

@@ -1,0 +1,81 @@
+"""Phase 1 of the CSA: distributing control information (paper Steps 1.1–1.3).
+
+Each PE transmits its role word; each switch ``u`` receives
+``C_{U-L} = [S_L, D_L]`` and ``C_{U-R} = [S_R, D_R]``, matches
+``M = min(S_L, D_R)`` source–destination pairs (justified for right-oriented
+well-nested sets by Lemma 1), stores
+``C_S = [M, S_L−M, D_L, S_R, D_R−M]``, and forwards
+``C_U = [S_L−M+S_R, D_L+D_R−M]``.
+
+The wave runs once; afterwards every switch knows *how many* communications
+of each of the five types (Figure 4a) pass through it — never *which*.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.comms.communication import CommunicationSet
+from repro.core.control import StoredState, UpWord
+from repro.cst.engine import CSTEngine
+from repro.exceptions import ProtocolError
+from repro.types import Role
+
+__all__ = ["run_phase1", "phase1_states"]
+
+
+def run_phase1(engine: CSTEngine) -> dict[int, StoredState]:
+    """Execute Phase 1 over the engine's network.
+
+    PE roles must already be assigned on the network
+    (:meth:`~repro.cst.network.CSTNetwork.assign_roles`).  Returns the
+    stored state ``C_S`` of every switch, keyed by heap id.
+
+    For a balanced (fully matched) communication set the root's outgoing
+    word must be ``[0, 0]``; anything else means some endpoint has no
+    partner inside the tree and is reported as a protocol error.
+    """
+    network = engine.network
+    states: dict[int, StoredState] = {}
+
+    def leaf_word(pe: int) -> UpWord:
+        s, d = network.pes[pe].role_word()
+        return UpWord(s, d)
+
+    def combine(switch_id: int, left: UpWord, right: UpWord) -> UpWord:
+        s_l, d_l = left.sources, left.destinations
+        s_r, d_r = right.sources, right.destinations
+        m = min(s_l, d_r)  # Lemma 1: left sources pair with right destinations
+        states[switch_id] = StoredState(
+            matched=m,
+            unmatched_left_src=s_l - m,
+            left_dst=d_l,
+            right_src=s_r,
+            unmatched_right_dst=d_r - m,
+        )
+        return UpWord(s_l - m + s_r, d_l + d_r - m)
+
+    sent = engine.upward_wave(leaf_word, combine, words_per_message=UpWord.wire_words())
+    root_out = sent[engine.topology.root]
+    if root_out.sources or root_out.destinations:
+        raise ProtocolError(
+            f"unbalanced communication set: root would forward {root_out} to a "
+            "non-existent parent (some endpoint has no partner)"
+        )
+    return states
+
+
+def phase1_states(
+    cset: CommunicationSet, n_leaves: int
+) -> Mapping[int, StoredState]:
+    """Pure helper: Phase-1 stored states for a set, without a live network.
+
+    Convenient for tests and for the centralized baselines that want the
+    same per-switch counters the distributed algorithm would compute.
+    """
+    from repro.cst.network import CSTNetwork
+
+    network = CSTNetwork.of_size(n_leaves)
+    roles: Mapping[int, Role] = cset.roles()
+    network.assign_roles(roles)
+    return run_phase1(CSTEngine(network))

@@ -1,0 +1,258 @@
+"""Phase 2 of the CSA: the CONFIGURE procedure (paper Figure 5, §3).
+
+Each round, every switch receives one :class:`~repro.core.control.DownWord`
+from its parent (the root behaves as if it received ``[null,null]``),
+configures its crossbar, updates its stored counters, and emits one word to
+each child.  The selection rule is the heart of PADR: a switch always
+schedules the **outermost** remaining communication matched at it
+(``O_c(u)``, Definition 1), which makes the stream of words any child sees
+alternate at most twice (Lemma 7) and hence bounds configuration changes by
+a constant (Theorem 8).
+
+Rank arithmetic (Definition 2), against *remaining* endpoints:
+
+* the subtree's remaining sources, left to right, are the switch's
+  ``unmatched_left_src`` left-subtree sources followed by its ``right_src``
+  right-subtree sources — so a source rank ``x_s`` resolves left when
+  ``x_s < unmatched_left_src``, else right with rank
+  ``x_s − unmatched_left_src``;
+* the remaining destinations, right to left, are ``unmatched_right_dst``
+  right-subtree destinations followed by ``left_dst`` left-subtree ones.
+
+When the switch schedules its own matched pair ``O_c(u)`` it asks the left
+child for source rank ``unmatched_left_src`` (the matched sources sit just
+right of the unmatched ones) and the right child for destination rank
+``unmatched_right_dst`` (mirror image).
+
+The printed pseudocode covers ``[null,null]`` and ``[s,null]``; the
+``[d,null]`` and ``[s,d]`` cases are the documented mirror images ("similar
+and omitted here for shortage of space"), implemented here in full.  Two
+typo repairs relative to the printed figure are noted inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.control import DownKind, DownWord, StoredState
+from repro.exceptions import ProtocolError
+from repro.types import (
+    CONN_DOWN_L,
+    CONN_DOWN_R,
+    CONN_L_TO_R,
+    CONN_L_UP,
+    CONN_R_UP,
+    Connection,
+)
+
+__all__ = ["ConfigureOutcome", "configure"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigureOutcome:
+    """Result of one switch's CONFIGURE call for one round."""
+
+    connections: tuple[Connection, ...]
+    left_word: DownWord
+    right_word: DownWord
+    #: True when this switch scheduled one of its own matched pairs
+    #: (type 1) this round — used for termination accounting and tests.
+    scheduled_matched: bool
+
+
+_NONE = DownWord.none()
+
+
+def configure(switch_id: int, state: StoredState, received: DownWord) -> ConfigureOutcome:
+    """Run CONFIGURE for one switch and one round.
+
+    Mutates ``state`` (decrements the counters of every endpoint scheduled
+    through this switch) and returns the crossbar connections to stage plus
+    the words for the children.  Raises
+    :class:`~repro.exceptions.ProtocolError` when a rank exceeds the
+    remaining endpoints — impossible for valid well-nested input.
+    """
+    kind = received.kind
+    if kind is DownKind.NONE:
+        return _case_none(state)
+    if kind is DownKind.SRC:
+        return _case_src(switch_id, state, received.x_s)
+    if kind is DownKind.DST:
+        return _case_dst(switch_id, state, received.x_d)
+    return _case_both(switch_id, state, received.x_s, received.x_d)
+
+
+# ---------------------------------------------------------------------------
+# [null,null]: the switch is not on any upper-level path this round; if it
+# still has matched pairs it schedules its outermost one.
+# ---------------------------------------------------------------------------
+
+
+def _case_none(state: StoredState) -> ConfigureOutcome:
+    if state.matched == 0:
+        return ConfigureOutcome((), _NONE, _NONE, scheduled_matched=False)
+    state.matched -= 1
+    # O_c(u): ask the left child for the source ranked just after the
+    # unmatched left sources, the right child for the destination ranked
+    # just after the unmatched right destinations.
+    return ConfigureOutcome(
+        (CONN_L_TO_R,),
+        DownWord.src(state.unmatched_left_src),
+        DownWord.dst(state.unmatched_right_dst),
+        scheduled_matched=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# [s,null]: the parent wants this subtree's x_s-th remaining leftmost source
+# on the upward link.
+# ---------------------------------------------------------------------------
+
+
+def _case_src(switch_id: int, state: StoredState, x_s: int) -> ConfigureOutcome:
+    if x_s >= state.sources_up:
+        raise ProtocolError(
+            f"switch {switch_id}: source rank {x_s} out of range "
+            f"(only {state.sources_up} sources remain)"
+        )
+    if x_s < state.unmatched_left_src:
+        # requested source is in the left subtree: l_i -> p_o.  The matched
+        # pair cannot be piggybacked (l_i is busy), matching the paper's
+        # priority "satisfy sources from the left subtree first".
+        state.unmatched_left_src -= 1
+        return ConfigureOutcome(
+            (CONN_L_UP,), DownWord.src(x_s), _NONE, scheduled_matched=False
+        )
+    # requested source is in the right subtree: r_i -> p_o, leaving l_i and
+    # r_o free — so the outermost matched pair rides along when one remains.
+    x_sr = x_s - state.unmatched_left_src
+    state.right_src -= 1
+    if state.matched == 0:
+        return ConfigureOutcome(
+            (CONN_R_UP,), _NONE, DownWord.src(x_sr), scheduled_matched=False
+        )
+    state.matched -= 1
+    return ConfigureOutcome(
+        (CONN_R_UP, CONN_L_TO_R),
+        DownWord.src(state.unmatched_left_src),
+        # typo repair: the printed figure sends [s,d,x_sr,0]; the destination
+        # rank of O_c(u) is the current unmatched-right count, by symmetry
+        # with the [null,null] case.
+        DownWord.both(x_sr, state.unmatched_right_dst),
+        scheduled_matched=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# [d,null]: the parent pushes a destination down; this subtree's x_d-th
+# remaining rightmost destination must be connected to p_i.
+# ---------------------------------------------------------------------------
+
+
+def _case_dst(switch_id: int, state: StoredState, x_d: int) -> ConfigureOutcome:
+    if x_d >= state.destinations_up:
+        raise ProtocolError(
+            f"switch {switch_id}: destination rank {x_d} out of range "
+            f"(only {state.destinations_up} destinations remain)"
+        )
+    if x_d < state.unmatched_right_dst:
+        # requested destination is in the right subtree: p_i -> r_o (the
+        # mirror-image priority "satisfy destinations from the right first").
+        state.unmatched_right_dst -= 1
+        return ConfigureOutcome(
+            (CONN_DOWN_R,), _NONE, DownWord.dst(x_d), scheduled_matched=False
+        )
+    # requested destination is in the left subtree: p_i -> l_o, leaving l_i
+    # and r_o free for the outermost matched pair.
+    x_dl = x_d - state.unmatched_right_dst
+    state.left_dst -= 1
+    if state.matched == 0:
+        return ConfigureOutcome(
+            (CONN_DOWN_L,), DownWord.dst(x_dl), _NONE, scheduled_matched=False
+        )
+    state.matched -= 1
+    return ConfigureOutcome(
+        (CONN_DOWN_L, CONN_L_TO_R),
+        DownWord.both(state.unmatched_left_src, x_dl),
+        DownWord.dst(state.unmatched_right_dst),
+        scheduled_matched=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# [s,d]: both links between this switch and its parent are in use — a source
+# must go up and a destination must come down.  By Lemma 2 they belong to
+# two different communications matched above.
+# ---------------------------------------------------------------------------
+
+
+def _case_both(
+    switch_id: int, state: StoredState, x_s: int, x_d: int
+) -> ConfigureOutcome:
+    if x_s >= state.sources_up:
+        raise ProtocolError(
+            f"switch {switch_id}: source rank {x_s} out of range "
+            f"(only {state.sources_up} sources remain)"
+        )
+    if x_d >= state.destinations_up:
+        raise ProtocolError(
+            f"switch {switch_id}: destination rank {x_d} out of range "
+            f"(only {state.destinations_up} destinations remain)"
+        )
+    src_left = x_s < state.unmatched_left_src
+    dst_right = x_d < state.unmatched_right_dst
+
+    if src_left and dst_right:
+        state.unmatched_left_src -= 1
+        state.unmatched_right_dst -= 1
+        return ConfigureOutcome(
+            (CONN_L_UP, CONN_DOWN_R),
+            DownWord.src(x_s),
+            DownWord.dst(x_d),
+            scheduled_matched=False,
+        )
+
+    if src_left and not dst_right:
+        # both requested endpoints live in the left subtree.
+        x_dl = x_d - state.unmatched_right_dst
+        state.unmatched_left_src -= 1
+        state.left_dst -= 1
+        return ConfigureOutcome(
+            (CONN_L_UP, CONN_DOWN_L),
+            DownWord.both(x_s, x_dl),
+            _NONE,
+            scheduled_matched=False,
+        )
+
+    if not src_left and dst_right:
+        # both requested endpoints live in the right subtree.
+        x_sr = x_s - state.unmatched_left_src
+        state.right_src -= 1
+        state.unmatched_right_dst -= 1
+        return ConfigureOutcome(
+            (CONN_R_UP, CONN_DOWN_R),
+            _NONE,
+            DownWord.both(x_sr, x_d),
+            scheduled_matched=False,
+        )
+
+    # source from the right subtree, destination into the left: the two
+    # pass-throughs cross, freeing l_i and r_o for the matched pair.
+    x_sr = x_s - state.unmatched_left_src
+    x_dl = x_d - state.unmatched_right_dst
+    state.right_src -= 1
+    state.left_dst -= 1
+    if state.matched == 0:
+        return ConfigureOutcome(
+            (CONN_R_UP, CONN_DOWN_L),
+            DownWord.dst(x_dl),
+            DownWord.src(x_sr),
+            scheduled_matched=False,
+        )
+    state.matched -= 1
+    return ConfigureOutcome(
+        (CONN_R_UP, CONN_DOWN_L, CONN_L_TO_R),
+        DownWord.both(state.unmatched_left_src, x_dl),
+        DownWord.both(x_sr, state.unmatched_right_dst),
+        scheduled_matched=True,
+    )

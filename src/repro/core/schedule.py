@@ -1,0 +1,146 @@
+"""Schedule result types shared by every scheduler in the library.
+
+A :class:`Schedule` is the complete, machine-checkable record of one run:
+which communications were *observed* to complete in each round (observed by
+tracing payloads through the configured crossbars — never by trusting the
+scheduler), what each round staged into each switch, and the power report.
+
+These records are what the analysis layer verifies (Theorem 4), counts
+(Theorem 5) and compares (Theorem 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.cst.power import PowerReport
+from repro.types import Connection
+
+__all__ = ["RoundRecord", "ScheduleStats", "Schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoundRecord:
+    """One round of a schedule.
+
+    ``performed``
+        communications completed this round as observed by data tracing:
+        ``Communication(src, delivered_pe)`` for every writer whose payload
+        reached a leaf.
+    ``writers``
+        source PEs that transmitted this round.
+    ``staged``
+        connections staged into each switch this round (what the round's
+        control decisions *requested*; the crossbar may hold more due to
+        persisting connections).
+    """
+
+    index: int
+    performed: tuple[Communication, ...]
+    writers: tuple[int, ...]
+    staged: Mapping[int, tuple[Connection, ...]]
+
+    def __len__(self) -> int:
+        return len(self.performed)
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleStats:
+    """Aggregates the analysis layer reads off a finished schedule."""
+
+    n_comms: int
+    n_rounds: int
+    width: int
+    total_power_units: int
+    max_switch_power_units: int
+    max_switch_config_changes: int
+    control_messages: int
+    control_words: int
+
+    @property
+    def rounds_over_width(self) -> float:
+        """Optimality ratio — Theorem 5 says exactly 1.0 for the CSA."""
+        return self.n_rounds / self.width if self.width else 0.0
+
+    def row(self) -> dict[str, float | int]:
+        return {
+            "comms": self.n_comms,
+            "rounds": self.n_rounds,
+            "width": self.width,
+            "rounds/width": round(self.rounds_over_width, 3),
+            "power_total": self.total_power_units,
+            "power_max_switch": self.max_switch_power_units,
+            "changes_max_switch": self.max_switch_config_changes,
+        }
+
+
+class Schedule:
+    """The complete record of one scheduling run on one CST."""
+
+    __slots__ = (
+        "cset",
+        "n_leaves",
+        "scheduler_name",
+        "rounds",
+        "power",
+        "control_messages",
+        "control_words",
+    )
+
+    def __init__(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int,
+        scheduler_name: str,
+        rounds: tuple[RoundRecord, ...],
+        power: PowerReport,
+        *,
+        control_messages: int = 0,
+        control_words: int = 0,
+    ) -> None:
+        self.cset = cset
+        self.n_leaves = n_leaves
+        self.scheduler_name = scheduler_name
+        self.rounds = rounds
+        self.power = power
+        self.control_messages = control_messages
+        self.control_words = control_words
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def performed(self) -> Iterator[Communication]:
+        """All observed completions across rounds, in round order."""
+        for r in self.rounds:
+            yield from r.performed
+
+    def round_of(self) -> Mapping[Communication, int]:
+        """Round index each communication completed in (first completion)."""
+        out: dict[Communication, int] = {}
+        for r in self.rounds:
+            for c in r.performed:
+                out.setdefault(c, r.index)
+        return out
+
+    def stats(self, width: int) -> ScheduleStats:
+        return ScheduleStats(
+            n_comms=len(self.cset),
+            n_rounds=self.n_rounds,
+            width=width,
+            total_power_units=self.power.total_units,
+            max_switch_power_units=self.power.max_switch_units,
+            max_switch_config_changes=self.power.max_switch_changes,
+            control_messages=self.control_messages,
+            control_words=self.control_words,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.scheduler_name!r}, comms={len(self.cset)}, "
+            f"rounds={self.n_rounds}, power={self.power.total_units})"
+        )

@@ -1,0 +1,37 @@
+"""The Circuit Switched Tree substrate.
+
+This package implements the CST interconnect of Sidhu et al. (2000) as used
+by the paper: a complete binary tree whose leaves are processing elements
+and whose internal nodes are 3-sided switches joined by full-duplex links.
+
+Modules
+-------
+``topology``  — heap-indexed tree geometry: LCA, paths, directed edges.
+``switch``    — the 3-sided switch crossbar with configuration state.
+``power``     — power metering (1 unit per newly-established connection).
+``pe``        — processing elements (leaves).
+``network``   — switches + PEs wired together; data-path tracing.
+``engine``    — synchronous round engine: up/down control waves, transfers.
+"""
+
+from repro.cst.topology import CSTTopology, DirectedEdge
+from repro.cst.switch import Switch, SwitchConfiguration
+from repro.cst.power import PowerMeter, PowerPolicy, PowerReport
+from repro.cst.pe import ProcessingElement
+from repro.cst.network import CSTNetwork, TraceResult
+from repro.cst.engine import CSTEngine, EngineTrace
+
+__all__ = [
+    "CSTTopology",
+    "DirectedEdge",
+    "Switch",
+    "SwitchConfiguration",
+    "PowerMeter",
+    "PowerPolicy",
+    "PowerReport",
+    "ProcessingElement",
+    "CSTNetwork",
+    "TraceResult",
+    "CSTEngine",
+    "EngineTrace",
+]

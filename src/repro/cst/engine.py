@@ -1,0 +1,145 @@
+"""Synchronous message waves over the CST.
+
+The CSA is a distributed algorithm: control information flows strictly
+between neighbours, up the tree in Phase 1 and down the tree in each
+Phase-2 round.  :class:`CSTEngine` provides exactly those two primitives —
+an *upward wave* (children before parents) and a *downward wave* (parents
+before children) — plus message/word accounting so the Theorem-5 efficiency
+claims ("a constant number of words is transferred between neighboring
+switches") can be measured rather than asserted.
+
+The engine is deliberately oblivious to what the words mean; switches'
+behaviour is supplied as callables.  This keeps the locality discipline
+honest: a combine/emit function receives only its own switch id and the
+words on its own links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, TypeVar
+
+from repro.cst.events import ControlEvent
+from repro.cst.network import CSTNetwork
+
+__all__ = ["EngineTrace", "CSTEngine"]
+
+W = TypeVar("W")
+
+
+@dataclass
+class EngineTrace:
+    """Accounting of control traffic moved by the engine.
+
+    ``messages`` counts individual neighbour-to-neighbour transmissions;
+    ``words`` counts machine words inside them (callers pass per-message
+    word sizes).  ``waves`` counts wave invocations.
+    """
+
+    messages: int = 0
+    words: int = 0
+    waves: int = 0
+    per_wave_messages: list[int] = field(default_factory=list)
+
+    def record_wave(self, messages: int, words: int) -> None:
+        self.messages += messages
+        self.words += words
+        self.waves += 1
+        self.per_wave_messages.append(messages)
+
+    @property
+    def mean_messages_per_wave(self) -> float:
+        return self.messages / self.waves if self.waves else 0.0
+
+
+class CSTEngine:
+    """Runs synchronous control waves over a :class:`CSTNetwork`."""
+
+    def __init__(self, network: CSTNetwork) -> None:
+        self.network = network
+        self.topology = network.topology
+        self.trace = EngineTrace()
+
+    # -- upward wave (Phase 1 shape) ------------------------------------------
+
+    def upward_wave(
+        self,
+        leaf_word: Callable[[int], W],
+        combine: Callable[[int, W, W], W],
+        *,
+        words_per_message: int = 1,
+    ) -> dict[int, W]:
+        """Children-to-parent wave.
+
+        ``leaf_word(pe_index)`` produces each leaf's transmission;
+        ``combine(switch_id, left_word, right_word)`` produces the word the
+        switch sends to *its* parent.  Returns every node's transmitted word
+        keyed by heap id (the root's word is simply computed, not sent).
+        """
+        topo = self.topology
+        log = self.network.event_log
+        if log is not None:
+            log.next_wave()
+        sent: dict[int, W] = {}
+        for pe in range(topo.n_leaves):
+            sent[topo.leaf_heap_id(pe)] = leaf_word(pe)
+        # switches in reverse BFS order ⇒ children always precede parents.
+        for v in range(topo.n_switches, 0, -1):
+            sent[v] = combine(v, sent[2 * v], sent[2 * v + 1])
+            if log is not None:
+                log.record(
+                    lambda seq, wave, v=v, w=sent[v]: ControlEvent(
+                        seq, wave, node=v, direction="up", word=w
+                    )
+                )
+        n_messages = 2 * topo.n_leaves - 2  # every non-root node transmits once
+        self.trace.record_wave(n_messages, n_messages * words_per_message)
+        return sent
+
+    # -- downward wave (Phase 2 round shape) ------------------------------------
+
+    def downward_wave(
+        self,
+        root_word: W,
+        emit: Callable[[int, W], tuple[W, W]],
+        *,
+        words_per_message: int = 1,
+    ) -> dict[int, W]:
+        """Parent-to-children wave.
+
+        ``emit(switch_id, incoming_word)`` returns the words for the left
+        and right child.  Returns the words delivered to the *leaves*, keyed
+        by PE index.
+        """
+        topo = self.topology
+        log = self.network.event_log
+        if log is not None:
+            log.next_wave()
+        incoming: dict[int, W] = {1: root_word}
+        leaf_words: dict[int, W] = {}
+        for v in range(1, topo.n_switches + 1):
+            left_w, right_w = emit(v, incoming[v])
+            for child, w in ((2 * v, left_w), (2 * v + 1, right_w)):
+                if log is not None:
+                    log.record(
+                        lambda seq, wave, child=child, w=w: ControlEvent(
+                            seq, wave, node=child, direction="down", word=w
+                        )
+                    )
+                if child >= topo.n_leaves:
+                    leaf_words[topo.pe_index(child)] = w
+                else:
+                    incoming[child] = w
+        n_messages = 2 * topo.n_leaves - 2
+        self.trace.record_wave(n_messages, n_messages * words_per_message)
+        return leaf_words
+
+    # -- convenience -----------------------------------------------------------
+
+    def traffic_summary(self) -> Mapping[str, Any]:
+        return {
+            "waves": self.trace.waves,
+            "messages": self.trace.messages,
+            "words": self.trace.words,
+            "mean_messages_per_wave": self.trace.mean_messages_per_wave,
+        }

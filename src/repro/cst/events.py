@@ -1,0 +1,135 @@
+"""Structured event tracing for the CST simulator.
+
+An :class:`EventLog` attached to a :class:`~repro.cst.network.CSTNetwork`
+records, in order, everything observable about a run: control words moving
+on links, crossbar commits, and payload transfers.  It exists for
+debugging distributed-control issues (the CSA's behaviour is otherwise
+spread across waves) and for teaching: ``cst-padr demo`` level output can
+be reconstructed entirely from a log.
+
+Tracing is strictly opt-in and zero-cost when absent (a ``None`` check at
+each site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "Event",
+    "ControlEvent",
+    "CommitEvent",
+    "TransferEvent",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base event: a sequence number and the engine wave it occurred in."""
+
+    seq: int
+    wave: int
+
+
+@dataclass(frozen=True, slots=True)
+class ControlEvent(Event):
+    """A control word delivered to ``node`` (heap id; leaves included)."""
+
+    node: int
+    direction: str  # "up" | "down"
+    word: Any
+
+    def __str__(self) -> str:
+        arrow = "↑" if self.direction == "up" else "↓"
+        return f"[w{self.wave}] ctrl {arrow} node {self.node}: {self.word}"
+
+
+@dataclass(frozen=True, slots=True)
+class CommitEvent(Event):
+    """A switch committed its round configuration."""
+
+    switch: int
+    connections: tuple[str, ...]
+    changed: bool
+
+    def __str__(self) -> str:
+        conns = ", ".join(self.connections) or "idle"
+        mark = "*" if self.changed else " "
+        return f"[w{self.wave}] commit{mark} switch {self.switch}: {conns}"
+
+
+@dataclass(frozen=True, slots=True)
+class TransferEvent(Event):
+    """A payload traced from a source leaf to its delivery (or drop)."""
+
+    source_pe: int
+    delivered_pe: int | None
+    hops: tuple[int, ...]
+
+    def __str__(self) -> str:
+        dest = self.delivered_pe if self.delivered_pe is not None else "DROPPED"
+        return (
+            f"[w{self.wave}] data PE {self.source_pe} -> {dest} "
+            f"via {list(self.hops)}"
+        )
+
+
+@dataclass
+class EventLog:
+    """An append-only, filterable record of simulator events."""
+
+    events: list[Event] = field(default_factory=list)
+    wave: int = 0
+    _seq: int = 0
+
+    def next_wave(self) -> None:
+        """Advance the wave counter (engine calls this per wave)."""
+        self.wave += 1
+
+    def record(self, make) -> None:
+        """Append an event built by ``make(seq, wave)``."""
+        self.events.append(make(self._seq, self.wave))
+        self._seq += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_kind(self, kind: type) -> list[Event]:
+        return [e for e in self.events if isinstance(e, kind)]
+
+    def in_wave(self, wave: int) -> list[Event]:
+        return [e for e in self.events if e.wave == wave]
+
+    def commits_of(self, switch: int) -> list[CommitEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, CommitEvent) and e.switch == switch
+        ]
+
+    def render(self, *, changed_only: bool = False) -> str:
+        """Human-readable dump; ``changed_only`` hides no-op commits."""
+        lines = []
+        for e in self.events:
+            if changed_only and isinstance(e, CommitEvent) and not e.changed:
+                continue
+            lines.append(str(e))
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "waves": self.wave,
+            "control": len(self.of_kind(ControlEvent)),
+            "commits": len(self.of_kind(CommitEvent)),
+            "changed_commits": sum(
+                1 for e in self.of_kind(CommitEvent) if e.changed  # type: ignore[attr-defined]
+            ),
+            "transfers": len(self.of_kind(TransferEvent)),
+        }

@@ -1,0 +1,210 @@
+"""A concrete CST instance: switches and PEs wired by a topology.
+
+:class:`CSTNetwork` owns the mutable state (switch crossbars, PE latches,
+the power meter) and offers exactly the operations schedulers need:
+
+* stage/commit per-round switch configurations;
+* *trace* the data path from a source leaf through the configured crossbars
+  to wherever it is delivered (or dropped).
+
+Tracing is how the reproduction verifies Theorem 4 adversarially: the
+routing algorithms only ever manipulate counters, while the network
+physically follows the configured connections hop by hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ProtocolError
+from repro.types import Connection, InPort, OutPort, Role
+from repro.cst.events import CommitEvent, EventLog, TransferEvent
+from repro.cst.pe import ProcessingElement
+from repro.cst.power import PowerMeter, PowerPolicy, PowerReport
+from repro.cst.switch import Switch
+from repro.cst.topology import CSTTopology
+
+__all__ = ["TraceResult", "CSTNetwork"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceResult:
+    """Outcome of following one payload through the crossbars.
+
+    ``delivered_pe`` is the PE index reached, or ``None`` if the signal was
+    dropped at an unconfigured port.  ``hops`` lists the switch heap ids
+    traversed, in order.
+    """
+
+    source_pe: int
+    delivered_pe: int | None
+    hops: tuple[int, ...]
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_pe is not None
+
+
+class CSTNetwork:
+    """Switches + PEs + meter for one CST, with data-path tracing."""
+
+    def __init__(
+        self,
+        topology: CSTTopology,
+        *,
+        policy: PowerPolicy | None = None,
+        event_log: EventLog | None = None,
+    ) -> None:
+        self.topology = topology
+        self.meter = PowerMeter(
+            policy=policy or PowerPolicy.paper(), tree_height=topology.height
+        )
+        #: optional structured trace (see :mod:`repro.cst.events`)
+        self.event_log = event_log
+        self.switches: dict[int, Switch] = {
+            v: Switch(v, self.meter) for v in topology.switches()
+        }
+        self.pes: list[ProcessingElement] = [
+            ProcessingElement(i) for i in range(topology.n_leaves)
+        ]
+        self.rounds_run = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def of_size(
+        cls,
+        n_leaves: int,
+        *,
+        policy: PowerPolicy | None = None,
+        event_log: EventLog | None = None,
+    ) -> "CSTNetwork":
+        return cls(CSTTopology.of(n_leaves), policy=policy, event_log=event_log)
+
+    def assign_roles(self, roles: Mapping[int, Role]) -> None:
+        """Set PE roles from a ``pe index -> Role`` mapping; others NEITHER."""
+        for pe in self.pes:
+            pe.role = roles.get(pe.index, Role.NEITHER)
+            pe.reset_transfer_state()
+
+    # -- round protocol -------------------------------------------------------
+
+    def stage(self, requirements: Mapping[int, Iterable[Connection]]) -> None:
+        """Stage each switch's required connections for the coming round."""
+        for heap_id, conns in requirements.items():
+            self.switches[heap_id].require_all(conns)
+
+    def commit_round(self) -> None:
+        """Commit all switches for this round (power is charged here)."""
+        for sw in self.switches.values():
+            before = sw.config_changes
+            config = sw.commit_round()
+            if self.event_log is not None:
+                changed = sw.config_changes != before
+                self.event_log.record(
+                    lambda seq, wave, sw=sw, config=config, changed=changed: CommitEvent(
+                        seq,
+                        wave,
+                        switch=sw.heap_id,
+                        connections=tuple(sorted(str(c) for c in config)),
+                        changed=changed,
+                    )
+                )
+        self.rounds_run += 1
+
+    # -- data path ---------------------------------------------------------------
+
+    def trace_from(self, src_pe: int) -> TraceResult:
+        """Follow a payload from PE ``src_pe`` through configured crossbars.
+
+        The payload climbs onto the source leaf's upward link, then each
+        switch forwards it according to its current configuration, until it
+        either reaches a leaf (delivered) or hits an unconfigured input
+        (dropped).  A configured root output toward the (non-existent)
+        parent is a protocol violation.
+        """
+        topo = self.topology
+        node = topo.leaf_heap_id(src_pe)
+        in_port = InPort.R if node & 1 else InPort.L
+        current = node >> 1
+        hops: list[int] = []
+        # a legal circuit visits each switch at most once; 2*height+1 bounds it.
+        for _ in range(2 * topo.height + 1):
+            hops.append(current)
+            out = self.switches[current].output_for(in_port)
+            if out is None:
+                return TraceResult(src_pe, None, tuple(hops))
+            if out is OutPort.P:
+                if current == topo.root:
+                    raise ProtocolError(
+                        f"root switch configured to forward {in_port.value} to its parent"
+                    )
+                in_port = InPort.R if current & 1 else InPort.L
+                current = current >> 1
+            else:
+                child = (current << 1) | (1 if out is OutPort.R else 0)
+                if topo.is_leaf(child):
+                    return TraceResult(src_pe, topo.pe_index(child), tuple(hops))
+                in_port = InPort.P
+                current = child
+        raise ProtocolError(f"trace from PE {src_pe} exceeded maximum circuit length")
+
+    def transfer(self, writer_pes: Iterable[int], round_no: int) -> list[TraceResult]:
+        """Step 2.2: the given source PEs write; destinations latch.
+
+        Returns one :class:`TraceResult` per writer.  Payloads delivered to
+        a destination leaf are latched by that PE; payloads arriving at a
+        non-destination leaf (possible only under injected faults) are
+        recorded in the trace but not latched — the verifier flags them.
+        """
+        results: list[TraceResult] = []
+        for src in writer_pes:
+            pe = self.pes[src]
+            datum = pe.write(round_no)
+            tr = self.trace_from(src)
+            results.append(tr)
+            if self.event_log is not None:
+                self.event_log.record(
+                    lambda seq, wave, tr=tr: TransferEvent(
+                        seq,
+                        wave,
+                        source_pe=tr.source_pe,
+                        delivered_pe=tr.delivered_pe,
+                        hops=tr.hops,
+                    )
+                )
+            if tr.delivered_pe is not None:
+                receiver = self.pes[tr.delivered_pe]
+                if receiver.role is Role.DESTINATION:
+                    receiver.latch(datum, round_no)
+        return results
+
+    # -- reporting -------------------------------------------------------------
+
+    def power_report(self) -> PowerReport:
+        return self.meter.report(self.rounds_run)
+
+    def config_changes(self) -> dict[int, int]:
+        """Per-switch configuration-change counts."""
+        return {v: sw.config_changes for v, sw in self.switches.items()}
+
+    @property
+    def all_done(self) -> bool:
+        """True when every PE's obligation is satisfied."""
+        return all(pe.done for pe in self.pes)
+
+    def reset(self) -> None:
+        """Clear all mutable state (configurations, meters, PE latches)."""
+        for sw in self.switches.values():
+            sw.reset()
+        for pe in self.pes:
+            pe.reset_transfer_state()
+        self.meter.reset()
+        self.rounds_run = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CSTNetwork(N={self.topology.n_leaves}, rounds={self.rounds_run}, "
+            f"power={self.meter.total_units})"
+        )

@@ -1,0 +1,86 @@
+"""Processing elements — the leaves of the CST.
+
+Each PE knows only its own role (source / destination / neither), a purely
+local datum (paper Step 1.1).  During data-transfer steps a source PE writes
+a payload onto its upward link and a destination PE latches whatever arrives
+on its downward link.  PEs never see the global pairing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import Role
+
+__all__ = ["ProcessingElement"]
+
+
+@dataclass
+class ProcessingElement:
+    """A leaf of the CST.
+
+    Attributes
+    ----------
+    index:
+        PE index in ``[0, N)``, left to right.
+    role:
+        The PE's local knowledge for the current communication set.
+    payload:
+        Datum a source writes when scheduled.  Defaults to the PE's own
+        index so end-to-end delivery can be checked without extra setup.
+    received:
+        Payloads latched by a destination, in arrival (round) order.
+    sent_round / received_round:
+        Round numbers at which this PE transmitted / latched (or ``None``).
+    """
+
+    index: int
+    role: Role = Role.NEITHER
+    payload: Any = None
+    received: list[Any] = field(default_factory=list)
+    sent_round: int | None = None
+    received_round: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.payload is None:
+            self.payload = ("pe", self.index)
+
+    # -- role wire protocol (Step 1.1) ----------------------------------
+
+    def role_word(self) -> tuple[int, int]:
+        """The ``[1,0]`` / ``[0,1]`` / ``[0,0]`` word sent to the parent."""
+        return self.role.wire_encoding
+
+    # -- data transfer ---------------------------------------------------
+
+    def write(self, round_no: int) -> Any:
+        """Emit this source's payload (Step 2.2)."""
+        if self.role is not Role.SOURCE:
+            raise ValueError(f"PE {self.index} asked to write but role is {self.role.value}")
+        if self.sent_round is not None:
+            raise ValueError(f"PE {self.index} already transmitted in round {self.sent_round}")
+        self.sent_round = round_no
+        return self.payload
+
+    def latch(self, datum: Any, round_no: int) -> None:
+        """Latch an arriving payload at a destination."""
+        if self.role is not Role.DESTINATION:
+            raise ValueError(f"PE {self.index} received data but role is {self.role.value}")
+        self.received.append(datum)
+        if self.received_round is None:
+            self.received_round = round_no
+
+    @property
+    def done(self) -> bool:
+        """True once this PE's communication obligation is satisfied."""
+        if self.role is Role.SOURCE:
+            return self.sent_round is not None
+        if self.role is Role.DESTINATION:
+            return self.received_round is not None
+        return True
+
+    def reset_transfer_state(self) -> None:
+        self.received.clear()
+        self.sent_round = None
+        self.received_round = None

@@ -1,0 +1,180 @@
+"""Power metering for CST schedules.
+
+Paper §2.3: *"if the switch connects an input to an output, then it consumes
+one unit of power"*; a configuration change touches at most three
+connections, so one round costs a switch at most three units.  The crucial
+modelling point is that a connection **held** across rounds costs nothing —
+this is what the PADR technique exploits, and what Theorem 8 turns into an
+O(1)-units-per-switch bound.
+
+:class:`PowerPolicy` captures the teardown discipline:
+
+* ``lazy`` (the paper's model, default): unused connections persist for
+  free until displaced by a new connection on the same port;
+* ``eager``: the crossbar is cleared every round, so every connection is
+  re-established and re-charged — the behaviour of a naive controller and
+  the ablation study of DESIGN.md (ABL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["PowerPolicy", "PowerMeter", "PowerReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerPolicy:
+    """Accounting rules for the power meter.
+
+    Three disciplines, from most to least power-aware:
+
+    * **paper** (lazy): connections persist across rounds for free and are
+      charged only when (re-)established — the model under which Theorem 8
+      holds;
+    * **eager**: connections not required this round are torn down, but a
+      required connection that survived from last round is not re-charged
+      (a diff-based controller without persistence);
+    * **rebuild**: every required connection is charged every round — a
+      controller that re-derives switch settings from scratch each round
+      and cannot know they are unchanged.  This is how we model the prior
+      ID-based algorithm's per-round configuration procedure (the O(w)
+      comparison point of Theorem 8).
+    """
+
+    #: clear every switch's crossbar at the start of each round.
+    eager_teardown: bool = False
+    #: charge every staged connection each round, even if already in place.
+    recharge: bool = False
+    #: cost of establishing one input→output connection (paper: 1).
+    unit_cost: int = 1
+    #: H-tree wire model: weight a switch's connection cost by
+    #: ``wire_weight_base ** (tree_height − level)`` — in a physical H-tree
+    #: layout a level-k link is twice as long as a level-(k+1) link, so
+    #: driving it costs more.  ``1`` (default) reproduces the paper's flat
+    #: model; ``2`` is the physical H-tree.  Requires the meter to know
+    #: switch levels (the network wires this up automatically).
+    wire_weight_base: int = 1
+
+    def __post_init__(self) -> None:
+        if self.recharge and not self.eager_teardown:
+            raise ValueError(
+                "recharge accounting implies the crossbar is rebuilt each "
+                "round; set eager_teardown=True as well"
+            )
+        if self.wire_weight_base < 1:
+            raise ValueError("wire_weight_base must be >= 1")
+
+    @staticmethod
+    def paper() -> "PowerPolicy":
+        """The paper's model: persistent configurations, unit cost 1."""
+        return PowerPolicy(eager_teardown=False, unit_cost=1)
+
+    @staticmethod
+    def eager() -> "PowerPolicy":
+        """Tear down unused connections every round; diff-based charging."""
+        return PowerPolicy(eager_teardown=True, unit_cost=1)
+
+    @staticmethod
+    def rebuild() -> "PowerPolicy":
+        """Re-establish (and re-charge) every connection every round."""
+        return PowerPolicy(eager_teardown=True, recharge=True, unit_cost=1)
+
+    @staticmethod
+    def htree() -> "PowerPolicy":
+        """Physical H-tree layout: level-weighted wire costs (base 2)."""
+        return PowerPolicy(wire_weight_base=2)
+
+    # kept as an alias for the ablation benchmark's historical name.
+    naive = eager
+
+
+@dataclass(frozen=True, slots=True)
+class PowerReport:
+    """Immutable summary of a finished schedule's power consumption."""
+
+    total_units: int
+    per_switch_units: Mapping[int, int]
+    per_switch_changes: Mapping[int, int]
+    rounds: int
+
+    @property
+    def max_switch_units(self) -> int:
+        """Worst per-switch energy — the quantity Theorem 8 bounds."""
+        return max(self.per_switch_units.values(), default=0)
+
+    @property
+    def max_switch_changes(self) -> int:
+        """Worst per-switch number of configuration changes."""
+        return max(self.per_switch_changes.values(), default=0)
+
+    @property
+    def mean_switch_units(self) -> float:
+        if not self.per_switch_units:
+            return 0.0
+        return self.total_units / len(self.per_switch_units)
+
+    def summary(self) -> str:
+        return (
+            f"power: total={self.total_units} units, "
+            f"max/switch={self.max_switch_units}, "
+            f"max changes/switch={self.max_switch_changes}, "
+            f"rounds={self.rounds}"
+        )
+
+
+@dataclass
+class PowerMeter:
+    """Accumulates per-switch power units and configuration-change counts.
+
+    ``tree_height`` is set by the owning network when the policy uses
+    level-weighted wire costs; without it the weight is 1 everywhere.
+    """
+
+    policy: PowerPolicy = field(default_factory=PowerPolicy.paper)
+    tree_height: int | None = None
+    _units: dict[int, int] = field(default_factory=dict)
+    _changes: dict[int, int] = field(default_factory=dict)
+
+    def _weight(self, switch_id: int) -> int:
+        base = self.policy.wire_weight_base
+        if base == 1 or self.tree_height is None:
+            return 1
+        from repro.util.bitmath import level_of
+
+        return base ** (self.tree_height - level_of(switch_id))
+
+    def charge(self, switch_id: int, n_connections: int) -> None:
+        """Charge for ``n_connections`` newly-established connections."""
+        if n_connections < 0:
+            raise ValueError("cannot charge a negative number of connections")
+        if n_connections:
+            cost = n_connections * self.policy.unit_cost * self._weight(switch_id)
+            self._units[switch_id] = self._units.get(switch_id, 0) + cost
+
+    def note_change(self, switch_id: int) -> None:
+        """Record that ``switch_id`` changed configuration this round."""
+        self._changes[switch_id] = self._changes.get(switch_id, 0) + 1
+
+    @property
+    def total_units(self) -> int:
+        return sum(self._units.values())
+
+    def units_of(self, switch_id: int) -> int:
+        return self._units.get(switch_id, 0)
+
+    def changes_of(self, switch_id: int) -> int:
+        return self._changes.get(switch_id, 0)
+
+    def report(self, rounds: int) -> PowerReport:
+        return PowerReport(
+            total_units=self.total_units,
+            per_switch_units=dict(self._units),
+            per_switch_changes=dict(self._changes),
+            rounds=rounds,
+        )
+
+    def reset(self) -> None:
+        self._units.clear()
+        self._changes.clear()

@@ -1,0 +1,199 @@
+"""The 3-sided CST switch: crossbar state plus change accounting.
+
+A switch (paper Figure 3a) holds a *configuration*: a partial one-to-one
+mapping from its three data inputs to its three data outputs, where an input
+may drive only an output of a different side.  The data unit is this
+crossbar; the control unit (implemented by the schedulers in
+:mod:`repro.core`) decides what the configuration should be each round.
+
+Power accounting follows paper §2.3: establishing one input→output
+connection consumes one unit of power; a connection *kept* from the previous
+round is free.  The meter lives in :mod:`repro.cst.power`; the switch
+reports every newly-established connection to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import PortConflictError
+from repro.types import Connection, InPort, OutPort
+from repro.cst.power import PowerMeter
+
+__all__ = ["SwitchConfiguration", "Switch"]
+
+
+class SwitchConfiguration:
+    """A partial one-to-one input→output mapping of a 3-sided switch.
+
+    Immutable value object; use :meth:`with_connection` /
+    :meth:`without_ports` to derive new configurations.  Legality of each
+    individual connection is enforced by :class:`~repro.types.Connection`;
+    this class enforces that no input and no output is used twice.
+    """
+
+    __slots__ = ("_by_in",)
+
+    def __init__(self, connections: Iterable[Connection] = ()) -> None:
+        by_in: dict[InPort, Connection] = {}
+        used_out: set[OutPort] = set()
+        for conn in connections:
+            if conn.in_port in by_in:
+                raise PortConflictError(f"input {conn.in_port.value} used twice")
+            if conn.out_port in used_out:
+                raise PortConflictError(f"output {conn.out_port.value} used twice")
+            by_in[conn.in_port] = conn
+            used_out.add(conn.out_port)
+        self._by_in = by_in
+
+    # -- queries -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Connection]:
+        return iter(self._by_in.values())
+
+    def __len__(self) -> int:
+        return len(self._by_in)
+
+    def __contains__(self, conn: Connection) -> bool:
+        return self._by_in.get(conn.in_port) == conn
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SwitchConfiguration):
+            return NotImplemented
+        return self._by_in == other._by_in
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._by_in.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(str(c) for c in self)) or "idle"
+        return f"<config {inner}>"
+
+    def output_for(self, in_port: InPort) -> OutPort | None:
+        """Where data arriving on ``in_port`` goes, or ``None`` if dropped."""
+        conn = self._by_in.get(in_port)
+        return conn.out_port if conn else None
+
+    def input_for(self, out_port: OutPort) -> InPort | None:
+        """Which input currently drives ``out_port``, or ``None``."""
+        for conn in self._by_in.values():
+            if conn.out_port is out_port:
+                return conn.in_port
+        return None
+
+    def connections(self) -> frozenset[Connection]:
+        return frozenset(self._by_in.values())
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_connection(self, conn: Connection) -> "SwitchConfiguration":
+        """New configuration with ``conn`` added, displacing any connection
+        that currently uses its input or output port."""
+        keep = [
+            c
+            for c in self._by_in.values()
+            if c.in_port is not conn.in_port and c.out_port is not conn.out_port
+        ]
+        keep.append(conn)
+        return SwitchConfiguration(keep)
+
+    def without_ports(self, conns: Iterable[Connection]) -> "SwitchConfiguration":
+        """New configuration with the given connections removed (if present)."""
+        drop = set(conns)
+        return SwitchConfiguration(c for c in self._by_in.values() if c not in drop)
+
+    @staticmethod
+    def idle() -> "SwitchConfiguration":
+        return _IDLE
+
+
+_IDLE = SwitchConfiguration()
+
+
+class Switch:
+    """A stateful 3-sided switch with configuration-change accounting.
+
+    The switch exposes a round protocol:
+
+    * :meth:`require` stages connections for the current round;
+    * :meth:`commit_round` applies them, charging the power meter one unit
+      per *newly established* connection (paper §2.3) and counting a
+      configuration change if anything changed.
+
+    Two teardown policies exist (see :class:`~repro.cst.power.PowerPolicy`):
+    under the paper's model (*lazy*), connections not required this round
+    stay in place (free) unless displaced; under *eager* teardown the
+    crossbar is cleared every round, which is exactly what makes naive
+    implementations pay O(w) — the ablation of DESIGN.md §4 (ABL).
+    """
+
+    __slots__ = ("heap_id", "_config", "_staged", "_meter", "config_changes", "rounds_committed")
+
+    def __init__(self, heap_id: int, meter: PowerMeter) -> None:
+        self.heap_id = heap_id
+        self._config = SwitchConfiguration.idle()
+        self._staged: list[Connection] = []
+        self._meter = meter
+        #: number of rounds in which the configuration differed from the
+        #: previous round's (the quantity Theorem 8 bounds by O(1)).
+        self.config_changes = 0
+        self.rounds_committed = 0
+
+    # -- round protocol ---------------------------------------------------
+
+    def require(self, conn: Connection) -> None:
+        """Stage a connection required for the current round."""
+        self._staged.append(conn)
+
+    def require_all(self, conns: Iterable[Connection]) -> None:
+        for conn in conns:
+            self.require(conn)
+
+    def commit_round(self) -> SwitchConfiguration:
+        """Apply staged connections and account power; returns new config."""
+        staged = SwitchConfiguration(self._staged)  # validates port-conflicts
+        old = self._config
+        policy = self._meter.policy
+        if policy.eager_teardown:
+            new = staged
+        else:
+            new = old
+            for conn in staged:
+                new = new.with_connection(conn)
+        if policy.recharge:
+            # rebuild discipline: every staged connection is set from scratch.
+            charged = len(staged)
+        else:
+            charged = len(new.connections() - old.connections())
+        if charged:
+            self._meter.charge(self.heap_id, charged)
+        if new != old:
+            self.config_changes += 1
+            self._meter.note_change(self.heap_id)
+        self._config = new
+        self._staged = []
+        self.rounds_committed += 1
+        return new
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def configuration(self) -> SwitchConfiguration:
+        return self._config
+
+    @property
+    def staged(self) -> tuple[Connection, ...]:
+        return tuple(self._staged)
+
+    def output_for(self, in_port: InPort) -> OutPort | None:
+        return self._config.output_for(in_port)
+
+    def reset(self) -> None:
+        """Clear configuration and counters (does not touch the meter)."""
+        self._config = SwitchConfiguration.idle()
+        self._staged = []
+        self.config_changes = 0
+        self.rounds_committed = 0
+
+    def __repr__(self) -> str:
+        return f"Switch({self.heap_id}, {self._config!r}, changes={self.config_changes})"

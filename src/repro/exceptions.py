@@ -1,0 +1,70 @@
+"""Exception hierarchy for the CST-PADR reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: topology errors, switch/configuration errors, communication-model
+errors, and scheduling errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """Invalid tree topology parameter or node address."""
+
+
+class InvalidNodeError(TopologyError):
+    """A node id is outside the tree, or the wrong kind (leaf vs switch)."""
+
+
+class SwitchError(ReproError):
+    """Base class for switch configuration errors."""
+
+
+class IllegalConnectionError(SwitchError):
+    """Requested crossbar connection violates the 3-sided switch rules.
+
+    An input may connect only to an output of a *different* side
+    (paper §2: "It cannot be connected to the output of the same side").
+    """
+
+
+class PortConflictError(SwitchError):
+    """Two simultaneous connections claim the same input or output port."""
+
+
+class CommunicationError(ReproError):
+    """Base class for communication-set model errors."""
+
+
+class OrientationError(CommunicationError):
+    """A communication or set has the wrong orientation for an operation."""
+
+
+class NotWellNestedError(CommunicationError):
+    """A set expected to be well-nested is not."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced (or was asked to produce) an invalid schedule."""
+
+
+class IncompatibleRoundError(SchedulingError):
+    """A round contains communications that share a directed edge."""
+
+
+class VerificationError(ReproError):
+    """End-to-end verification of a schedule against ground truth failed."""
+
+
+class ProtocolError(ReproError):
+    """A distributed-algorithm invariant was violated at run time.
+
+    Raised when control words received by a switch are inconsistent with its
+    local Phase-1 state — this should never happen for valid well-nested
+    inputs and indicates a bug (or a non-well-nested input slipping through).
+    """

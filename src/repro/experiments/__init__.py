@@ -1,0 +1,40 @@
+"""Executable experiments: the paper's claims as parameterised sweeps.
+
+Each function returns a list of row-dicts (ready for
+:func:`repro.analysis.comparison.format_table`); the benchmark harness
+asserts shapes on these rows and pytest-benchmark times them, the CLI
+prints them, and EXPERIMENTS.md records them — one implementation, three
+consumers.
+
+The registry maps experiment ids (DESIGN.md §4) to their functions:
+
+>>> from repro.experiments import REGISTRY
+>>> rows = REGISTRY["T5-crossing"].run()
+"""
+
+from repro.experiments.registry import REGISTRY, Experiment, run_experiment
+from repro.experiments.theorem5 import rounds_vs_width_crossing, rounds_vs_width_random
+from repro.experiments.theorem8 import (
+    power_sweep_crossing,
+    power_sweep_random,
+    total_energy_comparison,
+)
+from repro.experiments.efficiency import control_constants, traffic_vs_width
+from repro.experiments.ablation import teardown_matrix
+from repro.experiments.streams import repeated_pattern_stream, evolving_stream
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "run_experiment",
+    "rounds_vs_width_crossing",
+    "rounds_vs_width_random",
+    "power_sweep_crossing",
+    "power_sweep_random",
+    "total_energy_comparison",
+    "control_constants",
+    "traffic_vs_width",
+    "teardown_matrix",
+    "repeated_pattern_stream",
+    "evolving_stream",
+]

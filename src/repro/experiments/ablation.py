@@ -1,0 +1,31 @@
+"""ABL sweep: the CSA under the three power-accounting disciplines."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.comms.generators import crossing_chain
+from repro.core.csa import PADRScheduler
+from repro.cst.power import PowerPolicy
+
+__all__ = ["teardown_matrix"]
+
+_POLICIES = {
+    "paper": PowerPolicy.paper,
+    "eager": PowerPolicy.eager,
+    "rebuild": PowerPolicy.rebuild,
+}
+
+
+def teardown_matrix(widths: Sequence[int] = (4, 16, 64)) -> list[dict]:
+    """Max-units and total energy per policy, per width."""
+    rows: list[dict] = []
+    for w in widths:
+        cset = crossing_chain(w)
+        row: dict = {"width": w}
+        for name, factory in _POLICIES.items():
+            s = PADRScheduler().schedule(cset, policy=factory())
+            row[f"{name}_max_units"] = s.power.max_switch_units
+            row[f"{name}_total"] = s.power.total_units
+        rows.append(row)
+    return rows

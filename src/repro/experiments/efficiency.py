@@ -1,0 +1,53 @@
+"""EFF sweeps: control-plane constants (Theorem 5, efficiency half)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.comms.generators import crossing_chain, disjoint_pairs
+from repro.core.control import DownWord, StoredState, UpWord
+from repro.core.csa import PADRScheduler
+
+__all__ = ["control_constants", "traffic_vs_width"]
+
+
+def control_constants(
+    tree_sizes: Sequence[int] = (8, 32, 128, 512, 2048),
+) -> list[dict]:
+    """Per-switch storage and per-link traffic across tree sizes."""
+    rows: list[dict] = []
+    for n in tree_sizes:
+        cset = disjoint_pairs(2)
+        s = PADRScheduler().schedule(cset, n)
+        links = 2 * n - 2
+        waves = 1 + s.n_rounds
+        rows.append(
+            {
+                "n_leaves": n,
+                "stored_words_per_switch": StoredState.stored_words(),
+                "up_words_per_link": UpWord.wire_words(),
+                "down_words_per_link": DownWord.wire_words(),
+                "messages_total": s.control_messages,
+                "messages/(links*waves)": s.control_messages / (links * waves),
+            }
+        )
+    return rows
+
+
+def traffic_vs_width(
+    widths: Sequence[int] = (1, 8, 64),
+    n_leaves: int = 256,
+) -> list[dict]:
+    """Per-wave traffic must not depend on the communication set."""
+    rows: list[dict] = []
+    for w in widths:
+        cset = crossing_chain(w, n_leaves)
+        s = PADRScheduler().schedule(cset, n_leaves)
+        rows.append(
+            {
+                "width": w,
+                "rounds": s.n_rounds,
+                "messages_per_wave": s.control_messages / (1 + s.n_rounds),
+            }
+        )
+    return rows

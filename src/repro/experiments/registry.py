@@ -1,0 +1,63 @@
+"""Registry of named experiments, keyed by DESIGN.md experiment ids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import ablation, efficiency, streams, theorem5, theorem8
+
+__all__ = ["Experiment", "REGISTRY", "run_experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """A named, parameter-free experiment run."""
+
+    id: str
+    title: str
+    fn: Callable[[], list[dict]]
+
+    def run(self) -> list[dict]:
+        return self.fn()
+
+
+def _experiments() -> dict[str, Experiment]:
+    specs = [
+        ("T5-crossing", "rounds vs width, crossing chains",
+         theorem5.rounds_vs_width_crossing),
+        ("T5-random", "rounds vs width, random sets",
+         theorem5.rounds_vs_width_random),
+        ("T8-crossing", "per-switch power vs width, crossing chains",
+         theorem8.power_sweep_crossing),
+        ("T8-random", "per-switch power, random sets",
+         theorem8.power_sweep_random),
+        ("T8-total", "whole-tree energy, CSA vs rebuild",
+         theorem8.total_energy_comparison),
+        ("EFF-constants", "control-plane constants vs tree size",
+         efficiency.control_constants),
+        ("EFF-traffic", "per-wave traffic vs set width",
+         efficiency.traffic_vs_width),
+        ("ABL-teardown", "CSA under the three power disciplines",
+         ablation.teardown_matrix),
+        ("STREAM-repeat", "repeated pattern, persistent vs fresh",
+         streams.repeated_pattern_stream),
+        ("STREAM-evolve", "evolving random stream",
+         streams.evolving_stream),
+    ]
+    return {eid: Experiment(eid, title, fn) for eid, title, fn in specs}
+
+
+REGISTRY: dict[str, Experiment] = _experiments()
+
+
+def run_experiment(experiment_id: str) -> list[dict]:
+    """Run a registered experiment by id; KeyError lists valid ids."""
+    try:
+        exp = REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; valid ids: "
+            f"{', '.join(sorted(REGISTRY))}"
+        ) from None
+    return exp.run()

@@ -1,0 +1,66 @@
+"""T5 sweeps: rounds vs width (paper Theorem 5)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.optimality import check_round_optimality
+from repro.baselines import SequentialScheduler
+from repro.comms.generators import crossing_chain, random_well_nested
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.cst.topology import CSTTopology
+
+__all__ = ["rounds_vs_width_crossing", "rounds_vs_width_random"]
+
+
+def rounds_vs_width_crossing(
+    widths: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    *,
+    require_optimal: bool = True,
+) -> list[dict]:
+    """CSA vs sequential round counts on exact-width crossing chains."""
+    rows: list[dict] = []
+    for w in widths:
+        cset = crossing_chain(w)
+        s = PADRScheduler().schedule(cset)
+        check_round_optimality(s, cset, require_optimal=require_optimal)
+        seq = SequentialScheduler().schedule(cset)
+        rows.append(
+            {
+                "width": w,
+                "csa_rounds": s.n_rounds,
+                "csa_rounds/width": s.n_rounds / w,
+                "sequential_rounds": seq.n_rounds,
+            }
+        )
+    return rows
+
+
+def rounds_vs_width_random(
+    pair_counts: Sequence[int] = (4, 8, 16, 32, 64),
+    n_leaves: int = 128,
+    seed: int = 7,
+    *,
+    require_optimal: bool = True,
+) -> list[dict]:
+    """CSA round counts on uniformly random well-nested sets."""
+    rng = np.random.default_rng(seed)
+    topo = CSTTopology.of(n_leaves)
+    rows: list[dict] = []
+    for n_pairs in pair_counts:
+        cset = random_well_nested(n_pairs, n_leaves, rng)
+        w = width(cset, topo)
+        s = PADRScheduler().schedule(cset, n_leaves)
+        check_round_optimality(s, cset, require_optimal=require_optimal)
+        rows.append(
+            {
+                "pairs": n_pairs,
+                "width": w,
+                "csa_rounds": s.n_rounds,
+                "ratio": round(s.n_rounds / w, 3) if w else 0.0,
+            }
+        )
+    return rows

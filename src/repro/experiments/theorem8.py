@@ -1,0 +1,90 @@
+"""T8 sweeps: per-switch power, CSA vs baselines (paper Theorem 8)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines import RandomOrderScheduler, RoyIDScheduler
+from repro.comms.generators import crossing_chain, random_well_nested
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.cst.power import PowerPolicy
+from repro.cst.topology import CSTTopology
+
+__all__ = [
+    "power_sweep_crossing",
+    "power_sweep_random",
+    "total_energy_comparison",
+]
+
+
+def power_sweep_crossing(
+    widths: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    random_seed: int = 1,
+) -> list[dict]:
+    """The headline table: per-switch changes/units vs width."""
+    rows: list[dict] = []
+    for w in widths:
+        cset = crossing_chain(w)
+        csa = PADRScheduler().schedule(cset)
+        roy = RoyIDScheduler().schedule(cset, policy=PowerPolicy.rebuild())
+        rand = RandomOrderScheduler(seed=random_seed).schedule(cset)
+        rows.append(
+            {
+                "width": w,
+                "csa_max_changes": csa.power.max_switch_changes,
+                "csa_max_units": csa.power.max_switch_units,
+                "roy_rebuild_max_units": roy.power.max_switch_units,
+                "random_lazy_max_changes": rand.power.max_switch_changes,
+            }
+        )
+    return rows
+
+
+def power_sweep_random(
+    pair_counts: Sequence[int] = (16, 64, 128),
+    n_leaves: int = 256,
+    seed: int = 11,
+) -> list[dict]:
+    """The same comparison on uniformly random well-nested sets."""
+    rng = np.random.default_rng(seed)
+    topo = CSTTopology.of(n_leaves)
+    rows: list[dict] = []
+    for n_pairs in pair_counts:
+        cset = random_well_nested(n_pairs, n_leaves, rng)
+        w = width(cset, topo)
+        csa = PADRScheduler().schedule(cset, n_leaves)
+        roy = RoyIDScheduler().schedule(
+            cset, n_leaves, policy=PowerPolicy.rebuild()
+        )
+        rows.append(
+            {
+                "pairs": n_pairs,
+                "width": w,
+                "csa_max_changes": csa.power.max_switch_changes,
+                "roy_rebuild_max_units": roy.power.max_switch_units,
+            }
+        )
+    return rows
+
+
+def total_energy_comparison(
+    widths: Sequence[int] = (8, 32, 128),
+) -> list[dict]:
+    """Whole-tree energy: CSA vs per-round reconfiguration."""
+    rows: list[dict] = []
+    for w in widths:
+        cset = crossing_chain(w)
+        csa = PADRScheduler().schedule(cset)
+        roy = RoyIDScheduler().schedule(cset, policy=PowerPolicy.rebuild())
+        rows.append(
+            {
+                "width": w,
+                "csa_total": csa.power.total_units,
+                "roy_rebuild_total": roy.power.total_units,
+                "ratio": round(roy.power.total_units / csa.power.total_units, 2),
+            }
+        )
+    return rows

@@ -1,0 +1,123 @@
+"""Computational algorithms on the CST under the PADR technique.
+
+The paper's concluding remarks propose "using the PADR technique to
+develop computational algorithms for reconfigurable models".  This module
+provides the canonical first example: **tree reduction** — combining N
+values with an associative operation in ``log2 N`` communication steps,
+every step a width-1 well-nested set routed by the CSA, with real payloads
+flowing through the simulated crossbars (no shortcut arithmetic: if the
+routing were wrong, the answer would be wrong).  An SRGA row wrapper shows
+the algorithm running on the architecture the paper targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.csa import PADRScheduler
+from repro.cst.network import CSTNetwork
+from repro.exceptions import ReproError
+from repro.util.bitmath import ilog2, is_power_of_two
+
+__all__ = ["AlgorithmError", "ReductionResult", "tree_reduce", "srga_row_reduce"]
+
+
+class AlgorithmError(ReproError):
+    """Invalid input to a CST algorithm."""
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionResult:
+    """Outcome of a tree reduction on the CST."""
+
+    value: Any
+    result_pe: int
+    steps: int
+    total_rounds: int
+    total_power_units: int
+
+
+def tree_reduce(
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+) -> ReductionResult:
+    """Reduce ``values`` with associative ``op`` on an N-leaf CST.
+
+    Step ``k`` (``k = 0..log2 N − 1``) pairs each block of ``2^(k+1)``
+    leaves: the left half's accumulator (held at the block's left-half
+    rightmost PE) is sent to the block's rightmost PE — a right-oriented
+    set of disjoint pairs (width 1, one round).  After ``log2 N`` steps
+    the full reduction sits at PE ``N−1``.
+
+    Every transfer physically traverses the simulated crossbars; the
+    returned power figure is the configuration energy of the whole
+    reduction.
+    """
+    n = len(values)
+    if n < 2 or not is_power_of_two(n):
+        raise AlgorithmError(f"tree_reduce needs a power-of-two count >= 2, got {n}")
+
+    acc: dict[int, Any] = {i: v for i, v in enumerate(values)}
+    scheduler = PADRScheduler()
+    total_rounds = 0
+    total_power = 0
+    steps = ilog2(n)
+
+    for k in range(steps):
+        block = 1 << (k + 1)
+        half = 1 << k
+        comms = []
+        for base in range(0, n, block):
+            src = base + half - 1   # carrier of the left half's accumulator
+            dst = base + block - 1  # carrier of the block's accumulator
+            comms.append(Communication(src, dst))
+        cset = CommunicationSet(comms)
+
+        network = CSTNetwork.of_size(n)
+        network.assign_roles(cset.roles())
+        for c in cset:
+            network.pes[c.src].payload = acc[c.src]
+        schedule = scheduler.schedule(cset, network=network)
+        total_rounds += schedule.n_rounds
+        total_power += schedule.power.total_units
+
+        for c in cset:
+            received = network.pes[c.dst].received
+            if len(received) != 1:
+                raise AlgorithmError(
+                    f"step {k}: PE {c.dst} received {len(received)} payloads"
+                )
+            # the payload is the LEFT half's accumulator: left operand,
+            # so non-commutative operations preserve index order.
+            acc[c.dst] = op(received[0], acc[c.dst])
+
+    return ReductionResult(
+        value=acc[n - 1],
+        result_pe=n - 1,
+        steps=steps,
+        total_rounds=total_rounds,
+        total_power_units=total_power,
+    )
+
+
+def srga_row_reduce(
+    grid,
+    row: int,
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+) -> ReductionResult:
+    """Tree-reduce one SRGA row (PE index = column) — the grid's row CST
+    is exactly an ``cols``-leaf CST."""
+    from repro.extensions.srga import SRGA
+
+    if not isinstance(grid, SRGA):
+        raise AlgorithmError("srga_row_reduce requires an SRGA grid")
+    if not 0 <= row < grid.rows:
+        raise AlgorithmError(f"row {row} outside [0, {grid.rows})")
+    if len(values) != grid.cols:
+        raise AlgorithmError(
+            f"need exactly {grid.cols} values for a row, got {len(values)}"
+        )
+    return tree_reduce(values, op)

@@ -1,0 +1,199 @@
+"""Scheduling *arbitrary* communication sets — beyond well-nested.
+
+The paper's concluding remarks pose "the study of other communication
+patterns on the CST" as future work.  This module provides the natural
+reduction: any valid communication set (each PE an endpoint of at most one
+communication) can be
+
+1. split by orientation (paper §2.1), then
+2. each oriented subset partitioned into **well-nested layers** — subsets
+   with no crossing pair — and
+3. each layer scheduled with the CSA, layers and orientations running
+   sequentially.
+
+Layering uses first-fit in outermost-first order: a communication joins
+the first layer it does not cross.  Finding the *minimum* number of
+well-nested layers is graph colouring of the interval *crossing graph*
+(a circle graph) — NP-hard in general — so first-fit is a heuristic; the
+layer count is reported so callers can see the overhead.  For an already
+well-nested oriented set this degenerates to exactly one layer and the
+plain CSA schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.wellnested import is_well_nested
+from repro.core.base import Scheduler
+from repro.core.csa import PADRScheduler
+from repro.core.schedule import RoundRecord, Schedule
+from repro.cst.power import PowerPolicy
+from repro.extensions.oriented import MirroredScheduler, _merge_power
+
+__all__ = [
+    "wellnested_layers",
+    "GeneralSetScheduler",
+    "InterleavedGeneralScheduler",
+    "LayeringReport",
+]
+
+
+def _crosses(a: Communication, b: Communication) -> bool:
+    """Partial interval overlap — the relation well-nestedness forbids."""
+    return (
+        a.leftmost < b.leftmost <= a.rightmost < b.rightmost
+        or b.leftmost < a.leftmost <= b.rightmost < a.rightmost
+    )
+
+
+def wellnested_layers(cset: CommunicationSet) -> list[CommunicationSet]:
+    """Partition an oriented set into well-nested layers (first-fit).
+
+    Accepts a purely right-oriented or purely left-oriented set (layering
+    is orientation-agnostic since it only looks at intervals).  Each
+    returned layer is well-nested when re-oriented rightward.
+    """
+    layers: list[list[Communication]] = []
+    for c in sorted(cset.comms, key=lambda c: (c.leftmost, -c.rightmost)):
+        for layer in layers:
+            if not any(_crosses(c, other) for other in layer):
+                layer.append(c)
+                break
+        else:
+            layers.append([c])
+    return [CommunicationSet(layer) for layer in layers]
+
+
+@dataclass(frozen=True, slots=True)
+class LayeringReport:
+    """How a general set was decomposed."""
+
+    n_right_layers: int
+    n_left_layers: int
+
+    @property
+    def total_layers(self) -> int:
+        return self.n_right_layers + self.n_left_layers
+
+
+class GeneralSetScheduler(Scheduler):
+    """Schedule any valid communication set on the CST.
+
+    Orientation split → well-nested layering → CSA per layer.  The result
+    is a single concatenated :class:`~repro.core.schedule.Schedule`;
+    :attr:`last_layering` records the decomposition of the latest run.
+    """
+
+    name = "general-layered"
+
+    def __init__(self) -> None:
+        self._right = PADRScheduler()
+        self._left = MirroredScheduler(PADRScheduler())
+        self.last_layering: LayeringReport | None = None
+
+    def schedule(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+    ) -> Schedule:
+        n = n_leaves if n_leaves is not None else cset.min_leaves()
+        right, left = cset.right_oriented_subset(), cset.left_oriented_subset()
+
+        right_layers = wellnested_layers(right) if len(right) else []
+        left_layers = wellnested_layers(left) if len(left) else []
+        self.last_layering = LayeringReport(
+            n_right_layers=len(right_layers),
+            n_left_layers=len(left_layers),
+        )
+
+        parts: list[Schedule] = []
+        for layer in right_layers:
+            assert is_well_nested(layer)
+            parts.append(self._right.schedule(layer, n, policy=policy))
+        for layer in left_layers:
+            parts.append(self._left.schedule(layer, n, policy=policy))
+
+        rounds: list[RoundRecord] = []
+        for part in parts:
+            for r in part.rounds:
+                rounds.append(
+                    RoundRecord(
+                        index=len(rounds),
+                        performed=r.performed,
+                        writers=r.writers,
+                        staged=r.staged,
+                    )
+                )
+        return Schedule(
+            cset=cset,
+            n_leaves=n,
+            scheduler_name=self.name,
+            rounds=tuple(rounds),
+            power=_merge_power(parts),
+            control_messages=sum(p.control_messages for p in parts),
+            control_words=sum(p.control_words for p in parts),
+        )
+
+
+class InterleavedGeneralScheduler(Scheduler):
+    """General sets with cross-layer round merging.
+
+    The plain :class:`GeneralSetScheduler` runs its layers sequentially,
+    paying ``Σ width(layer)`` rounds.  But rounds from different layers —
+    and from opposite orientations — are often edge-compatible (a
+    right-oriented and a left-oriented circuit mostly use opposite
+    directions of the links they share).  This scheduler takes each
+    layer's CSA round decomposition as a *plan*, greedily first-fit merges
+    the rounds across all plans, and replays the merged plan through one
+    network.
+
+    The merged schedule can beat the sequential round count substantially
+    (e.g. a right chain plus its mirror image interleave almost freely);
+    it trades away the CSA's distributed control story — merging is a
+    centralized post-pass — which is why both schedulers exist.
+    """
+
+    name = "general-interleaved"
+
+    def __init__(self) -> None:
+        self._sequential = GeneralSetScheduler()
+        self.last_layering: LayeringReport | None = None
+
+    def schedule(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+    ) -> Schedule:
+        from repro.core.base import execute_round_plan
+        from repro.cst.topology import CSTTopology
+
+        n = n_leaves if n_leaves is not None else cset.min_leaves()
+        topo = CSTTopology.of(n)
+
+        # plan via the sequential scheduler (its rounds are CSA rounds)
+        sequential = self._sequential.schedule(cset, n, policy=policy)
+        self.last_layering = self._sequential.last_layering
+
+        merged: list[list[Communication]] = []
+        merged_edges: list[set] = []
+        for r in sequential.rounds:
+            round_comms = list(r.performed)
+            edges = set()
+            for c in round_comms:
+                edges.update(topo.path_edges(c.src, c.dst))
+            for i, used in enumerate(merged_edges):
+                if used.isdisjoint(edges):
+                    merged[i].extend(round_comms)
+                    used.update(edges)
+                    break
+            else:
+                merged.append(round_comms)
+                merged_edges.append(edges)
+
+        return execute_round_plan(cset, n, merged, self.name, policy=policy)

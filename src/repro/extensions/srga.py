@@ -1,0 +1,132 @@
+"""The Self-Reconfigurable Gate Array substrate (Sidhu et al. 2000).
+
+The SRGA — the architecture the CST comes from (paper §1) — is an
+``R × C`` grid of PEs in which every row and every column is connected by
+its own CST.  This module provides a faithful, minimal SRGA: a grid that
+owns one CST network per row and per column and schedules independent
+well-nested sets on each of them with the core CSA, in parallel (rows and
+columns are physically separate interconnects, so their schedules overlap
+in time; the SRGA makespan is the maximum round count over the driven
+trees).
+
+This is the substrate used by ``examples/srga_row_routing.py`` and the EXT
+benchmark: it demonstrates the paper's algorithm operating as the routing
+layer of the architecture it was designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.comms.communication import CommunicationSet
+from repro.core.csa import PADRScheduler
+from repro.core.schedule import Schedule
+from repro.cst.power import PowerPolicy
+from repro.exceptions import TopologyError
+from repro.util.bitmath import is_power_of_two
+
+__all__ = ["SRGA", "SRGAScheduleResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class SRGAScheduleResult:
+    """Schedules of one SRGA routing step.
+
+    ``row_schedules`` / ``col_schedules`` are keyed by row / column index;
+    only driven rows/columns appear.  ``makespan`` is the number of rounds
+    the whole step takes (trees run concurrently).
+    """
+
+    row_schedules: Mapping[int, Schedule]
+    col_schedules: Mapping[int, Schedule]
+
+    @property
+    def makespan(self) -> int:
+        all_scheds = list(self.row_schedules.values()) + list(
+            self.col_schedules.values()
+        )
+        return max((s.n_rounds for s in all_scheds), default=0)
+
+    @property
+    def total_power(self) -> int:
+        all_scheds = list(self.row_schedules.values()) + list(
+            self.col_schedules.values()
+        )
+        return sum(s.power.total_units for s in all_scheds)
+
+    @property
+    def max_switch_changes(self) -> int:
+        all_scheds = list(self.row_schedules.values()) + list(
+            self.col_schedules.values()
+        )
+        return max((s.power.max_switch_changes for s in all_scheds), default=0)
+
+
+class SRGA:
+    """An ``rows × cols`` SRGA whose rows and columns are CSTs.
+
+    Both dimensions must be powers of two (each is the leaf count of a
+    CST).  The grid itself is stateless between routing steps; every call
+    to :meth:`route` builds fresh networks, mirroring the paper's model
+    where Phase 1 redistributes control data per communication set.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 2 or not is_power_of_two(rows):
+            raise TopologyError(f"rows must be a power of two >= 2, got {rows}")
+        if cols < 2 or not is_power_of_two(cols):
+            raise TopologyError(f"cols must be a power of two >= 2, got {cols}")
+        self.rows = rows
+        self.cols = cols
+
+    def __repr__(self) -> str:
+        return f"SRGA({self.rows}x{self.cols})"
+
+    def pe(self, row: int, col: int) -> tuple[int, int]:
+        """Validated grid coordinate of a PE."""
+        if not 0 <= row < self.rows:
+            raise TopologyError(f"row {row} outside [0, {self.rows})")
+        if not 0 <= col < self.cols:
+            raise TopologyError(f"col {col} outside [0, {self.cols})")
+        return (row, col)
+
+    def route(
+        self,
+        row_sets: Mapping[int, CommunicationSet] | None = None,
+        col_sets: Mapping[int, CommunicationSet] | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+    ) -> SRGAScheduleResult:
+        """Run the CSA on each driven row and column tree.
+
+        ``row_sets[r]`` is a right-oriented well-nested set over the PEs of
+        row ``r`` (PE index = column); ``col_sets[c]`` likewise over column
+        ``c`` (PE index = row).
+        """
+        row_sets = dict(row_sets or {})
+        col_sets = dict(col_sets or {})
+        row_out: dict[int, Schedule] = {}
+        col_out: dict[int, Schedule] = {}
+        for r, cset in row_sets.items():
+            self._check_index(r, self.rows, "row")
+            self._check_fits(cset, self.cols, f"row {r}")
+            row_out[r] = PADRScheduler().schedule(cset, self.cols, policy=policy)
+        for c, cset in col_sets.items():
+            self._check_index(c, self.cols, "column")
+            self._check_fits(cset, self.rows, f"column {c}")
+            col_out[c] = PADRScheduler().schedule(cset, self.rows, policy=policy)
+        return SRGAScheduleResult(row_schedules=row_out, col_schedules=col_out)
+
+    @staticmethod
+    def _check_index(i: int, limit: int, what: str) -> None:
+        if not 0 <= i < limit:
+            raise TopologyError(f"{what} index {i} outside [0, {limit})")
+
+    @staticmethod
+    def _check_fits(cset: CommunicationSet, n_leaves: int, where: str) -> None:
+        if cset.max_pe >= n_leaves:
+            raise TopologyError(
+                f"communication set on {where} uses PE {cset.max_pe}, "
+                f"but the tree has only {n_leaves} leaves"
+            )

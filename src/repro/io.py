@@ -1,0 +1,180 @@
+"""Serialization: workloads and schedules to/from JSON.
+
+Lets users pin down workload suites (e.g. regression corpora of
+communication sets), archive schedules produced on one machine and verify
+them on another, and feed external tools.  The format is deliberately
+plain:
+
+.. code-block:: json
+
+    {"format": "cst-padr/communication-set", "version": 1,
+     "comms": [[0, 7], [1, 2]]}
+
+Schedules export everything the verifier needs (observed per-round
+deliveries) plus the power report; they are re-verifiable after a
+round-trip without re-running the scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.schedule import RoundRecord, Schedule
+from repro.cst.power import PowerReport
+from repro.exceptions import ReproError
+
+__all__ = [
+    "SerializationError",
+    "cset_to_dict",
+    "cset_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_workloads",
+    "load_workloads",
+]
+
+_CSET_FORMAT = "cst-padr/communication-set"
+_SCHEDULE_FORMAT = "cst-padr/schedule"
+_SUITE_FORMAT = "cst-padr/workload-suite"
+_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Malformed or unsupported serialized payload."""
+
+
+# ---------------------------------------------------------------------------
+# communication sets
+# ---------------------------------------------------------------------------
+
+
+def cset_to_dict(cset: CommunicationSet) -> dict[str, Any]:
+    return {
+        "format": _CSET_FORMAT,
+        "version": _VERSION,
+        "comms": [[c.src, c.dst] for c in cset],
+    }
+
+
+def cset_from_dict(data: Mapping[str, Any]) -> CommunicationSet:
+    _expect(data, _CSET_FORMAT)
+    try:
+        comms = [Communication(int(s), int(d)) for s, d in data["comms"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed communication list: {exc}") from exc
+    return CommunicationSet(comms)
+
+
+# ---------------------------------------------------------------------------
+# schedules
+# ---------------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "scheduler": schedule.scheduler_name,
+        "n_leaves": schedule.n_leaves,
+        "cset": cset_to_dict(schedule.cset),
+        "rounds": [
+            {
+                "index": r.index,
+                "performed": [[c.src, c.dst] for c in r.performed],
+                "writers": list(r.writers),
+            }
+            for r in schedule.rounds
+        ],
+        "power": {
+            "total_units": schedule.power.total_units,
+            "per_switch_units": {
+                str(k): v for k, v in schedule.power.per_switch_units.items()
+            },
+            "per_switch_changes": {
+                str(k): v for k, v in schedule.power.per_switch_changes.items()
+            },
+            "rounds": schedule.power.rounds,
+        },
+        "control": {
+            "messages": schedule.control_messages,
+            "words": schedule.control_words,
+        },
+    }
+
+
+def schedule_from_dict(data: Mapping[str, Any]) -> Schedule:
+    """Rebuild a schedule record (staged connections are not round-tripped;
+    they are an execution detail, not needed for verification)."""
+    _expect(data, _SCHEDULE_FORMAT)
+    try:
+        cset = cset_from_dict(data["cset"])
+        rounds = tuple(
+            RoundRecord(
+                index=int(r["index"]),
+                performed=tuple(
+                    Communication(int(s), int(d)) for s, d in r["performed"]
+                ),
+                writers=tuple(int(w) for w in r["writers"]),
+                staged={},
+            )
+            for r in data["rounds"]
+        )
+        p = data["power"]
+        power = PowerReport(
+            total_units=int(p["total_units"]),
+            per_switch_units={int(k): int(v) for k, v in p["per_switch_units"].items()},
+            per_switch_changes={
+                int(k): int(v) for k, v in p["per_switch_changes"].items()
+            },
+            rounds=int(p["rounds"]),
+        )
+        control = data.get("control", {})
+        return Schedule(
+            cset=cset,
+            n_leaves=int(data["n_leaves"]),
+            scheduler_name=str(data["scheduler"]),
+            rounds=rounds,
+            power=power,
+            control_messages=int(control.get("messages", 0)),
+            control_words=int(control.get("words", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed schedule payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# workload suites on disk
+# ---------------------------------------------------------------------------
+
+
+def save_workloads(path: str | Path, workloads: Mapping[str, CommunicationSet]) -> None:
+    """Write a named suite of communication sets as one JSON file."""
+    payload = {
+        "format": _SUITE_FORMAT,
+        "version": _VERSION,
+        "workloads": {name: cset_to_dict(cs) for name, cs in workloads.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_workloads(path: str | Path) -> dict[str, CommunicationSet]:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read workload suite {path}: {exc}") from exc
+    _expect(data, _SUITE_FORMAT)
+    return {
+        name: cset_from_dict(cs) for name, cs in data.get("workloads", {}).items()
+    }
+
+
+def _expect(data: Mapping[str, Any], fmt: str) -> None:
+    got = data.get("format")
+    if got != fmt:
+        raise SerializationError(f"expected format {fmt!r}, got {got!r}")
+    version = data.get("version")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported {fmt} version: {version!r}")

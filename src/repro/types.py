@@ -1,0 +1,154 @@
+"""Core value types shared across the library.
+
+The 3-sided switch of the CST (paper Figure 3a) has three data inputs
+``{l_i, r_i, p_i}`` and three data outputs ``{l_o, r_o, p_o}``; an input may
+be connected to an output of either *other* side.  These ports, the legal
+connections between them, and the directed tree edges they drive are the
+vocabulary of the whole library, so they live here in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Final
+
+from repro.exceptions import IllegalConnectionError
+
+__all__ = [
+    "Side",
+    "InPort",
+    "OutPort",
+    "Connection",
+    "Direction",
+    "Role",
+    "LEGAL_CONNECTIONS",
+    "CONN_L_TO_R",
+    "CONN_R_TO_L",
+    "CONN_L_UP",
+    "CONN_R_UP",
+    "CONN_DOWN_L",
+    "CONN_DOWN_R",
+]
+
+
+class Side(enum.Enum):
+    """One of the three sides of a CST switch."""
+
+    LEFT = "left"
+    RIGHT = "right"
+    PARENT = "parent"
+
+
+class InPort(enum.Enum):
+    """Data inputs of a 3-sided switch (``l_i``, ``r_i``, ``p_i``)."""
+
+    L = "l_i"
+    R = "r_i"
+    P = "p_i"
+
+    @property
+    def side(self) -> Side:
+        return _IN_SIDE[self]
+
+
+class OutPort(enum.Enum):
+    """Data outputs of a 3-sided switch (``l_o``, ``r_o``, ``p_o``)."""
+
+    L = "l_o"
+    R = "r_o"
+    P = "p_o"
+
+    @property
+    def side(self) -> Side:
+        return _OUT_SIDE[self]
+
+
+_IN_SIDE: Final = {InPort.L: Side.LEFT, InPort.R: Side.RIGHT, InPort.P: Side.PARENT}
+_OUT_SIDE: Final = {OutPort.L: Side.LEFT, OutPort.R: Side.RIGHT, OutPort.P: Side.PARENT}
+
+
+@dataclass(frozen=True, slots=True)
+class Connection:
+    """A single crossbar connection ``in_port -> out_port`` inside a switch.
+
+    Only connections between *different* sides are legal; constructing an
+    illegal one raises :class:`~repro.exceptions.IllegalConnectionError`.
+    This restriction is what bounds path length to ``O(log N)`` switches
+    (paper §2).
+    """
+
+    in_port: InPort
+    out_port: OutPort
+
+    def __post_init__(self) -> None:
+        if self.in_port.side is self.out_port.side:
+            raise IllegalConnectionError(
+                f"cannot connect {self.in_port.value} to {self.out_port.value}: same side"
+            )
+
+    def __str__(self) -> str:  # e.g. "l_i->r_o"
+        return f"{self.in_port.value}->{self.out_port.value}"
+
+
+#: The six legal crossbar connections of a 3-sided switch.
+CONN_L_TO_R: Final = Connection(InPort.L, OutPort.R)
+CONN_R_TO_L: Final = Connection(InPort.R, OutPort.L)
+CONN_L_UP: Final = Connection(InPort.L, OutPort.P)
+CONN_R_UP: Final = Connection(InPort.R, OutPort.P)
+CONN_DOWN_L: Final = Connection(InPort.P, OutPort.L)
+CONN_DOWN_R: Final = Connection(InPort.P, OutPort.R)
+
+LEGAL_CONNECTIONS: Final = (
+    CONN_L_TO_R,
+    CONN_R_TO_L,
+    CONN_L_UP,
+    CONN_R_UP,
+    CONN_DOWN_L,
+    CONN_DOWN_R,
+)
+
+
+class Direction(enum.Enum):
+    """Direction of traffic on a full-duplex tree edge.
+
+    An edge is identified by its *lower* endpoint (the child node);
+    ``UP`` is child→parent, ``DOWN`` is parent→child.  Two communications
+    are compatible iff they never use the same edge in the same direction
+    (paper §1, citing [3]).
+    """
+
+    UP = "up"
+    DOWN = "down"
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.DOWN if self is Direction.UP else Direction.UP
+
+
+class Role(enum.Enum):
+    """Role of a PE in a communication set (paper Step 1.1).
+
+    Encoded on the wire as ``[1,0]`` (source), ``[0,1]`` (destination) or
+    ``[0,0]`` (neither).
+    """
+
+    SOURCE = "source"
+    DESTINATION = "destination"
+    NEITHER = "neither"
+
+    @property
+    def wire_encoding(self) -> tuple[int, int]:
+        if self is Role.SOURCE:
+            return (1, 0)
+        if self is Role.DESTINATION:
+            return (0, 1)
+        return (0, 0)
+
+    @classmethod
+    def from_wire(cls, word: tuple[int, int]) -> "Role":
+        mapping = {(1, 0): cls.SOURCE, (0, 1): cls.DESTINATION, (0, 0): cls.NEITHER}
+        try:
+            return mapping[word]
+        except KeyError:
+            raise ValueError(f"invalid PE role encoding: {word!r}") from None

@@ -1,0 +1,20 @@
+"""Small shared utilities: bit math for heap-indexed trees, validation."""
+
+from repro.util.bitmath import (
+    is_power_of_two,
+    ceil_pow2,
+    ilog2,
+    level_of,
+    common_prefix_node,
+)
+from repro.util.validation import check_index, check_positive
+
+__all__ = [
+    "is_power_of_two",
+    "ceil_pow2",
+    "ilog2",
+    "level_of",
+    "common_prefix_node",
+    "check_index",
+    "check_positive",
+]

@@ -1,0 +1,63 @@
+"""Bit-level helpers for heap-indexed complete binary trees.
+
+The CST is addressed heap-style: the root is node ``1``; node ``v`` has
+children ``2v`` and ``2v+1``; with ``N`` leaves (``N`` a power of two) the
+leaves occupy heap ids ``N .. 2N-1``, left to right.  All topology math
+reduces to bit operations on these ids.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "ceil_pow2",
+    "ilog2",
+    "level_of",
+    "common_prefix_node",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ceil_pow2(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"ceil_pow2 requires n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def ilog2(n: int) -> int:
+    """Exact integer log2 of a power of two."""
+    if not is_power_of_two(n):
+        raise ValueError(f"ilog2 requires a power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def level_of(heap_id: int) -> int:
+    """Depth of a heap node: root (id 1) is level 0."""
+    if heap_id < 1:
+        raise ValueError(f"heap ids start at 1, got {heap_id}")
+    return heap_id.bit_length() - 1
+
+
+def common_prefix_node(a: int, b: int) -> int:
+    """Lowest common ancestor of two heap ids.
+
+    Strips trailing bits of the deeper node until both ids share the same
+    length, then strips both in lockstep until equal.  O(log) but typically
+    executed via the shift trick below in O(1)-ish Python ops.
+    """
+    if a < 1 or b < 1:
+        raise ValueError("heap ids start at 1")
+    la, lb = a.bit_length(), b.bit_length()
+    if la > lb:
+        a >>= la - lb
+    elif lb > la:
+        b >>= lb - la
+    while a != b:
+        a >>= 1
+        b >>= 1
+    return a

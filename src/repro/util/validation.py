@@ -1,0 +1,32 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["check_index", "check_positive", "check_type"]
+
+
+def check_index(value: int, limit: int, name: str) -> int:
+    """Validate ``0 <= value < limit`` and return ``value``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < limit:
+        raise ValueError(f"{name} must be in [0, {limit}), got {value}")
+    return value
+
+
+def check_positive(value: int, name: str) -> int:
+    """Validate ``value >= 1`` and return ``value``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_type(value: Any, typ: type, name: str) -> Any:
+    """Validate ``isinstance(value, typ)`` and return ``value``."""
+    if not isinstance(value, typ):
+        raise TypeError(f"{name} must be {typ.__name__}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,17 @@
+"""ASCII visualization of trees, communication sets and schedules."""
+
+from repro.viz.ascii import (
+    render_leaf_roles,
+    render_tree,
+    render_round_configuration,
+    render_schedule_timeline,
+    render_change_profile,
+)
+
+__all__ = [
+    "render_leaf_roles",
+    "render_tree",
+    "render_round_configuration",
+    "render_schedule_timeline",
+    "render_change_profile",
+]

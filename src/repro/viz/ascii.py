@@ -1,0 +1,106 @@
+"""ASCII renderings — the library's stand-in for the paper's hand-drawn
+figures (Figures 1–4), used by the examples and the FIG benchmarks.
+
+Everything returns plain strings so the renderers stay testable and usable
+from scripts, notebooks and CI logs alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.comms.communication import CommunicationSet
+from repro.comms.wellnested import parenthesis_profile
+from repro.core.schedule import Schedule
+from repro.cst.topology import CSTTopology
+
+__all__ = [
+    "render_leaf_roles",
+    "render_tree",
+    "render_round_configuration",
+    "render_schedule_timeline",
+    "render_change_profile",
+]
+
+
+def render_leaf_roles(cset: CommunicationSet, n_leaves: int) -> str:
+    """Leaves as a parenthesis word plus index ruler (Figure 2 style).
+
+    ``(`` source, ``)`` destination, ``.`` idle, with arcs listed below.
+    """
+    profile = parenthesis_profile(cset, n_leaves)
+    ruler = "".join(str(i % 10) for i in range(n_leaves))
+    arcs = "  ".join(f"{c.src}->{c.dst}" for c in cset)
+    return f"PE:    {ruler}\nrole:  {profile}\ncomms: {arcs}"
+
+
+def render_tree(
+    topology: CSTTopology,
+    annotate: Callable[[int], str] | None = None,
+) -> str:
+    """The CST level by level; ``annotate(heap_id)`` labels each switch.
+
+    Leaves are shown as their PE indices on the last line.
+    """
+    annotate = annotate or (lambda v: str(v))
+    n = topology.n_leaves
+    cell = max(4, max(len(annotate(v)) for v in topology.switches()) + 1)
+    lines: list[str] = []
+    for lvl in range(topology.height):
+        nodes = topology.switches_at_level(lvl)
+        span = (n // len(nodes)) * cell
+        row = "".join(annotate(v).center(span) for v in nodes)
+        lines.append(row.rstrip())
+    leaf_row = "".join(str(pe).center(cell) for pe in range(n))
+    lines.append(leaf_row.rstrip())
+    return "\n".join(lines)
+
+
+def render_round_configuration(schedule: Schedule, round_index: int) -> str:
+    """The crossbar connections staged in one round, tree-shaped."""
+    if not 0 <= round_index < schedule.n_rounds:
+        raise IndexError(f"round {round_index} outside schedule of {schedule.n_rounds}")
+    topo = CSTTopology.of(schedule.n_leaves)
+    staged = schedule.rounds[round_index].staged
+
+    def label(v: int) -> str:
+        conns = staged.get(v)
+        if not conns:
+            return "."
+        return ",".join(_short(c) for c in conns)
+
+    header = (
+        f"round {round_index}: writers={list(schedule.rounds[round_index].writers)} "
+        f"performed={[str(c) for c in schedule.rounds[round_index].performed]}"
+    )
+    return header + "\n" + render_tree(topo, label)
+
+
+def _short(conn) -> str:
+    # l_i->r_o  =>  "l>r"
+    return f"{conn.in_port.value[0]}>{conn.out_port.value[0]}"
+
+
+def render_schedule_timeline(schedule: Schedule) -> str:
+    """Gantt-style table: one row per communication, columns are rounds."""
+    round_of = schedule.round_of()
+    comms = sorted(round_of, key=lambda c: (round_of[c], c.src))
+    n_rounds = schedule.n_rounds
+    label_w = max((len(str(c)) for c in comms), default=4)
+    lines = [
+        f"{'comm'.ljust(label_w)} | " + " ".join(f"r{r}" for r in range(n_rounds))
+    ]
+    for c in comms:
+        cells = []
+        for r in range(n_rounds):
+            mark = "##" if round_of[c] == r else "--"
+            cells.append(mark.ljust(len(f"r{r}")))
+        lines.append(f"{str(c).ljust(label_w)} | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_change_profile(schedule: Schedule) -> str:
+    """Per-switch configuration-change counts, tree-shaped (Theorem 8 view)."""
+    topo = CSTTopology.of(schedule.n_leaves)
+    changes = schedule.power.per_switch_changes
+    return render_tree(topo, lambda v: str(changes.get(v, 0)))

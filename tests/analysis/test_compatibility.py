@@ -1,0 +1,89 @@
+"""Unit tests for the compatibility predicate."""
+
+from hypothesis import given
+
+from repro.comms.communication import Communication
+from repro.cst.topology import CSTTopology
+from repro.analysis.compatibility import (
+    conflicting_pairs,
+    conflicts,
+    is_compatible_set,
+)
+
+from tests.conftest import wellnested_set_st
+
+
+class TestConflicts:
+    def test_nested_cross_root_conflict(self, topo8):
+        assert conflicts(Communication(0, 7), Communication(1, 6), topo8)
+
+    def test_disjoint_pairs_compatible(self, topo8):
+        assert not conflicts(Communication(0, 1), Communication(2, 3), topo8)
+
+    def test_opposite_direction_sharing_is_compatible(self, topo8):
+        # (0,2) goes down into switch 5's subtree; (3,5) comes up out of it
+        assert not conflicts(Communication(0, 2), Communication(3, 5), topo8)
+
+    def test_nested_but_disjoint_paths_compatible(self, topo8):
+        # (0,7) passes above the subtree where (2,3) lives
+        assert not conflicts(Communication(0, 7), Communication(2, 3), topo8)
+
+    def test_symmetric(self, topo8):
+        a, b = Communication(0, 7), Communication(1, 6)
+        assert conflicts(a, b, topo8) == conflicts(b, a, topo8)
+
+
+class TestIsCompatibleSet:
+    def test_empty_is_compatible(self, topo8):
+        assert is_compatible_set([], topo8)
+
+    def test_single_is_compatible(self, topo8):
+        assert is_compatible_set([Communication(0, 5)], topo8)
+
+    def test_conflicting_pair_detected(self, topo8):
+        assert not is_compatible_set(
+            [Communication(0, 7), Communication(1, 6)], topo8
+        )
+
+    def test_many_disjoint(self, topo8):
+        comms = [Communication(2 * i, 2 * i + 1) for i in range(4)]
+        assert is_compatible_set(comms, topo8)
+
+    @given(wellnested_set_st(max_pairs=6))
+    def test_disjoint_interval_comms_always_compatible(self, s):
+        """Structural fact: same-edge users form nesting chains, so
+        pairwise-disjoint intervals are always a compatible set."""
+        topo = CSTTopology.of(64)
+        from repro.comms.wellnested import nesting_depths
+
+        depths = nesting_depths(s)
+        if not depths:
+            return
+        # communications at equal depth are pairwise disjoint intervals
+        for d in set(depths.values()):
+            level = [c for c, dd in depths.items() if dd == d]
+            assert is_compatible_set(level, topo)
+
+
+class TestConflictingPairs:
+    def test_reports_witness_edge(self, topo8):
+        pairs = conflicting_pairs(
+            [Communication(0, 7), Communication(1, 6)], topo8
+        )
+        assert len(pairs) == 1
+        a, b, edge = pairs[0]
+        assert {a, b} == {Communication(0, 7), Communication(1, 6)}
+        assert edge in topo8.path_edges(0, 7)
+        assert edge in topo8.path_edges(1, 6)
+
+    def test_no_duplicates(self, topo8):
+        # the two comms share several edges but are reported once
+        pairs = conflicting_pairs(
+            [Communication(0, 7), Communication(1, 6)], topo8
+        )
+        assert len(pairs) == 1
+
+    def test_empty_for_compatible(self, topo8):
+        assert conflicting_pairs(
+            [Communication(0, 1), Communication(2, 3)], topo8
+        ) == []

@@ -1,0 +1,55 @@
+"""Unit tests for round-count optimality checking."""
+
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import crossing_chain
+from repro.core.csa import PADRScheduler
+from repro.core.schedule import RoundRecord, Schedule
+from repro.baselines import SequentialScheduler
+from repro.cst.power import PowerMeter
+from repro.analysis.optimality import check_round_optimality
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+class TestCheckRoundOptimality:
+    def test_csa_is_optimal(self):
+        cset = crossing_chain(4)
+        s = PADRScheduler().schedule(cset)
+        report = check_round_optimality(s, cset, require_optimal=True)
+        assert report.optimal
+        assert report.excess_rounds == 0
+        assert "optimal" in report.summary()
+
+    def test_sequential_excess_reported(self):
+        cset = cs((0, 1), (2, 3), (4, 5))
+        s = SequentialScheduler().schedule(cset, 8)
+        report = check_round_optimality(s, cset)
+        assert not report.optimal
+        assert report.excess_rounds == 2
+
+    def test_require_optimal_raises_on_excess(self):
+        cset = cs((0, 1), (2, 3))
+        s = SequentialScheduler().schedule(cset, 8)
+        with pytest.raises(VerificationError, match="Theorem 5"):
+            check_round_optimality(s, cset, require_optimal=True)
+
+    def test_impossibly_few_rounds_raises(self):
+        cset = crossing_chain(3)
+        impossible = Schedule(
+            cset, 8, "cheater",
+            (RoundRecord(0, tuple(cset), tuple(cset.sources()), {}),),
+            PowerMeter().report(1),
+        )
+        with pytest.raises(VerificationError, match="dropped work"):
+            check_round_optimality(impossible, cset)
+
+    def test_empty_schedule_of_empty_set(self):
+        empty = CommunicationSet(())
+        s = PADRScheduler().schedule(empty, 8)
+        report = check_round_optimality(s, empty, require_optimal=True)
+        assert report.n_rounds == 0 and report.width == 0

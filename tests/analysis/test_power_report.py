@@ -1,0 +1,56 @@
+"""Unit tests for power tabulation helpers."""
+
+from repro.comms.generators import crossing_chain
+from repro.core.csa import PADRScheduler
+from repro.baselines import SequentialScheduler
+from repro.analysis.power_report import (
+    change_histogram,
+    per_level_changes,
+    power_table,
+)
+
+
+class TestPowerTable:
+    def test_one_row_per_schedule(self):
+        cset = crossing_chain(3)
+        schedules = [
+            PADRScheduler().schedule(cset),
+            SequentialScheduler().schedule(cset),
+        ]
+        rows = power_table(schedules)
+        assert len(rows) == 2
+        assert rows[0]["scheduler"] == "padr-csa"
+        assert {"rounds", "power_total", "changes_max_switch"} <= set(rows[0])
+
+    def test_empty(self):
+        assert power_table([]) == []
+
+
+class TestChangeHistogram:
+    def test_histogram_counts_switches(self):
+        cset = crossing_chain(4)
+        s = PADRScheduler().schedule(cset)
+        hist = change_histogram(s)
+        # every change count maps to a positive number of switches
+        assert all(v > 0 for v in hist.values())
+        total = sum(hist.values())
+        assert total == len(s.power.per_switch_changes)
+
+    def test_csa_histogram_has_no_heavy_tail(self):
+        s = PADRScheduler().schedule(crossing_chain(64))
+        hist = change_histogram(s)
+        assert max(hist) <= 2  # Theorem 8: constant changes per switch
+
+
+class TestPerLevelChanges:
+    def test_levels_sorted_and_bounded(self):
+        s = PADRScheduler().schedule(crossing_chain(8))
+        levels = per_level_changes(s)
+        assert list(levels) == sorted(levels)
+        assert all(0 <= lvl < 5 for lvl in levels)  # 32-leaf tree: levels 0..4
+
+    def test_root_level_present_for_crossing_chain(self):
+        s = PADRScheduler().schedule(crossing_chain(4))
+        levels = per_level_changes(s)
+        assert 0 in levels
+        assert levels[0] >= 1

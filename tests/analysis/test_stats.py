@@ -1,0 +1,65 @@
+"""Unit tests for workload statistics."""
+
+import numpy as np
+import pytest
+
+from repro.comms.communication import CommunicationSet
+from repro.comms.generators import crossing_chain, disjoint_pairs, paper_figure2_set
+from repro.cst.topology import CSTTopology
+from repro.analysis.stats import (
+    random_width_distribution,
+    workload_statistics,
+)
+
+
+class TestWorkloadStatistics:
+    def test_crossing_chain(self):
+        stats = workload_statistics(crossing_chain(4))
+        assert stats.n_comms == 4
+        assert stats.width == 4
+        assert stats.max_nesting_depth == 4
+        assert stats.root_crossings == 4
+
+    def test_disjoint_pairs(self):
+        stats = workload_statistics(disjoint_pairs(5))
+        assert stats.width == 1
+        assert stats.max_nesting_depth == 1
+        assert stats.mean_span == 1.0
+
+    def test_empty_set(self):
+        stats = workload_statistics(CommunicationSet(()))
+        assert stats.n_comms == 0
+        assert stats.width == 0
+        assert stats.max_nesting_depth == 0
+        assert stats.edges_used == 0
+
+    def test_figure2(self, fig2_set):
+        stats = workload_statistics(fig2_set, CSTTopology.of(16))
+        assert stats.n_comms == 6
+        assert stats.width == 2
+        assert stats.max_nesting_depth == 3
+
+    def test_row_keys(self):
+        row = workload_statistics(disjoint_pairs(2)).row()
+        assert set(row) >= {"comms", "width", "max_depth", "edges_used"}
+
+
+class TestRandomWidthDistribution:
+    def test_summary_fields(self):
+        rng = np.random.default_rng(0)
+        d = random_width_distribution(8, 32, 20, rng)
+        assert d["trials"] == 20
+        assert 1 <= d["min"] <= d["p50"] <= d["p95"] <= d["max"] <= 8
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            random_width_distribution(4, 16, 0, np.random.default_rng(0))
+
+    def test_sqrt_growth_shape(self):
+        """Mean width grows sublinearly in the number of pairs (Θ(√M))."""
+        rng = np.random.default_rng(123)
+        m16 = random_width_distribution(16, 64, 60, rng)["mean"]
+        m64 = random_width_distribution(64, 256, 60, rng)["mean"]
+        # 4x the pairs should give roughly 2x the width, certainly < 3x
+        assert m64 < 3 * m16
+        assert m64 > m16  # but it does grow

@@ -1,0 +1,55 @@
+"""Unit tests for the utilization report."""
+
+import numpy as np
+
+from repro.baselines import SequentialScheduler
+from repro.comms.generators import crossing_chain, disjoint_pairs, random_well_nested
+from repro.core.csa import PADRScheduler
+from repro.analysis.utilization import utilization_report
+
+
+class TestUtilizationReport:
+    def test_disjoint_pairs_one_busy_round(self):
+        cset = disjoint_pairs(4)
+        s = PADRScheduler().schedule(cset)
+        report = utilization_report(s)
+        assert len(report.rounds) == 1
+        assert report.rounds[0].n_comms == 4
+        assert report.peak_parallelism == 4
+
+    def test_crossing_chain_one_comm_per_round(self):
+        cset = crossing_chain(4)
+        s = PADRScheduler().schedule(cset)
+        report = utilization_report(s)
+        assert all(r.n_comms == 1 for r in report.rounds)
+        assert report.mean_parallelism == 1.0
+
+    def test_link_utilization_bounds(self):
+        rng = np.random.default_rng(0)
+        cset = random_well_nested(16, 64, rng)
+        s = PADRScheduler().schedule(cset, 64)
+        report = utilization_report(s)
+        assert 0.0 < report.peak_link_utilization <= 1.0
+        for r in report.rounds:
+            assert 0.0 <= r.link_utilization <= 1.0
+
+    def test_csa_at_least_as_parallel_as_sequential(self):
+        rng = np.random.default_rng(1)
+        cset = random_well_nested(12, 64, rng)
+        csa = utilization_report(PADRScheduler().schedule(cset, 64))
+        seq = utilization_report(SequentialScheduler().schedule(cset, 64))
+        assert csa.mean_parallelism >= seq.mean_parallelism
+        assert seq.mean_parallelism == 1.0
+
+    def test_rows_shape(self):
+        s = PADRScheduler().schedule(disjoint_pairs(2))
+        rows = utilization_report(s).rows()
+        assert rows and set(rows[0]) == {"round", "comms", "edges_used", "link_util"}
+
+    def test_empty_schedule(self):
+        from repro.comms.communication import CommunicationSet
+
+        s = PADRScheduler().schedule(CommunicationSet(()), 8)
+        report = utilization_report(s)
+        assert report.mean_parallelism == 0.0
+        assert report.peak_parallelism == 0

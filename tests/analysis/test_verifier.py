@@ -1,0 +1,100 @@
+"""Unit tests for the end-to-end schedule verifier.
+
+The verifier must both accept correct schedules and *reject* every kind of
+broken one — the rejection tests build corrupted schedules by hand.
+"""
+
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.csa import PADRScheduler
+from repro.core.schedule import RoundRecord, Schedule
+from repro.cst.power import PowerMeter
+from repro.analysis.verifier import verify_schedule
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+def fake_schedule(cset, rounds, n_leaves=8, name="fake"):
+    return Schedule(cset, n_leaves, name, tuple(rounds), PowerMeter().report(len(rounds)))
+
+
+class TestAcceptsCorrect:
+    def test_real_csa_schedule_passes(self):
+        cset = cs((0, 3), (1, 2))
+        s = PADRScheduler().schedule(cset, 8)
+        report = verify_schedule(s, cset)
+        assert report.ok
+        assert report.raise_if_failed() is report
+
+    def test_summary_mentions_ok(self):
+        cset = cs((0, 1))
+        s = PADRScheduler().schedule(cset, 8)
+        assert "OK" in verify_schedule(s, cset).summary()
+
+
+class TestRejectsBroken:
+    def test_wrong_destination(self):
+        cset = cs((0, 3), (1, 2))
+        rounds = [
+            RoundRecord(0, (Communication(0, 2), Communication(1, 3)), (0, 1), {})
+        ]
+        report = verify_schedule(fake_schedule(cset, rounds), cset)
+        assert not report.ok
+        assert any("expected" in f for f in report.failures)
+
+    def test_missing_communication(self):
+        cset = cs((0, 3), (1, 2))
+        rounds = [RoundRecord(0, (Communication(0, 3),), (0,), {})]
+        report = verify_schedule(fake_schedule(cset, rounds), cset)
+        assert any("never performed" in f for f in report.failures)
+
+    def test_duplicate_transmission(self):
+        cset = cs((0, 3))
+        rounds = [
+            RoundRecord(0, (Communication(0, 3),), (0,), {}),
+            RoundRecord(1, (Communication(0, 3),), (0,), {}),
+        ]
+        report = verify_schedule(fake_schedule(cset, rounds), cset)
+        assert any("transmitted 2 times" in f for f in report.failures)
+
+    def test_incompatible_round(self):
+        cset = cs((0, 7), (1, 6))
+        rounds = [
+            RoundRecord(
+                0, (Communication(0, 7), Communication(1, 6)), (0, 1), {}
+            )
+        ]
+        report = verify_schedule(fake_schedule(cset, rounds), cset)
+        assert any("not a compatible set" in f for f in report.failures)
+
+    def test_non_source_transmission(self):
+        cset = cs((0, 3))
+        rounds = [
+            RoundRecord(0, (Communication(0, 3), Communication(4, 5)), (0, 4), {})
+        ]
+        report = verify_schedule(fake_schedule(cset, rounds), cset)
+        assert any("not a source" in f for f in report.failures)
+
+    def test_duplicate_writers_in_round(self):
+        cset = cs((0, 3))
+        rounds = [RoundRecord(0, (Communication(0, 3),), (0, 0), {})]
+        report = verify_schedule(fake_schedule(cset, rounds), cset)
+        assert any("duplicate writers" in f for f in report.failures)
+
+    def test_raise_if_failed_raises(self):
+        cset = cs((0, 3))
+        report = verify_schedule(fake_schedule(cset, []), cset)
+        with pytest.raises(VerificationError):
+            report.raise_if_failed()
+
+    def test_failure_summary_truncates(self):
+        cset = CommunicationSet(
+            [Communication(2 * i, 2 * i + 1) for i in range(10)]
+        )
+        report = verify_schedule(fake_schedule(cset, [], n_leaves=32), cset)
+        with pytest.raises(VerificationError, match="more"):
+            report.raise_if_failed()

@@ -1,0 +1,48 @@
+"""Unit tests for the power-oblivious random-order baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomOrderScheduler
+from repro.comms.generators import crossing_chain, random_well_nested
+from repro.core.csa import PADRScheduler
+from repro.cst.topology import CSTTopology
+from repro.analysis.compatibility import is_compatible_set
+from repro.analysis.verifier import verify_schedule
+
+
+class TestRandomOrderScheduler:
+    def test_deterministic_given_seed(self):
+        cset = crossing_chain(6)
+        a = RandomOrderScheduler(seed=7).schedule(cset)
+        b = RandomOrderScheduler(seed=7).schedule(cset)
+        assert [r.performed for r in a.rounds] == [r.performed for r in b.rounds]
+
+    def test_rounds_are_compatible(self):
+        rng = np.random.default_rng(0)
+        cset = random_well_nested(15, 64, rng)
+        topo = CSTTopology.of(64)
+        for rnd in RandomOrderScheduler(seed=3).plan(cset, topo):
+            assert is_compatible_set(rnd, topo)
+
+    @pytest.mark.parametrize("seed", [0, 5, 11])
+    def test_correct_on_random_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        cset = random_well_nested(12, 64, rng)
+        s = RandomOrderScheduler(seed=seed).schedule(cset, 64)
+        verify_schedule(s, cset).raise_if_failed()
+
+    def test_name_mentions_seed(self):
+        assert "seed=4" in RandomOrderScheduler(seed=4).name
+
+    def test_pays_more_than_csa_on_width_stress(self):
+        # the ablation this baseline exists for: a power-oblivious order
+        # fragments the per-edge chains and pays for it, even with
+        # persistent configurations.
+        cset = crossing_chain(64)
+        random_s = RandomOrderScheduler(seed=1).schedule(cset)
+        csa_s = PADRScheduler().schedule(cset)
+        assert (
+            random_s.power.max_switch_changes
+            > 3 * csa_s.power.max_switch_changes
+        )

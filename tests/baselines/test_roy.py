@@ -1,0 +1,92 @@
+"""Unit tests for the Roy-style ID scheduler reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RoyIDScheduler, assign_ids
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import crossing_chain, disjoint_pairs, random_well_nested
+from repro.comms.width import width
+from repro.cst.power import PowerPolicy
+from repro.cst.topology import CSTTopology
+from repro.analysis.compatibility import conflicts, is_compatible_set
+from repro.analysis.verifier import verify_schedule
+
+
+class TestAssignIds:
+    def test_disjoint_pairs_share_id_zero(self):
+        cset = disjoint_pairs(5)
+        topo = CSTTopology.of(cset.min_leaves())
+        ids = assign_ids(cset, topo)
+        assert set(ids.values()) == {0}
+
+    def test_crossing_chain_distinct_ids(self):
+        cset = crossing_chain(4)
+        topo = CSTTopology.of(8)
+        ids = assign_ids(cset, topo)
+        assert sorted(ids.values()) == [0, 1, 2, 3]
+
+    def test_same_id_never_conflicts(self):
+        rng = np.random.default_rng(11)
+        topo = CSTTopology.of(64)
+        for _ in range(20):
+            cset = random_well_nested(12, 64, rng)
+            ids = assign_ids(cset, topo)
+            comms = list(ids)
+            for i, a in enumerate(comms):
+                for b in comms[i + 1 :]:
+                    if ids[a] == ids[b]:
+                        assert not conflicts(a, b, topo)
+
+    def test_id_count_equals_width_on_random_sets(self):
+        # the property that makes the reconstruction round-optimal in
+        # practice (see module docstring) — checked, not assumed.
+        rng = np.random.default_rng(23)
+        topo = CSTTopology.of(64)
+        for _ in range(30):
+            cset = random_well_nested(10, 64, rng)
+            ids = assign_ids(cset, topo)
+            n_ids = max(ids.values()) + 1 if ids else 0
+            assert n_ids == width(cset, topo)
+
+    def test_empty_set(self):
+        ids = assign_ids(CommunicationSet(()), CSTTopology.of(4))
+        assert ids == {}
+
+
+class TestRoyScheduler:
+    def test_rounds_group_by_id(self):
+        cset = crossing_chain(3)
+        topo = CSTTopology.of(8)
+        plan = RoyIDScheduler().plan(cset, topo)
+        ids = assign_ids(cset, topo)
+        for i, rnd in enumerate(plan):
+            assert all(ids[c] == i for c in rnd)
+
+    def test_rounds_are_compatible(self):
+        rng = np.random.default_rng(4)
+        cset = random_well_nested(14, 64, rng)
+        topo = CSTTopology.of(64)
+        for rnd in RoyIDScheduler().plan(cset, topo):
+            assert is_compatible_set(rnd, topo)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_correct_on_random_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        cset = random_well_nested(12, 64, rng)
+        s = RoyIDScheduler().schedule(cset, 64)
+        verify_schedule(s, cset).raise_if_failed()
+
+    def test_round_optimal_on_crossing_chain(self):
+        cset = crossing_chain(8)
+        s = RoyIDScheduler().schedule(cset)
+        assert s.n_rounds == 8
+
+    def test_rebuild_policy_models_per_round_reconfiguration(self):
+        # the Theorem 8 comparison: under the rebuild discipline the most
+        # loaded switch pays one unit per round — Θ(w).
+        for w in (4, 16):
+            s = RoyIDScheduler().schedule(
+                crossing_chain(w), policy=PowerPolicy.rebuild()
+            )
+            assert s.power.max_switch_units == w

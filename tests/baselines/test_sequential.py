@@ -1,0 +1,29 @@
+"""Unit tests for the sequential baseline."""
+
+import numpy as np
+
+from repro.baselines import SequentialScheduler
+from repro.comms.generators import disjoint_pairs, random_well_nested
+from repro.analysis.verifier import verify_schedule
+
+
+class TestSequentialScheduler:
+    def test_one_round_per_comm(self):
+        cset = disjoint_pairs(5)
+        s = SequentialScheduler().schedule(cset)
+        assert s.n_rounds == 5
+        assert all(len(r.performed) == 1 for r in s.rounds)
+
+    def test_correctness(self):
+        rng = np.random.default_rng(0)
+        cset = random_well_nested(10, 64, rng)
+        s = SequentialScheduler().schedule(cset, 64)
+        verify_schedule(s, cset).raise_if_failed()
+
+    def test_deterministic_order(self):
+        cset = disjoint_pairs(3)
+        s = SequentialScheduler().schedule(cset)
+        assert [r.performed[0] for r in s.rounds] == sorted(cset.comms)
+
+    def test_name(self):
+        assert SequentialScheduler().name == "sequential"

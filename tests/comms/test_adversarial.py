@@ -1,0 +1,105 @@
+"""Unit tests for the adversarial workload generators — each construction
+must actually exhibit the property it is named for, and the CSA must
+survive all of them."""
+
+import pytest
+
+from repro.exceptions import CommunicationError
+from repro.comms.adversarial import (
+    alternating_demand_set,
+    full_leaf_utilisation_set,
+    idle_subtree_inversion_set,
+    left_spine_hotspot_set,
+)
+from repro.comms.wellnested import is_well_nested
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.cst.topology import CSTTopology
+from repro.analysis.monotonicity import chain_service_analysis
+from repro.analysis.optimality import check_round_optimality
+from repro.analysis.verifier import verify_schedule
+
+
+class TestIdleSubtreeInversion:
+    def test_exhibits_inversion(self):
+        cset = idle_subtree_inversion_set()
+        s = PADRScheduler().schedule(cset, 64)
+        report = chain_service_analysis(s, cset, CSTTopology.of(64))
+        assert report.total_inversions >= 1
+
+    def test_still_correct_and_optimal(self):
+        cset = idle_subtree_inversion_set()
+        s = PADRScheduler().schedule(cset, 64)
+        verify_schedule(s, cset).raise_if_failed()
+        check_round_optimality(s, cset, require_optimal=True)
+
+
+class TestAlternatingDemand:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_well_nested_single_chain(self, k):
+        cset = alternating_demand_set(k)
+        assert is_well_nested(cset)
+        assert len(cset) == 2 * k
+
+    def test_focal_switch_carries_both_demands(self):
+        from repro.core.phase1 import phase1_states
+
+        cset = alternating_demand_set(2)
+        n = cset.min_leaves()
+        states = phase1_states(cset, n)
+        focal = states[2]  # root's left child
+        assert focal.matched == 2
+        assert focal.unmatched_left_src == 2
+
+    def test_csa_constant_changes(self):
+        cset = alternating_demand_set(8)
+        s = PADRScheduler().schedule(cset)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.power.max_switch_changes <= 3
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(CommunicationError):
+            alternating_demand_set(0)
+
+    def test_rejects_small_tree(self):
+        with pytest.raises(CommunicationError):
+            alternating_demand_set(4, n_leaves=16)
+
+
+class TestFullLeafUtilisation:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_width_is_half_the_leaves(self, n):
+        cset = full_leaf_utilisation_set(n)
+        assert len(cset) == n // 2
+        assert width(cset, CSTTopology.of(n)) == n // 2
+
+    def test_csa_exact_rounds_and_constant_power(self):
+        cset = full_leaf_utilisation_set(64)
+        s = PADRScheduler().schedule(cset, 64)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.n_rounds == 32
+        assert s.power.max_switch_changes <= 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CommunicationError):
+            full_leaf_utilisation_set(12)
+
+
+class TestLeftSpineHotspot:
+    def test_width_one_but_many_lca_levels(self):
+        cset = left_spine_hotspot_set(5)
+        n = cset.min_leaves()
+        topo = CSTTopology.of(n)
+        assert width(cset, topo) == 1
+        lca_levels = {topo.level(topo.lca_of_pes(c.src, c.dst)) for c in cset}
+        assert len(lca_levels) == 5  # one distinct level per pair
+
+    def test_single_round(self):
+        cset = left_spine_hotspot_set(4)
+        s = PADRScheduler().schedule(cset)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.n_rounds == 1
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(CommunicationError):
+            left_spine_hotspot_set(0)

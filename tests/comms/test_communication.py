@@ -1,0 +1,142 @@
+"""Unit tests for Communication and CommunicationSet."""
+
+import pytest
+from hypothesis import given
+
+from repro.exceptions import CommunicationError
+from repro.types import Role
+from repro.comms.communication import Communication, CommunicationSet
+
+from tests.conftest import communication_st, wellnested_set_st
+
+
+class TestCommunication:
+    def test_orientation(self):
+        assert Communication(1, 5).right_oriented
+        assert Communication(5, 1).left_oriented
+        assert not Communication(5, 1).right_oriented
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CommunicationError):
+            Communication(3, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CommunicationError):
+            Communication(-1, 2)
+
+    def test_span_and_extremes(self):
+        c = Communication(7, 2)
+        assert c.leftmost == 2
+        assert c.rightmost == 7
+        assert list(c.span) == [2, 3, 4, 5, 6, 7]
+
+    def test_encloses(self):
+        assert Communication(0, 9).encloses(Communication(2, 5))
+        assert not Communication(2, 5).encloses(Communication(0, 9))
+        assert not Communication(0, 9).encloses(Communication(0, 9))
+
+    def test_encloses_shared_boundary(self):
+        # same left end but shorter: still enclosed (not equal)
+        assert Communication(0, 9).encloses(Communication(0, 5))
+
+    def test_mirrored(self):
+        assert Communication(1, 5).mirrored(8) == Communication(6, 2)
+
+    @given(communication_st())
+    def test_mirroring_is_involution(self, c):
+        assert c.mirrored(64).mirrored(64) == c
+
+    @given(communication_st())
+    def test_mirroring_flips_orientation(self, c):
+        assert c.mirrored(64).right_oriented == c.left_oriented
+
+    def test_ordering(self):
+        assert Communication(1, 2) < Communication(1, 3) < Communication(2, 3)
+
+    def test_str(self):
+        assert str(Communication(3, 8)) == "(3->8)"
+
+
+class TestCommunicationSet:
+    def test_sorted_storage(self):
+        cs = CommunicationSet([Communication(4, 5), Communication(0, 1)])
+        assert cs[0] == Communication(0, 1)
+        assert len(cs) == 2
+
+    def test_duplicate_endpoint_rejected(self):
+        with pytest.raises(CommunicationError):
+            CommunicationSet([Communication(0, 1), Communication(1, 2)])
+
+    def test_pe_cannot_be_source_twice(self):
+        with pytest.raises(CommunicationError):
+            CommunicationSet([Communication(0, 1), Communication(0, 2)])
+
+    def test_empty_set(self):
+        cs = CommunicationSet(())
+        assert len(cs) == 0
+        assert cs.max_pe == -1
+        assert cs.min_leaves() == 2
+
+    def test_roles(self):
+        cs = CommunicationSet([Communication(0, 3)])
+        roles = cs.roles()
+        assert roles[0] is Role.SOURCE
+        assert roles[3] is Role.DESTINATION
+        assert 1 not in roles
+
+    def test_partner_of(self):
+        cs = CommunicationSet([Communication(0, 3), Communication(1, 2)])
+        assert dict(cs.partner_of()) == {0: 3, 1: 2}
+
+    def test_min_leaves_power_of_two(self):
+        assert CommunicationSet([Communication(0, 4)]).min_leaves() == 8
+        assert CommunicationSet([Communication(0, 3)]).min_leaves() == 4
+        assert CommunicationSet([Communication(0, 1)]).min_leaves() == 2
+
+    def test_orientation_predicates(self):
+        right = CommunicationSet([Communication(0, 1)])
+        left = CommunicationSet([Communication(1, 0)])
+        mixed = CommunicationSet([Communication(0, 1), Communication(3, 2)])
+        assert right.is_right_oriented and not right.is_left_oriented
+        assert left.is_left_oriented and not left.is_right_oriented
+        assert not mixed.is_right_oriented and not mixed.is_left_oriented
+
+    def test_oriented_subsets(self):
+        mixed = CommunicationSet([Communication(0, 1), Communication(3, 2)])
+        assert list(mixed.right_oriented_subset()) == [Communication(0, 1)]
+        assert list(mixed.left_oriented_subset()) == [Communication(3, 2)]
+
+    def test_restricted_to(self):
+        cs = CommunicationSet([Communication(0, 1), Communication(2, 3)])
+        sub = cs.restricted_to([Communication(2, 3)])
+        assert list(sub) == [Communication(2, 3)]
+
+    def test_restricted_to_unknown_rejected(self):
+        cs = CommunicationSet([Communication(0, 1)])
+        with pytest.raises(CommunicationError):
+            cs.restricted_to([Communication(4, 5)])
+
+    def test_mirrored_set(self):
+        cs = CommunicationSet([Communication(0, 1)])
+        # mirroring maps src 0 -> 3, dst 1 -> 2: orientation flips
+        assert list(cs.mirrored(4)) == [Communication(3, 2)]
+
+    def test_mirror_outside_tree_rejected(self):
+        cs = CommunicationSet([Communication(0, 9)])
+        with pytest.raises(CommunicationError):
+            cs.mirrored(8)
+
+    def test_equality_and_hash(self):
+        a = CommunicationSet([Communication(0, 1), Communication(2, 3)])
+        b = CommunicationSet([Communication(2, 3), Communication(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(wellnested_set_st())
+    def test_sources_destinations_disjoint(self, cs):
+        assert set(cs.sources()).isdisjoint(cs.destinations())
+
+    @given(wellnested_set_st())
+    def test_iteration_is_sorted(self, cs):
+        comms = list(cs)
+        assert comms == sorted(comms)

@@ -1,0 +1,92 @@
+"""Unit tests for Dyck-word machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.comms.dyck import catalan, dyck_words, is_dyck_word, random_dyck_word
+
+from tests.conftest import dyck_word_st
+
+
+class TestIsDyckWord:
+    @pytest.mark.parametrize("word", ["", "()", "(())", "()()", "(()())", "((()))"])
+    def test_valid(self, word):
+        assert is_dyck_word(word)
+
+    @pytest.mark.parametrize("word", ["(", ")", ")(", "(()", "())", "())("])
+    def test_invalid(self, word):
+        assert not is_dyck_word(word)
+
+    def test_rejects_foreign_characters(self):
+        with pytest.raises(ValueError):
+            is_dyck_word("(a)")
+
+    @given(dyck_word_st())
+    def test_strategy_produces_dyck_words(self, word):
+        assert is_dyck_word(word)
+
+
+class TestCatalan:
+    def test_known_values(self):
+        assert [catalan(n) for n in range(8)] == [1, 1, 2, 5, 14, 42, 132, 429]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            catalan(-1)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", range(0, 7))
+    def test_counts_match_catalan(self, n):
+        words = list(dyck_words(n))
+        assert len(words) == catalan(n)
+
+    def test_all_valid_and_distinct(self):
+        words = list(dyck_words(5))
+        assert all(is_dyck_word(w) for w in words)
+        assert len(set(words)) == len(words)
+
+    def test_lexicographic_order(self):
+        words = list(dyck_words(4))
+        assert words == sorted(words)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(dyck_words(-1))
+
+
+class TestRandomSampling:
+    def test_produces_dyck_words(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 5, 17, 100):
+            word = random_dyck_word(n, rng)
+            assert len(word) == 2 * n
+            assert is_dyck_word(word)
+
+    def test_zero_pairs(self):
+        assert random_dyck_word(0, np.random.default_rng(0)) == ""
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_dyck_word(-1, np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self):
+        a = random_dyck_word(20, np.random.default_rng(9))
+        b = random_dyck_word(20, np.random.default_rng(9))
+        assert a == b
+
+    def test_uniformity_chi_squared(self):
+        """Cycle-lemma sampling should be uniform over the C_4 = 14 words."""
+        rng = np.random.default_rng(2024)
+        n, trials = 4, 14 * 500
+        counts: dict[str, int] = {}
+        for _ in range(trials):
+            w = random_dyck_word(n, rng)
+            counts[w] = counts.get(w, 0) + 1
+        assert len(counts) == catalan(n)  # every word observed
+        expected = trials / catalan(n)
+        chi2 = sum((c - expected) ** 2 / expected for c in counts.values())
+        # 13 dof; 99.9th percentile ≈ 34.5 — generous to avoid flakiness
+        assert chi2 < 34.5, f"chi2={chi2:.1f}, counts={counts}"

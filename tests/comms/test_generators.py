@@ -1,0 +1,198 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CommunicationError
+from repro.comms.communication import Communication
+from repro.comms.generators import (
+    crossing_chain,
+    disjoint_pairs,
+    from_dyck_word,
+    nested_chain,
+    paper_figure2_set,
+    random_well_nested,
+    segmentable_bus,
+    staircase,
+)
+from repro.comms.wellnested import is_well_nested, nesting_depths
+from repro.comms.width import width
+
+
+class TestFromDyckWord:
+    def test_simple_pairing(self):
+        s = from_dyck_word("(())")
+        assert list(s) == [Communication(0, 3), Communication(1, 2)]
+
+    def test_custom_positions(self):
+        s = from_dyck_word("()", [5, 9])
+        assert list(s) == [Communication(5, 9)]
+
+    def test_rejects_non_dyck(self):
+        with pytest.raises(CommunicationError):
+            from_dyck_word("))((")
+
+    def test_rejects_wrong_position_count(self):
+        with pytest.raises(CommunicationError):
+            from_dyck_word("()", [1, 2, 3])
+
+    def test_rejects_non_increasing_positions(self):
+        with pytest.raises(CommunicationError):
+            from_dyck_word("()", [5, 5])
+
+
+class TestRandomWellNested:
+    def test_sizes(self):
+        rng = np.random.default_rng(0)
+        s = random_well_nested(10, 64, rng)
+        assert len(s) == 10
+        assert s.max_pe < 64
+
+    def test_always_well_nested(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert is_well_nested(random_well_nested(6, 32, rng))
+
+    def test_zero_pairs(self):
+        s = random_well_nested(0, 8, np.random.default_rng(0))
+        assert len(s) == 0
+
+    def test_too_many_pairs_rejected(self):
+        with pytest.raises(CommunicationError):
+            random_well_nested(5, 9, np.random.default_rng(0))
+
+    def test_exact_fit(self):
+        s = random_well_nested(4, 8, np.random.default_rng(0))
+        assert len(s) == 4
+        # all 8 leaves used
+        assert sorted(list(s.sources()) + list(s.destinations())) == list(range(8))
+
+
+class TestNestedChain:
+    def test_structure(self):
+        s = nested_chain(3)
+        assert list(s) == [
+            Communication(0, 5),
+            Communication(1, 4),
+            Communication(2, 3),
+        ]
+
+    def test_depths_are_sequential(self):
+        depths = nesting_depths(nested_chain(4))
+        assert sorted(depths.values()) == [0, 1, 2, 3]
+
+    def test_rejects_zero(self):
+        with pytest.raises(CommunicationError):
+            nested_chain(0)
+
+    def test_leaf_bound_check(self):
+        with pytest.raises(CommunicationError):
+            nested_chain(5, n_leaves=8)
+
+
+class TestCrossingChain:
+    @pytest.mark.parametrize("w", [1, 2, 3, 4, 7, 8, 13, 32])
+    def test_width_is_exact(self, w):
+        assert width(crossing_chain(w)) == w
+
+    def test_all_cross_the_root(self):
+        s = crossing_chain(4)
+        n = s.min_leaves()
+        for c in s:
+            assert c.src < n // 2 <= c.dst
+
+    def test_explicit_leaves(self):
+        s = crossing_chain(2, n_leaves=16)
+        assert s.max_pe == 15
+
+    def test_rejects_too_small_tree(self):
+        with pytest.raises(CommunicationError):
+            crossing_chain(5, n_leaves=8)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CommunicationError):
+            crossing_chain(2, n_leaves=12)
+
+
+class TestDisjointPairs:
+    def test_width_one(self):
+        assert width(disjoint_pairs(8)) == 1
+
+    def test_stride(self):
+        s = disjoint_pairs(3, stride=4)
+        assert list(s) == [
+            Communication(0, 1),
+            Communication(4, 5),
+            Communication(8, 9),
+        ]
+
+    def test_zero_pairs(self):
+        assert len(disjoint_pairs(0)) == 0
+
+    def test_rejects_small_stride(self):
+        with pytest.raises(CommunicationError):
+            disjoint_pairs(2, stride=1)
+
+
+class TestSegmentableBus:
+    def test_segments(self):
+        s = segmentable_bus([0, 4, 8])
+        assert list(s) == [Communication(0, 3), Communication(4, 7)]
+
+    def test_width_one(self):
+        assert width(segmentable_bus([0, 3, 9, 16])) == 1
+
+    def test_rejects_single_pe_segment(self):
+        with pytest.raises(CommunicationError):
+            segmentable_bus([0, 1])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(CommunicationError):
+            segmentable_bus([4, 2])
+
+    def test_rejects_too_few_bounds(self):
+        with pytest.raises(CommunicationError):
+            segmentable_bus([3])
+
+
+class TestStaircase:
+    def test_size(self):
+        s = staircase(3, 2)
+        assert len(s) == 6
+
+    def test_well_nested(self):
+        assert is_well_nested(staircase(4, 3, gap=2))
+
+    def test_width_independent_of_chain_count(self):
+        w1 = width(staircase(1, 3))
+        w4 = width(staircase(4, 3))
+        assert w1 == w4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(CommunicationError):
+            staircase(0, 1)
+        with pytest.raises(CommunicationError):
+            staircase(1, 0)
+        with pytest.raises(CommunicationError):
+            staircase(1, 1, gap=-1)
+
+
+class TestPaperFigure2:
+    def test_six_communications(self, fig2_set):
+        assert len(fig2_set) == 6
+
+    def test_width_two(self, fig2_set):
+        assert width(fig2_set) == 2
+
+    def test_well_nested(self, fig2_set):
+        assert is_well_nested(fig2_set)
+
+    def test_rejects_small_tree(self):
+        with pytest.raises(CommunicationError):
+            paper_figure2_set(8)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CommunicationError):
+            paper_figure2_set(24)

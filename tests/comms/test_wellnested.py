@@ -1,0 +1,131 @@
+"""Unit tests for well-nestedness recognition and nesting structure."""
+
+import pytest
+from hypothesis import given
+
+from repro.exceptions import NotWellNestedError, OrientationError
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.wellnested import (
+    enclosing_chain,
+    is_well_nested,
+    nesting_depths,
+    nesting_forest,
+    parenthesis_profile,
+    require_well_nested,
+)
+
+from tests.conftest import wellnested_set_st
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+class TestParenthesisProfile:
+    def test_simple(self):
+        assert parenthesis_profile(cs((0, 1)), 4) == "().."
+
+    def test_nested(self):
+        assert parenthesis_profile(cs((0, 3), (1, 2)), 4) == "(())"
+
+    def test_idle_gaps(self):
+        assert parenthesis_profile(cs((1, 4)), 6) == ".(..)."
+
+    def test_left_oriented_rejected(self):
+        with pytest.raises(OrientationError):
+            parenthesis_profile(cs((3, 1)), 4)
+
+    def test_defaults_to_max_pe(self):
+        assert parenthesis_profile(cs((0, 2))) == "(.)"
+
+
+class TestIsWellNested:
+    def test_empty_set(self):
+        assert is_well_nested(CommunicationSet(()))
+
+    def test_single(self):
+        assert is_well_nested(cs((0, 5)))
+
+    def test_nested(self):
+        assert is_well_nested(cs((0, 3), (1, 2)))
+
+    def test_adjacent(self):
+        assert is_well_nested(cs((0, 1), (2, 3)))
+
+    def test_crossing_rejected(self):
+        # ( [ ) ] — crossing pairs, balanced word but wrong matching
+        assert not is_well_nested(cs((0, 2), (1, 3)))
+
+    def test_left_oriented_rejected(self):
+        assert not is_well_nested(cs((3, 0)))
+
+    def test_mixed_orientation_rejected(self):
+        assert not is_well_nested(cs((0, 1), (5, 3)))
+
+    def test_require_raises_on_crossing(self):
+        with pytest.raises(NotWellNestedError):
+            require_well_nested(cs((0, 2), (1, 3)))
+
+    def test_require_raises_on_orientation(self):
+        with pytest.raises(OrientationError):
+            require_well_nested(cs((3, 0)))
+
+    def test_require_returns_valid_set(self):
+        s = cs((0, 1))
+        assert require_well_nested(s) is s
+
+    @given(wellnested_set_st())
+    def test_generated_sets_are_well_nested(self, s):
+        assert is_well_nested(s)
+
+
+class TestNestingForest:
+    def test_roots_have_no_parent(self):
+        s = cs((0, 1), (2, 3))
+        forest = nesting_forest(s)
+        assert all(p is None for p in forest.values())
+
+    def test_nested_parent(self):
+        s = cs((0, 3), (1, 2))
+        forest = nesting_forest(s)
+        assert forest[Communication(1, 2)] == Communication(0, 3)
+        assert forest[Communication(0, 3)] is None
+
+    def test_figure2_structure(self, fig2_set):
+        forest = nesting_forest(fig2_set)
+        # (()(())) (()) — from the paper's Figure 2 transcription
+        assert forest[Communication(0, 7)] is None
+        assert forest[Communication(8, 11)] is None
+        assert forest[Communication(1, 2)] == Communication(0, 7)
+        assert forest[Communication(3, 6)] == Communication(0, 7)
+        assert forest[Communication(4, 5)] == Communication(3, 6)
+        assert forest[Communication(9, 10)] == Communication(8, 11)
+
+    @given(wellnested_set_st())
+    def test_parent_strictly_encloses(self, s):
+        for c, p in nesting_forest(s).items():
+            if p is not None:
+                assert p.encloses(c)
+
+
+class TestNestingDepths:
+    def test_depths(self, fig2_set):
+        depths = nesting_depths(fig2_set)
+        assert depths[Communication(0, 7)] == 0
+        assert depths[Communication(4, 5)] == 2
+        assert depths[Communication(9, 10)] == 1
+
+    @given(wellnested_set_st())
+    def test_depth_is_chain_length(self, s):
+        depths = nesting_depths(s)
+        for c in s:
+            assert depths[c] == len(enclosing_chain(s, c))
+
+
+class TestEnclosingChain:
+    def test_outermost_first(self, fig2_set):
+        chain = enclosing_chain(fig2_set, Communication(4, 5))
+        assert chain == [Communication(0, 7), Communication(3, 6)]
+
+    def test_root_has_empty_chain(self, fig2_set):
+        assert list(enclosing_chain(fig2_set, Communication(0, 7))) == []

@@ -1,0 +1,158 @@
+"""Unit tests for width (same-direction link congestion)."""
+
+from hypothesis import given
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.width import (
+    comms_on_edge,
+    edge_loads,
+    width,
+    width_lower_bound_witness,
+)
+from repro.comms.generators import crossing_chain, disjoint_pairs, nested_chain
+from repro.cst.topology import CSTTopology, DirectedEdge
+from repro.types import Direction
+
+from tests.conftest import wellnested_set_st
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+class TestEdgeLoads:
+    def test_single_comm_unit_loads(self, topo8):
+        loads = edge_loads(cs((0, 1)), topo8)
+        assert set(loads.values()) == {1}
+        assert len(loads) == 2  # one up edge, one down edge
+
+    def test_shared_up_edge(self, topo8):
+        loads = edge_loads(cs((0, 7), (1, 6)), topo8)
+        assert loads[DirectedEdge(4, Direction.UP)] == 2
+        assert loads[DirectedEdge(2, Direction.UP)] == 2
+
+    def test_opposite_directions_counted_separately(self, topo8):
+        # (0,2) descends through switch 5's parent edge; (3,5) ascends it
+        loads = edge_loads(cs((0, 2), (3, 5)), topo8)
+        assert loads.get(DirectedEdge(5, Direction.DOWN), 0) == 1
+        assert loads.get(DirectedEdge(5, Direction.UP), 0) == 1
+
+    def test_empty_set(self, topo8):
+        assert edge_loads(CommunicationSet(()), topo8) == {}
+
+
+class TestWidth:
+    def test_empty_width_zero(self):
+        assert width(CommunicationSet(())) == 0
+
+    def test_single_width_one(self):
+        assert width(cs((0, 1))) == 1
+
+    def test_disjoint_pairs_width_one(self):
+        assert width(disjoint_pairs(10)) == 1
+
+    def test_crossing_chain_exact(self):
+        for w in (1, 2, 3, 5, 9, 16):
+            assert width(crossing_chain(w)) == w
+
+    def test_nested_chain_less_than_depth(self):
+        # adjacent-leaf nesting does NOT reach width == depth (inner pairs
+        # stay in low subtrees) — the pitfall crossing_chain exists for.
+        assert width(nested_chain(3)) == 2
+
+    def test_default_topology_is_minimal(self):
+        s = cs((0, 5))
+        assert width(s) == width(s, CSTTopology.of(8))
+
+    @given(wellnested_set_st())
+    def test_width_bounds(self, s):
+        if len(s) == 0:
+            return
+        w = width(s)
+        assert 1 <= w <= len(s)
+
+    @given(wellnested_set_st())
+    def test_width_monotone_under_removal(self, s):
+        if len(s) < 2:
+            return
+        topo = CSTTopology.of(64)
+        sub = CommunicationSet(list(s)[1:])
+        assert width(sub, topo) <= width(s, topo)
+
+
+class TestWitness:
+    def test_witness_attains_width(self, topo8):
+        s = cs((0, 7), (1, 6), (2, 5))
+        edge, witness = width_lower_bound_witness(s, topo8)
+        assert edge is not None
+        assert len(witness) == width(s, topo8)
+
+    def test_witness_comms_all_use_edge(self, topo8):
+        s = cs((0, 7), (1, 6))
+        edge, witness = width_lower_bound_witness(s, topo8)
+        for c in witness:
+            assert edge in topo8.path_edges(c.src, c.dst)
+
+    def test_empty_witness(self, topo8):
+        edge, witness = width_lower_bound_witness(CommunicationSet(()), topo8)
+        assert edge is None and witness == ()
+
+
+class TestChainStructureLemma:
+    """Communications sharing a directed edge always form a nesting chain.
+
+    This structural fact (derived in DESIGN.md §5 discussion) underpins the
+    power analysis: it is why chain-monotone schedules achieve O(1) switch
+    changes and why a maximum incompatible is totally ordered by nesting.
+    """
+
+    @given(wellnested_set_st(max_pairs=8))
+    def test_same_edge_comms_pairwise_nested(self, s):
+        topo = CSTTopology.of(64)
+        loads = edge_loads(s, topo)
+        for edge, load in loads.items():
+            if load < 2:
+                continue
+            users = comms_on_edge(s, topo, edge)
+            for i, a in enumerate(users):
+                for b in users[i + 1 :]:
+                    assert a.encloses(b) or b.encloses(a), (
+                        f"{a} and {b} share {edge} but neither nests the other"
+                    )
+
+
+class TestVectorizedFastPath:
+    """edge_loads_fast / width_fast must agree exactly with the reference."""
+
+    @given(wellnested_set_st(max_pairs=10))
+    def test_edge_loads_equivalence(self, s):
+        from repro.comms.width import edge_loads_fast
+
+        topo = CSTTopology.of(64)
+        assert dict(edge_loads_fast(s, topo)) == dict(edge_loads(s, topo))
+
+    @given(wellnested_set_st(max_pairs=10))
+    def test_width_equivalence(self, s):
+        from repro.comms.width import width_fast
+
+        topo = CSTTopology.of(64)
+        assert width_fast(s, topo) == width(s, topo)
+
+    def test_width_fast_empty(self):
+        from repro.comms.width import width_fast
+
+        assert width_fast(CommunicationSet(())) == 0
+
+    def test_width_fast_default_topology(self):
+        from repro.comms.width import width_fast
+
+        assert width_fast(crossing_chain(5)) == 5
+
+    def test_left_oriented_supported(self):
+        # the subtree characterisation is orientation-agnostic
+        from repro.comms.width import edge_loads_fast, width_fast
+
+        s = cs((5, 0), (4, 1))
+        topo = CSTTopology.of(8)
+        assert dict(edge_loads_fast(s, topo)) == dict(edge_loads(s, topo))
+        assert width_fast(s, topo) == width(s, topo)

@@ -1,0 +1,103 @@
+"""Shared fixtures and hypothesis strategies for the whole test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import from_dyck_word
+from repro.cst.network import CSTNetwork
+from repro.cst.topology import CSTTopology
+
+
+# ---------------------------------------------------------------------------
+# plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def topo8() -> CSTTopology:
+    return CSTTopology.of(8)
+
+
+@pytest.fixture
+def topo16() -> CSTTopology:
+    return CSTTopology.of(16)
+
+
+@pytest.fixture
+def net8() -> CSTNetwork:
+    return CSTNetwork.of_size(8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig2_set() -> CommunicationSet:
+    from repro.comms.generators import paper_figure2_set
+
+    return paper_figure2_set()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def dyck_word_st(draw, max_pairs: int = 10) -> str:
+    """A shrinkable Dyck word with 1..max_pairs pairs."""
+    n = draw(st.integers(min_value=1, max_value=max_pairs))
+    opens = closes = 0
+    chars: list[str] = []
+    while closes < n:
+        if opens == n:
+            chars.append(")")
+            closes += 1
+        elif opens == closes:
+            chars.append("(")
+            opens += 1
+        else:
+            if draw(st.booleans()):
+                chars.append("(")
+                opens += 1
+            else:
+                chars.append(")")
+                closes += 1
+    return "".join(chars)
+
+
+@st.composite
+def wellnested_set_st(
+    draw,
+    max_pairs: int = 10,
+    n_leaves: int = 64,
+) -> CommunicationSet:
+    """A right-oriented well-nested set on an ``n_leaves``-leaf CST."""
+    word = draw(dyck_word_st(max_pairs=max_pairs))
+    k = len(word)
+    positions = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n_leaves - 1),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    return from_dyck_word(word, positions)
+
+
+@st.composite
+def communication_st(draw, n_leaves: int = 64) -> Communication:
+    """An arbitrary (possibly left-oriented) communication."""
+    a = draw(st.integers(min_value=0, max_value=n_leaves - 1))
+    b = draw(
+        st.integers(min_value=0, max_value=n_leaves - 1).filter(lambda x: x != a)
+    )
+    return Communication(a, b)

@@ -1,0 +1,64 @@
+"""Unit tests for the round-plan executor shared by centralized schedulers."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.base import execute_round_plan
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+class TestExecuteRoundPlan:
+    def test_single_round_plan(self):
+        cset = cs((0, 1), (2, 3))
+        s = execute_round_plan(cset, 8, [list(cset)], "t")
+        assert s.n_rounds == 1
+        assert sorted(s.performed()) == sorted(cset.comms)
+
+    def test_multi_round_plan(self):
+        cset = cs((0, 7), (1, 6))
+        plan = [[Communication(0, 7)], [Communication(1, 6)]]
+        s = execute_round_plan(cset, 8, plan, "t")
+        assert s.n_rounds == 2
+        assert s.rounds[0].writers == (0,)
+        assert s.rounds[1].writers == (1,)
+
+    def test_plan_missing_comm_rejected(self):
+        cset = cs((0, 1), (2, 3))
+        with pytest.raises(SchedulingError, match="plan performs"):
+            execute_round_plan(cset, 8, [[Communication(0, 1)]], "t")
+
+    def test_plan_with_extra_comm_rejected(self):
+        cset = cs((0, 1))
+        plan = [[Communication(0, 1), Communication(2, 3)]]
+        with pytest.raises(SchedulingError):
+            execute_round_plan(cset, 8, plan, "t")
+
+    def test_duplicated_comm_rejected(self):
+        cset = cs((0, 1))
+        plan = [[Communication(0, 1)], [Communication(0, 1)]]
+        with pytest.raises(SchedulingError):
+            execute_round_plan(cset, 8, plan, "t")
+
+    def test_incompatible_round_detected(self):
+        # (0,7) and (1,6) share up-edges: same round must fail on staging
+        cset = cs((0, 7), (1, 6))
+        with pytest.raises(SchedulingError, match="not realisable"):
+            execute_round_plan(cset, 8, [list(cset)], "t")
+
+    def test_power_accounted(self):
+        cset = cs((0, 7))
+        s = execute_round_plan(cset, 8, [[Communication(0, 7)]], "t")
+        # 5 switches on the path, one connection each
+        assert s.power.total_units == 5
+
+    def test_empty_plan_for_empty_set(self):
+        s = execute_round_plan(CommunicationSet(()), 8, [], "t")
+        assert s.n_rounds == 0
+
+    def test_scheduler_name_recorded(self):
+        s = execute_round_plan(cs((0, 1)), 8, [[Communication(0, 1)]], "my-name")
+        assert s.scheduler_name == "my-name"

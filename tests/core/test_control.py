@@ -1,0 +1,110 @@
+"""Unit tests for the CSA control vocabulary."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.core.control import DownKind, DownWord, StoredState, UpWord
+
+
+class TestUpWord:
+    def test_fields(self):
+        w = UpWord(2, 3)
+        assert w.sources == 2 and w.destinations == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            UpWord(-1, 0)
+
+    def test_constant_wire_size(self):
+        assert UpWord.wire_words() == 2
+
+    def test_str(self):
+        assert str(UpWord(1, 0)) == "[S=1, D=0]"
+
+
+class TestStoredState:
+    def test_paper_tuple_order(self):
+        st = StoredState(
+            matched=2,
+            unmatched_left_src=1,
+            left_dst=3,
+            right_src=4,
+            unmatched_right_dst=0,
+        )
+        # C_S = [M, S_L−M, D_L, S_R, D_R−M]
+        assert st.as_tuple() == (2, 1, 3, 4, 0)
+
+    def test_types_4_and_5_mutually_exclusive(self):
+        with pytest.raises(ProtocolError):
+            StoredState(unmatched_left_src=1, unmatched_right_dst=1)
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ProtocolError):
+            StoredState(matched=-1)
+
+    def test_sources_up(self):
+        st = StoredState(unmatched_left_src=2, right_src=3)
+        assert st.sources_up == 5
+
+    def test_destinations_up(self):
+        st = StoredState(left_dst=1, unmatched_right_dst=4)
+        assert st.destinations_up == 5
+
+    def test_exhausted(self):
+        assert StoredState().exhausted
+        assert not StoredState(matched=1).exhausted
+        assert not StoredState(right_src=1).exhausted
+
+    def test_copy_is_independent(self):
+        st = StoredState(matched=2)
+        cp = st.copy()
+        cp.matched -= 1
+        assert st.matched == 2
+
+    def test_constant_storage(self):
+        assert StoredState.stored_words() == 5
+
+
+class TestDownWord:
+    def test_none_singleton(self):
+        assert DownWord.none() is DownWord.none()
+        assert DownWord.none().kind is DownKind.NONE
+
+    def test_src_carries_rank(self):
+        w = DownWord.src(3)
+        assert w.kind is DownKind.SRC and w.x_s == 3 and w.x_d == 0
+
+    def test_dst_carries_rank(self):
+        w = DownWord.dst(2)
+        assert w.kind is DownKind.DST and w.x_d == 2
+
+    def test_both(self):
+        w = DownWord.both(1, 2)
+        assert w.kind is DownKind.BOTH and (w.x_s, w.x_d) == (1, 2)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ProtocolError):
+            DownWord.src(-1)
+
+    def test_rank_on_none_rejected(self):
+        with pytest.raises(ProtocolError):
+            DownWord(DownKind.NONE, x_s=1)
+
+    def test_dst_rank_on_src_rejected(self):
+        with pytest.raises(ProtocolError):
+            DownWord(DownKind.SRC, x_s=0, x_d=1)
+
+    def test_wants_flags(self):
+        assert DownKind.SRC.wants_source and not DownKind.SRC.wants_destination
+        assert DownKind.DST.wants_destination and not DownKind.DST.wants_source
+        assert DownKind.BOTH.wants_source and DownKind.BOTH.wants_destination
+        assert not DownKind.NONE.wants_source and not DownKind.NONE.wants_destination
+
+    def test_constant_wire_size(self):
+        assert DownWord.wire_words() == 3
+
+    def test_paper_kind_notation(self):
+        assert DownKind.NONE.value == "[null,null]"
+        assert DownKind.SRC.value == "[s,null]"
+        assert DownKind.DST.value == "[d,null]"
+        assert DownKind.BOTH.value == "[s,d]"

@@ -1,0 +1,108 @@
+"""Unit + property tests for the native left-oriented CSA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import OrientationError
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import random_well_nested
+from repro.comms.width import width
+from repro.core.left import LeftPADRScheduler
+from repro.extensions.oriented import MirroredScheduler
+from repro.cst.topology import CSTTopology
+from repro.analysis.verifier import verify_schedule
+
+from tests.conftest import wellnested_set_st
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+class TestBasics:
+    def test_rejects_right_oriented(self):
+        with pytest.raises(OrientationError):
+            LeftPADRScheduler().schedule(cs((0, 1)), 8)
+
+    def test_single_pair(self):
+        cset = cs((5, 2))
+        s = LeftPADRScheduler().schedule(cset, 8)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.n_rounds == 1
+
+    def test_nested_left_chain(self):
+        cset = cs((7, 0), (6, 1), (5, 2))
+        s = LeftPADRScheduler().schedule(cset, 8)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.n_rounds == width(cset, CSTTopology.of(8)) == 3
+
+    def test_empty_set(self):
+        s = LeftPADRScheduler().schedule(CommunicationSet(()), 8)
+        assert s.n_rounds == 0
+
+    def test_power_optimal_on_left_crossing_chain(self):
+        n = 64
+        cset = CommunicationSet(Communication(n - 1 - i, i) for i in range(16))
+        s = LeftPADRScheduler().schedule(cset, n)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.n_rounds == 16
+        assert s.power.max_switch_changes <= 2  # Theorem 8, mirrored
+
+
+class TestCrossCheckAgainstReflection:
+    """The mirror-lens and reflected-copy implementations must agree."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_rounds_and_power(self, seed):
+        rng = np.random.default_rng(seed)
+        right = random_well_nested(10, 64, rng)
+        left = right.mirrored(64)
+
+        native = LeftPADRScheduler().schedule(left, 64)
+        reflected = MirroredScheduler().schedule(left, 64)
+
+        verify_schedule(native, left).raise_if_failed()
+        verify_schedule(reflected, left).raise_if_failed()
+        assert native.n_rounds == reflected.n_rounds
+        assert native.power.total_units == reflected.power.total_units
+        assert (
+            native.power.max_switch_changes
+            == reflected.power.max_switch_changes
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_per_round_deliveries_are_reflections(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        right = random_well_nested(8, 32, rng)
+        left = right.mirrored(32)
+
+        native = LeftPADRScheduler().schedule(left, 32)
+        right_run = __import__("repro").PADRScheduler().schedule(right, 32)
+        for rn, rr in zip(native.rounds, right_run.rounds):
+            reflected = sorted(
+                Communication(32 - 1 - c.src, 32 - 1 - c.dst)
+                for c in rr.performed
+            )
+            assert sorted(rn.performed) == reflected
+
+
+class TestProperties:
+    @given(cset=wellnested_set_st(max_pairs=8))
+    @settings(max_examples=80, deadline=None)
+    def test_left_csa_correct_and_optimal(self, cset):
+        left = cset.mirrored(64)
+        if len(left) == 0:
+            return
+        s = LeftPADRScheduler().schedule(left, 64)
+        verify_schedule(s, left).raise_if_failed()
+        assert s.n_rounds == width(left, CSTTopology.of(64))
+
+    @given(cset=wellnested_set_st(max_pairs=8))
+    @settings(max_examples=60, deadline=None)
+    def test_left_csa_constant_changes(self, cset):
+        left = cset.mirrored(64)
+        if len(left) == 0:
+            return
+        s = LeftPADRScheduler().schedule(left, 64)
+        assert s.power.max_switch_changes <= 6

@@ -1,0 +1,115 @@
+"""Exhaustive model check of CONFIGURE over all small switch states.
+
+Enumerates every stored state with counters ≤ 4 (respecting the type-4/5
+exclusivity invariant) and every control word valid for it, and checks
+structural invariants of the outcome.  ~3000 (state, word) pairs — a
+finite-model sanity net under the property suites.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core.control import DownKind, DownWord, StoredState
+from repro.core.phase2 import configure
+from repro.cst.switch import SwitchConfiguration
+from repro.types import (
+    CONN_DOWN_L,
+    CONN_DOWN_R,
+    CONN_L_TO_R,
+    CONN_L_UP,
+    CONN_R_UP,
+)
+
+
+def all_states(limit=4):
+    for m, usl, dl, sr, udr in product(range(limit), repeat=5):
+        if usl and udr:
+            continue  # M = min(S_L, D_R) forbids both
+        yield StoredState(
+            matched=m,
+            unmatched_left_src=usl,
+            left_dst=dl,
+            right_src=sr,
+            unmatched_right_dst=udr,
+        )
+
+
+def valid_words(state):
+    yield DownWord.none()
+    for x_s in range(state.sources_up):
+        yield DownWord.src(x_s)
+    for x_d in range(state.destinations_up):
+        yield DownWord.dst(x_d)
+    for x_s in range(state.sources_up):
+        for x_d in range(state.destinations_up):
+            yield DownWord.both(x_s, x_d)
+
+
+def all_cases():
+    for base in all_states():
+        for word in valid_words(base):
+            yield base, word
+
+
+class TestConfigureModelCheck:
+    def test_exhaustive_invariants(self):
+        checked = 0
+        for base, word in all_cases():
+            state = base.copy()
+            outcome = configure(1, state, word)
+            ctx = f"state={base}, word={word}"
+
+            # I1: staged connections are a legal crossbar (no port reuse)
+            SwitchConfiguration(outcome.connections)
+            assert len(outcome.connections) <= 3, ctx
+
+            # I2: counters only decrease, each by at most 1
+            for before, after in zip(base.as_tuple(), state.as_tuple()):
+                assert 0 <= before - after <= 1, ctx
+                assert after >= 0, ctx
+
+            # I3: total endpoints removed == demands satisfied
+            total_drop = sum(base.as_tuple()) - sum(state.as_tuple())
+            expected = (
+                int(word.kind.wants_source)
+                + int(word.kind.wants_destination)
+                + int(outcome.scheduled_matched)
+            )
+            assert total_drop == expected, ctx
+
+            # I4: matched decremented exactly when a matched pair fired
+            assert (base.matched - state.matched == 1) == outcome.scheduled_matched, ctx
+
+            # I5: connections coherent with the words sent to children
+            conns = set(outcome.connections)
+            lw, rw = outcome.left_word, outcome.right_word
+            assert (CONN_L_UP in conns or CONN_L_TO_R in conns) == (
+                lw.kind.wants_source
+            ), ctx
+            assert (CONN_R_UP in conns) == rw.kind.wants_source, ctx
+            assert (CONN_DOWN_L in conns) == lw.kind.wants_destination, ctx
+            assert (CONN_DOWN_R in conns or CONN_L_TO_R in conns) == (
+                rw.kind.wants_destination
+            ), ctx
+
+            # I6: child ranks are bounded by what the child can still offer
+            # (from this switch's post-update perspective the left child's
+            # remaining sources are u_sl + matched still to fire)
+            if lw.kind.wants_source:
+                assert lw.x_s <= state.unmatched_left_src + state.matched, ctx
+            if rw.kind.wants_destination:
+                assert rw.x_d <= state.unmatched_right_dst + state.matched, ctx
+
+            checked += 1
+        assert checked > 2500  # the enumeration really is exhaustive
+
+
+class TestConfigureDeterminism:
+    def test_same_inputs_same_outputs(self):
+        for base, word in all_cases():
+            a_state, b_state = base.copy(), base.copy()
+            a = configure(1, a_state, word)
+            b = configure(1, b_state, word)
+            assert a == b
+            assert a_state.as_tuple() == b_state.as_tuple()

@@ -1,0 +1,72 @@
+"""Unit tests for schedule result types."""
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.schedule import RoundRecord, Schedule, ScheduleStats
+from repro.cst.power import PowerMeter
+
+
+def make_schedule():
+    cset = CommunicationSet([Communication(0, 1), Communication(2, 3)])
+    meter = PowerMeter()
+    meter.charge(4, 2)
+    meter.note_change(4)
+    rounds = (
+        RoundRecord(0, (Communication(0, 1),), (0,), {4: ()}),
+        RoundRecord(1, (Communication(2, 3),), (2,), {5: ()}),
+    )
+    return Schedule(
+        cset,
+        8,
+        "test-sched",
+        rounds,
+        meter.report(2),
+        control_messages=10,
+        control_words=30,
+    )
+
+
+class TestSchedule:
+    def test_n_rounds(self):
+        assert make_schedule().n_rounds == 2
+
+    def test_performed_in_round_order(self):
+        s = make_schedule()
+        assert list(s.performed()) == [Communication(0, 1), Communication(2, 3)]
+
+    def test_round_of(self):
+        s = make_schedule()
+        mapping = s.round_of()
+        assert mapping[Communication(0, 1)] == 0
+        assert mapping[Communication(2, 3)] == 1
+
+    def test_round_record_len(self):
+        s = make_schedule()
+        assert len(s.rounds[0]) == 1
+
+    def test_repr_mentions_name(self):
+        assert "test-sched" in repr(make_schedule())
+
+
+class TestScheduleStats:
+    def test_stats_fields(self):
+        stats = make_schedule().stats(width=1)
+        assert stats.n_comms == 2
+        assert stats.n_rounds == 2
+        assert stats.width == 1
+        assert stats.total_power_units == 2
+        assert stats.max_switch_config_changes == 1
+        assert stats.control_messages == 10
+
+    def test_rounds_over_width(self):
+        stats = make_schedule().stats(width=1)
+        assert stats.rounds_over_width == 2.0
+
+    def test_zero_width_ratio(self):
+        stats = ScheduleStats(0, 0, 0, 0, 0, 0, 0, 0)
+        assert stats.rounds_over_width == 0.0
+
+    def test_row_keys(self):
+        row = make_schedule().stats(width=2).row()
+        assert row["rounds"] == 2
+        assert row["rounds/width"] == 1.0
+        assert "power_total" in row

@@ -1,0 +1,84 @@
+"""Unit tests for the synchronous message-wave engine."""
+
+from repro.cst.engine import CSTEngine
+from repro.cst.network import CSTNetwork
+
+
+def make_engine(n=8):
+    return CSTEngine(CSTNetwork.of_size(n))
+
+
+class TestUpwardWave:
+    def test_sum_reduction(self):
+        eng = make_engine(8)
+        sent = eng.upward_wave(
+            leaf_word=lambda pe: 1,
+            combine=lambda v, l, r: l + r,
+        )
+        assert sent[1] == 8  # root aggregates every leaf
+        assert sent[4] == 2
+        assert sent[8] == 1  # leaves transmit their own word
+
+    def test_children_processed_before_parents(self):
+        eng = make_engine(8)
+        order: list[int] = []
+        eng.upward_wave(
+            leaf_word=lambda pe: 0,
+            combine=lambda v, l, r: order.append(v) or 0,
+        )
+        pos = {v: i for i, v in enumerate(order)}
+        for v in range(1, 4):
+            assert pos[v] > pos.get(2 * v, -1)
+            assert pos[v] > pos.get(2 * v + 1, -1)
+
+    def test_message_accounting(self):
+        eng = make_engine(8)
+        eng.upward_wave(lambda pe: 0, lambda v, l, r: 0, words_per_message=2)
+        # every non-root node transmits once: 8 leaves + 6 internal = 14
+        assert eng.trace.messages == 14
+        assert eng.trace.words == 28
+        assert eng.trace.waves == 1
+
+
+class TestDownwardWave:
+    def test_broadcast(self):
+        eng = make_engine(8)
+        leaf_words = eng.downward_wave("x", lambda v, w: (w, w))
+        assert set(leaf_words) == set(range(8))
+        assert all(w == "x" for w in leaf_words.values())
+
+    def test_path_dependent_words(self):
+        eng = make_engine(4)
+        # label each leaf with its root-to-leaf LR path
+        leaf_words = eng.downward_wave("", lambda v, w: (w + "L", w + "R"))
+        assert leaf_words == {0: "LL", 1: "LR", 2: "RL", 3: "RR"}
+
+    def test_parents_processed_before_children(self):
+        eng = make_engine(8)
+        order: list[int] = []
+
+        def emit(v, w):
+            order.append(v)
+            return (w, w)
+
+        eng.downward_wave(0, emit)
+        pos = {v: i for i, v in enumerate(order)}
+        for v in range(2, 8):
+            assert pos[v] > pos[v // 2]
+
+    def test_message_accounting(self):
+        eng = make_engine(8)
+        eng.downward_wave(0, lambda v, w: (w, w), words_per_message=3)
+        assert eng.trace.messages == 14
+        assert eng.trace.words == 42
+
+
+class TestTrafficSummary:
+    def test_summary_keys(self):
+        eng = make_engine(4)
+        eng.upward_wave(lambda pe: 0, lambda v, l, r: 0)
+        eng.downward_wave(0, lambda v, w: (w, w))
+        summary = eng.traffic_summary()
+        assert summary["waves"] == 2
+        assert summary["messages"] == 12
+        assert summary["mean_messages_per_wave"] == 6.0

@@ -1,0 +1,88 @@
+"""Unit tests for structured event tracing."""
+
+from repro.comms.generators import crossing_chain, paper_figure2_set
+from repro.core.csa import PADRScheduler
+from repro.cst.events import CommitEvent, ControlEvent, EventLog, TransferEvent
+from repro.cst.network import CSTNetwork
+
+
+def traced_run(cset, n):
+    log = EventLog()
+    network = CSTNetwork.of_size(n, event_log=log)
+    schedule = PADRScheduler().schedule(cset, network=network)
+    return log, schedule
+
+
+class TestEventLogMechanics:
+    def test_empty_log(self):
+        log = EventLog()
+        assert len(log) == 0
+        assert log.summary()["commits"] == 0
+        assert log.render() == ""
+
+    def test_sequence_numbers_monotonic(self):
+        log, _ = traced_run(crossing_chain(2), 4)
+        seqs = [e.seq for e in log]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_wave_numbering(self):
+        log, schedule = traced_run(crossing_chain(3), 8)
+        # 1 phase-1 wave + one wave per round
+        assert log.wave == 1 + schedule.n_rounds
+
+
+class TestEventContents:
+    def test_control_events_cover_every_link(self):
+        log, schedule = traced_run(crossing_chain(2), 4)
+        up = [e for e in log.of_kind(ControlEvent) if e.direction == "up"]
+        down = [e for e in log.of_kind(ControlEvent) if e.direction == "down"]
+        # phase 1: one up word per switch... (leaves' words are implicit);
+        # phase 2: one down word per non-root node per round.
+        assert len(up) == 3  # switches of a 4-leaf tree
+        assert len(down) == (2 * 4 - 2) * schedule.n_rounds
+
+    def test_commit_events_one_per_switch_per_round(self):
+        log, schedule = traced_run(crossing_chain(2), 4)
+        commits = log.of_kind(CommitEvent)
+        assert len(commits) == 3 * schedule.n_rounds
+
+    def test_transfer_events_match_deliveries(self):
+        cset = paper_figure2_set()
+        log, schedule = traced_run(cset, 16)
+        transfers = log.of_kind(TransferEvent)
+        assert len(transfers) == len(cset)
+        delivered = {(e.source_pe, e.delivered_pe) for e in transfers}
+        assert delivered == {(c.src, c.dst) for c in cset}
+
+    def test_commits_of_specific_switch(self):
+        log, schedule = traced_run(crossing_chain(4), 8)
+        root_commits = log.commits_of(1)
+        assert len(root_commits) == schedule.n_rounds
+        # Theorem 8 visible in the log: the root changes in round 0 only
+        assert sum(1 for e in root_commits if e.changed) == 1
+
+
+class TestRendering:
+    def test_render_contains_all_kinds(self):
+        log, _ = traced_run(crossing_chain(2), 4)
+        text = log.render()
+        assert "ctrl" in text and "commit" in text and "data" in text
+
+    def test_changed_only_filter(self):
+        log, _ = traced_run(crossing_chain(4), 8)
+        full = log.render().count("commit")
+        filtered = log.render(changed_only=True).count("commit")
+        assert filtered < full
+
+    def test_in_wave(self):
+        log, _ = traced_run(crossing_chain(2), 4)
+        w1 = log.in_wave(1)
+        assert w1 and all(e.wave == 1 for e in w1)
+
+    def test_summary_counts(self):
+        log, schedule = traced_run(crossing_chain(2), 4)
+        s = log.summary()
+        assert s["transfers"] == 2
+        assert s["waves"] == 1 + schedule.n_rounds
+        assert s["changed_commits"] <= s["commits"]

@@ -1,0 +1,138 @@
+"""Unit tests for the CST network: wiring, staging, tracing, transfer."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.types import (
+    CONN_DOWN_R,
+    CONN_L_TO_R,
+    CONN_L_UP,
+    CONN_R_UP,
+    Connection,
+    InPort,
+    OutPort,
+    Role,
+)
+from repro.cst.network import CSTNetwork
+from repro.cst.power import PowerPolicy
+
+
+class TestConstruction:
+    def test_of_size(self):
+        net = CSTNetwork.of_size(8)
+        assert len(net.switches) == 7
+        assert len(net.pes) == 8
+        assert net.rounds_run == 0
+
+    def test_assign_roles(self, net8):
+        net8.assign_roles({0: Role.SOURCE, 5: Role.DESTINATION})
+        assert net8.pes[0].role is Role.SOURCE
+        assert net8.pes[5].role is Role.DESTINATION
+        assert net8.pes[3].role is Role.NEITHER
+
+    def test_assign_roles_resets_transfer_state(self, net8):
+        net8.assign_roles({0: Role.SOURCE})
+        net8.pes[0].write(0)
+        net8.assign_roles({0: Role.SOURCE})
+        assert not net8.pes[0].done
+
+
+class TestTracing:
+    def _stage_path(self, net, src, dst):
+        net.stage(
+            {k: (v,) for k, v in net.topology.path_connections(src, dst).items()}
+        )
+        net.commit_round()
+
+    def test_adjacent_delivery(self, net8):
+        self._stage_path(net8, 0, 1)
+        tr = net8.trace_from(0)
+        assert tr.delivered_pe == 1
+        assert tr.hops == (4,)
+
+    def test_cross_root_delivery(self, net8):
+        self._stage_path(net8, 0, 7)
+        tr = net8.trace_from(0)
+        assert tr.delivered_pe == 7
+        assert tr.hops == (4, 2, 1, 3, 7)
+
+    def test_left_oriented_delivery(self, net8):
+        self._stage_path(net8, 6, 1)
+        assert net8.trace_from(6).delivered_pe == 1
+
+    def test_unconfigured_drop(self, net8):
+        tr = net8.trace_from(0)
+        assert not tr.delivered
+        assert tr.delivered_pe is None
+        assert tr.hops == (4,)
+
+    def test_partial_path_drop(self, net8):
+        # only the first switch configured: signal dies at switch 2
+        net8.stage({4: (CONN_L_UP,)})
+        net8.commit_round()
+        tr = net8.trace_from(0)
+        assert not tr.delivered
+        assert tr.hops == (4, 2)
+
+    def test_root_up_output_is_protocol_error(self, net8):
+        net8.stage({4: (CONN_L_UP,), 2: (CONN_L_UP,), 1: (CONN_L_UP,)})
+        net8.commit_round()
+        with pytest.raises(ProtocolError):
+            net8.trace_from(0)
+
+
+class TestTransfer:
+    def test_transfer_latches_payload(self, net8):
+        net8.assign_roles({0: Role.SOURCE, 7: Role.DESTINATION})
+        net8.stage({k: (v,) for k, v in net8.topology.path_connections(0, 7).items()})
+        net8.commit_round()
+        results = net8.transfer([0], round_no=0)
+        assert results[0].delivered_pe == 7
+        assert net8.pes[7].received == [("pe", 0)]
+        assert net8.all_done
+
+    def test_two_simultaneous_disjoint_transfers(self, net8):
+        net8.assign_roles(
+            {0: Role.SOURCE, 1: Role.DESTINATION, 4: Role.SOURCE, 5: Role.DESTINATION}
+        )
+        staged = {}
+        for s, d in [(0, 1), (4, 5)]:
+            for k, v in net8.topology.path_connections(s, d).items():
+                staged.setdefault(k, []).append(v)
+        net8.stage({k: tuple(v) for k, v in staged.items()})
+        net8.commit_round()
+        results = net8.transfer([0, 4], round_no=0)
+        assert [r.delivered_pe for r in results] == [1, 5]
+
+
+class TestPowerIntegration:
+    def test_power_report_counts_rounds(self, net8):
+        net8.stage({1: (CONN_L_TO_R,)})
+        net8.commit_round()
+        net8.commit_round()
+        report = net8.power_report()
+        assert report.rounds == 2
+        assert report.total_units == 1
+
+    def test_policy_threaded_to_switches(self):
+        net = CSTNetwork.of_size(4, policy=PowerPolicy.rebuild())
+        for _ in range(3):
+            net.stage({1: (CONN_L_TO_R,)})
+            net.commit_round()
+        assert net.meter.units_of(1) == 3
+
+    def test_config_changes_view(self, net8):
+        net8.stage({1: (CONN_L_TO_R,)})
+        net8.commit_round()
+        changes = net8.config_changes()
+        assert changes[1] == 1
+        assert changes[4] == 0
+
+    def test_reset_clears_everything(self, net8):
+        net8.assign_roles({0: Role.SOURCE})
+        net8.stage({1: (CONN_L_TO_R,)})
+        net8.commit_round()
+        net8.reset()
+        assert net8.rounds_run == 0
+        assert net8.meter.total_units == 0
+        assert len(net8.switches[1].configuration) == 0

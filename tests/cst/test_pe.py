@@ -1,0 +1,71 @@
+"""Unit tests for processing elements."""
+
+import pytest
+
+from repro.types import Role
+from repro.cst.pe import ProcessingElement
+
+
+class TestRoleWords:
+    def test_source_word(self):
+        assert ProcessingElement(0, Role.SOURCE).role_word() == (1, 0)
+
+    def test_destination_word(self):
+        assert ProcessingElement(0, Role.DESTINATION).role_word() == (0, 1)
+
+    def test_neither_word(self):
+        assert ProcessingElement(0).role_word() == (0, 0)
+
+
+class TestTransfer:
+    def test_default_payload_identifies_pe(self):
+        pe = ProcessingElement(7, Role.SOURCE)
+        assert pe.payload == ("pe", 7)
+
+    def test_write_marks_sent(self):
+        pe = ProcessingElement(3, Role.SOURCE)
+        datum = pe.write(round_no=2)
+        assert datum == ("pe", 3)
+        assert pe.sent_round == 2
+        assert pe.done
+
+    def test_double_write_rejected(self):
+        pe = ProcessingElement(3, Role.SOURCE)
+        pe.write(0)
+        with pytest.raises(ValueError):
+            pe.write(1)
+
+    def test_non_source_cannot_write(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(1, Role.DESTINATION).write(0)
+
+    def test_latch_records_arrival(self):
+        pe = ProcessingElement(4, Role.DESTINATION)
+        pe.latch("x", round_no=1)
+        assert pe.received == ["x"]
+        assert pe.received_round == 1
+        assert pe.done
+
+    def test_non_destination_cannot_latch(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(4, Role.SOURCE).latch("x", 0)
+
+    def test_neither_is_always_done(self):
+        assert ProcessingElement(0, Role.NEITHER).done
+
+    def test_source_not_done_before_write(self):
+        assert not ProcessingElement(0, Role.SOURCE).done
+
+    def test_destination_not_done_before_latch(self):
+        assert not ProcessingElement(0, Role.DESTINATION).done
+
+    def test_reset_transfer_state(self):
+        pe = ProcessingElement(0, Role.SOURCE)
+        pe.write(0)
+        pe.reset_transfer_state()
+        assert pe.sent_round is None
+        assert not pe.done
+
+    def test_custom_payload_preserved(self):
+        pe = ProcessingElement(0, Role.SOURCE, payload="hello")
+        assert pe.write(0) == "hello"

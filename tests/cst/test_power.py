@@ -1,0 +1,170 @@
+"""Unit tests for power policies, meter and reports."""
+
+import pytest
+
+from repro.cst.power import PowerMeter, PowerPolicy, PowerReport
+
+
+class TestPowerPolicy:
+    def test_paper_defaults(self):
+        p = PowerPolicy.paper()
+        assert not p.eager_teardown
+        assert not p.recharge
+        assert p.unit_cost == 1
+
+    def test_eager(self):
+        p = PowerPolicy.eager()
+        assert p.eager_teardown and not p.recharge
+
+    def test_rebuild(self):
+        p = PowerPolicy.rebuild()
+        assert p.eager_teardown and p.recharge
+
+    def test_naive_alias(self):
+        assert PowerPolicy.naive() == PowerPolicy.eager()
+
+    def test_recharge_requires_eager(self):
+        with pytest.raises(ValueError):
+            PowerPolicy(eager_teardown=False, recharge=True)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PowerPolicy.paper().unit_cost = 2  # type: ignore[misc]
+
+
+class TestPowerMeter:
+    def test_charges_accumulate_per_switch(self):
+        m = PowerMeter()
+        m.charge(3, 2)
+        m.charge(3, 1)
+        m.charge(5, 1)
+        assert m.units_of(3) == 3
+        assert m.units_of(5) == 1
+        assert m.total_units == 4
+
+    def test_zero_charge_is_noop(self):
+        m = PowerMeter()
+        m.charge(1, 0)
+        assert m.total_units == 0
+        assert m.units_of(1) == 0
+
+    def test_negative_charge_rejected(self):
+        m = PowerMeter()
+        with pytest.raises(ValueError):
+            m.charge(1, -1)
+
+    def test_unit_cost_multiplier(self):
+        m = PowerMeter(policy=PowerPolicy(unit_cost=3))
+        m.charge(1, 2)
+        assert m.total_units == 6
+
+    def test_changes_tracked(self):
+        m = PowerMeter()
+        m.note_change(2)
+        m.note_change(2)
+        assert m.changes_of(2) == 2
+        assert m.changes_of(9) == 0
+
+    def test_reset(self):
+        m = PowerMeter()
+        m.charge(1, 1)
+        m.note_change(1)
+        m.reset()
+        assert m.total_units == 0
+        assert m.changes_of(1) == 0
+
+
+class TestPowerReport:
+    def test_report_aggregates(self):
+        m = PowerMeter()
+        m.charge(1, 2)
+        m.charge(2, 5)
+        m.note_change(2)
+        r = m.report(rounds=4)
+        assert r.total_units == 7
+        assert r.max_switch_units == 5
+        assert r.max_switch_changes == 1
+        assert r.rounds == 4
+
+    def test_empty_report(self):
+        r = PowerMeter().report(rounds=0)
+        assert r.total_units == 0
+        assert r.max_switch_units == 0
+        assert r.max_switch_changes == 0
+        assert r.mean_switch_units == 0.0
+
+    def test_mean(self):
+        m = PowerMeter()
+        m.charge(1, 2)
+        m.charge(2, 4)
+        assert m.report(1).mean_switch_units == 3.0
+
+    def test_summary_mentions_key_figures(self):
+        m = PowerMeter()
+        m.charge(1, 2)
+        text = m.report(3).summary()
+        assert "total=2" in text
+        assert "rounds=3" in text
+
+
+class TestWireWeightedModel:
+    """The H-tree wire model: upper-level links cost more per connection."""
+
+    def test_htree_factory(self):
+        p = PowerPolicy.htree()
+        assert p.wire_weight_base == 2
+        assert not p.eager_teardown
+
+    def test_rejects_zero_base(self):
+        with pytest.raises(ValueError):
+            PowerPolicy(wire_weight_base=0)
+
+    def test_root_costs_more_than_leaf_level(self):
+        from repro.comms.generators import crossing_chain
+        from repro.core.csa import PADRScheduler
+
+        cset = crossing_chain(2)  # 4-leaf tree, height 2
+        s = PADRScheduler().schedule(cset, policy=PowerPolicy.htree())
+        units = s.power.per_switch_units
+        # root (level 0) weight 4; leaf-level switches (level 1) weight 2
+        assert units[1] == 4   # one l_i->r_o connection, weight 2^2
+        assert units[2] == 2 * 2  # two connections over the run, weight 2
+
+    def test_flat_model_unchanged(self):
+        from repro.comms.generators import crossing_chain
+        from repro.core.csa import PADRScheduler
+
+        cset = crossing_chain(4)
+        flat = PADRScheduler().schedule(cset)
+        weighted = PADRScheduler().schedule(cset, policy=PowerPolicy.htree())
+        # same configuration changes, different accounting only
+        assert flat.power.max_switch_changes == weighted.power.max_switch_changes
+        assert weighted.power.total_units > flat.power.total_units
+
+    def test_meter_without_height_is_flat(self):
+        m = PowerMeter(policy=PowerPolicy.htree())
+        m.charge(1, 1)
+        assert m.total_units == 1
+
+    def test_theorem8_shape_survives_weighting(self):
+        """Per-switch cost stays flat in w under the physical model too —
+        the weight is a w-independent constant per switch."""
+        from repro.comms.generators import crossing_chain
+        from repro.core.csa import PADRScheduler
+
+        maxima = []
+        for w in (4, 16, 64):
+            s = PADRScheduler().schedule(
+                crossing_chain(w), policy=PowerPolicy.htree()
+            )
+            maxima.append(s.power.max_switch_units)
+        # grows with tree size (deeper trees -> heavier roots), but for a
+        # fixed tree it is what it is; normalise by the root weight:
+        for w, m in zip((4, 16, 64), maxima):
+            n = 2 * w if (2 * w & (2 * w - 1)) == 0 else None
+            # root weight = 2^height = n; the CSA's root pays one
+            # connection once: max units <= weight * 3
+            import math
+
+            height = int(math.log2(2 * w))
+            assert m <= (2 ** height) * 3

@@ -1,0 +1,163 @@
+"""Unit tests for the 3-sided switch crossbar and change accounting."""
+
+import pytest
+
+from repro.exceptions import PortConflictError
+from repro.types import (
+    CONN_DOWN_L,
+    CONN_DOWN_R,
+    CONN_L_TO_R,
+    CONN_L_UP,
+    CONN_R_TO_L,
+    CONN_R_UP,
+    InPort,
+    OutPort,
+)
+from repro.cst.power import PowerMeter, PowerPolicy
+from repro.cst.switch import Switch, SwitchConfiguration
+
+
+def make_switch(policy=None):
+    meter = PowerMeter(policy=policy or PowerPolicy.paper())
+    return Switch(1, meter), meter
+
+
+class TestSwitchConfiguration:
+    def test_empty_is_idle(self):
+        cfg = SwitchConfiguration()
+        assert len(cfg) == 0
+        assert cfg == SwitchConfiguration.idle()
+
+    def test_full_crossbar_all_three(self):
+        cfg = SwitchConfiguration([CONN_L_TO_R, CONN_R_UP, CONN_DOWN_L])
+        assert len(cfg) == 3
+        assert cfg.output_for(InPort.L) is OutPort.R
+        assert cfg.output_for(InPort.R) is OutPort.P
+        assert cfg.output_for(InPort.P) is OutPort.L
+
+    def test_input_used_twice_rejected(self):
+        with pytest.raises(PortConflictError):
+            SwitchConfiguration([CONN_L_TO_R, CONN_L_UP])
+
+    def test_output_used_twice_rejected(self):
+        with pytest.raises(PortConflictError):
+            SwitchConfiguration([CONN_L_UP, CONN_R_UP])
+
+    def test_with_connection_displaces_same_input(self):
+        cfg = SwitchConfiguration([CONN_L_TO_R]).with_connection(CONN_L_UP)
+        assert cfg.output_for(InPort.L) is OutPort.P
+        assert len(cfg) == 1
+
+    def test_with_connection_displaces_same_output(self):
+        cfg = SwitchConfiguration([CONN_L_UP]).with_connection(CONN_R_UP)
+        assert cfg.output_for(InPort.R) is OutPort.P
+        assert cfg.output_for(InPort.L) is None
+
+    def test_with_connection_keeps_unrelated(self):
+        cfg = SwitchConfiguration([CONN_L_TO_R]).with_connection(CONN_DOWN_L)
+        assert len(cfg) == 2
+
+    def test_input_for(self):
+        cfg = SwitchConfiguration([CONN_L_TO_R])
+        assert cfg.input_for(OutPort.R) is InPort.L
+        assert cfg.input_for(OutPort.P) is None
+
+    def test_contains(self):
+        cfg = SwitchConfiguration([CONN_L_TO_R])
+        assert CONN_L_TO_R in cfg
+        assert CONN_R_TO_L not in cfg
+
+    def test_without_ports(self):
+        cfg = SwitchConfiguration([CONN_L_TO_R, CONN_DOWN_L])
+        smaller = cfg.without_ports([CONN_L_TO_R])
+        assert CONN_L_TO_R not in smaller
+        assert CONN_DOWN_L in smaller
+
+    def test_hash_consistent_with_eq(self):
+        a = SwitchConfiguration([CONN_L_TO_R, CONN_DOWN_L])
+        b = SwitchConfiguration([CONN_DOWN_L, CONN_L_TO_R])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSwitchRoundProtocol:
+    def test_first_connection_costs_one_unit(self):
+        sw, meter = make_switch()
+        sw.require(CONN_L_TO_R)
+        sw.commit_round()
+        assert meter.units_of(1) == 1
+        assert sw.config_changes == 1
+
+    def test_held_connection_is_free(self):
+        sw, meter = make_switch()
+        for _ in range(5):
+            sw.require(CONN_L_TO_R)
+            sw.commit_round()
+        assert meter.units_of(1) == 1  # paid once, held for free
+        assert sw.config_changes == 1
+
+    def test_lazy_keeps_unrequested_connection(self):
+        sw, _ = make_switch()
+        sw.require(CONN_L_TO_R)
+        sw.commit_round()
+        sw.commit_round()  # nothing staged
+        assert CONN_L_TO_R in sw.configuration
+
+    def test_eager_clears_unrequested(self):
+        sw, _ = make_switch(PowerPolicy.eager())
+        sw.require(CONN_L_TO_R)
+        sw.commit_round()
+        sw.commit_round()
+        assert len(sw.configuration) == 0
+
+    def test_eager_does_not_recharge_identical(self):
+        sw, meter = make_switch(PowerPolicy.eager())
+        for _ in range(4):
+            sw.require(CONN_L_TO_R)
+            sw.commit_round()
+        assert meter.units_of(1) == 1
+
+    def test_rebuild_recharges_every_round(self):
+        sw, meter = make_switch(PowerPolicy.rebuild())
+        for _ in range(4):
+            sw.require(CONN_L_TO_R)
+            sw.commit_round()
+        assert meter.units_of(1) == 4
+
+    def test_replacing_connection_charges_again(self):
+        sw, meter = make_switch()
+        sw.require(CONN_L_TO_R)
+        sw.commit_round()
+        sw.require(CONN_L_UP)  # displaces l_i->r_o
+        sw.commit_round()
+        assert meter.units_of(1) == 2
+        assert sw.config_changes == 2
+
+    def test_conflicting_staged_connections_rejected(self):
+        sw, _ = make_switch()
+        sw.require(CONN_L_UP)
+        sw.require(CONN_R_UP)  # both claim p_o
+        with pytest.raises(PortConflictError):
+            sw.commit_round()
+
+    def test_three_simultaneous_connections(self):
+        sw, meter = make_switch()
+        sw.require_all([CONN_L_TO_R, CONN_R_UP, CONN_DOWN_L])
+        sw.commit_round()
+        assert len(sw.configuration) == 3
+        assert meter.units_of(1) == 3  # at most three units per round (paper §2.3)
+
+    def test_idle_round_counts_no_change(self):
+        sw, _ = make_switch()
+        sw.commit_round()
+        assert sw.config_changes == 0
+        assert sw.rounds_committed == 1
+
+    def test_reset(self):
+        sw, _ = make_switch()
+        sw.require(CONN_L_TO_R)
+        sw.commit_round()
+        sw.reset()
+        assert len(sw.configuration) == 0
+        assert sw.config_changes == 0
+        assert sw.rounds_committed == 0

@@ -1,0 +1,235 @@
+"""Unit tests for the CST geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidNodeError, TopologyError
+from repro.types import (
+    CONN_L_TO_R,
+    CONN_L_UP,
+    CONN_R_UP,
+    Connection,
+    Direction,
+    InPort,
+    OutPort,
+    Side,
+)
+from repro.cst.topology import CSTTopology, DirectedEdge
+
+
+class TestConstruction:
+    def test_counts(self):
+        t = CSTTopology(8)
+        assert t.n_leaves == 8
+        assert t.n_switches == 7
+        assert t.height == 3
+        assert t.root == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(TopologyError):
+            CSTTopology(6)
+
+    def test_rejects_single_leaf(self):
+        with pytest.raises(TopologyError):
+            CSTTopology(1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            CSTTopology(8.0)
+
+    def test_of_memoises(self):
+        assert CSTTopology.of(16) is CSTTopology.of(16)
+
+    def test_equality_by_size(self):
+        assert CSTTopology(8) == CSTTopology(8)
+        assert CSTTopology(8) != CSTTopology(16)
+        assert hash(CSTTopology(8)) == hash(CSTTopology(8))
+
+
+class TestClassification:
+    def test_leaves_and_switches(self, topo8):
+        assert topo8.is_switch(1)
+        assert topo8.is_switch(7)
+        assert topo8.is_leaf(8)
+        assert topo8.is_leaf(15)
+
+    def test_out_of_range(self, topo8):
+        with pytest.raises(InvalidNodeError):
+            topo8.is_leaf(16)
+        with pytest.raises(InvalidNodeError):
+            topo8.is_leaf(0)
+
+
+class TestLeafMapping:
+    def test_roundtrip(self, topo8):
+        for pe in range(8):
+            assert topo8.pe_index(topo8.leaf_heap_id(pe)) == pe
+
+    def test_leaf_ids_contiguous(self, topo8):
+        assert [topo8.leaf_heap_id(i) for i in range(8)] == list(range(8, 16))
+
+    def test_pe_index_rejects_switch(self, topo8):
+        with pytest.raises(InvalidNodeError):
+            topo8.pe_index(3)
+
+    def test_leaf_heap_id_rejects_out_of_range(self, topo8):
+        with pytest.raises(InvalidNodeError):
+            topo8.leaf_heap_id(8)
+
+
+class TestNavigation:
+    def test_children_and_parent(self, topo8):
+        assert topo8.children(1) == (2, 3)
+        assert topo8.parent(2) == 1
+        assert topo8.parent(3) == 1
+
+    def test_root_has_no_parent(self, topo8):
+        with pytest.raises(InvalidNodeError):
+            topo8.parent(1)
+
+    def test_leaf_has_no_children(self, topo8):
+        with pytest.raises(InvalidNodeError):
+            topo8.children(9)
+
+    def test_side_of(self, topo8):
+        assert topo8.side_of(2) is Side.LEFT
+        assert topo8.side_of(3) is Side.RIGHT
+        assert topo8.side_of(8) is Side.LEFT
+        assert topo8.side_of(9) is Side.RIGHT
+
+    def test_levels(self, topo8):
+        assert topo8.level(1) == 0
+        assert topo8.level(4) == 2
+        assert topo8.level(8) == 3
+
+    def test_switches_at_level(self, topo8):
+        assert list(topo8.switches_at_level(0)) == [1]
+        assert list(topo8.switches_at_level(2)) == [4, 5, 6, 7]
+        with pytest.raises(TopologyError):
+            topo8.switches_at_level(3)
+
+    def test_ancestors(self, topo8):
+        assert list(topo8.ancestors(11)) == [5, 2, 1]
+        assert list(topo8.ancestors(1)) == []
+
+    def test_subtree_leaf_range(self, topo8):
+        assert list(topo8.subtree_leaf_range(1)) == list(range(8))
+        assert list(topo8.subtree_leaf_range(2)) == [0, 1, 2, 3]
+        assert list(topo8.subtree_leaf_range(7)) == [6, 7]
+        assert list(topo8.subtree_leaf_range(12)) == [4]
+
+
+class TestLCA:
+    def test_lca_of_pes(self, topo8):
+        assert topo8.lca_of_pes(0, 7) == 1
+        assert topo8.lca_of_pes(0, 1) == 4
+        assert topo8.lca_of_pes(2, 3) == 5
+        assert topo8.lca_of_pes(0, 3) == 2
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_lca_subtree_contains_both(self, a, b):
+        t = CSTTopology.of(16)
+        lca = t.lca_of_pes(a, b)
+        leaves = t.subtree_leaf_range(lca)
+        assert a in leaves and b in leaves
+
+
+class TestPathEdges:
+    def test_adjacent_pair(self, topo8):
+        edges = topo8.path_edges(0, 1)
+        assert edges == (
+            DirectedEdge(8, Direction.UP),
+            DirectedEdge(9, Direction.DOWN),
+        )
+
+    def test_cross_root(self, topo8):
+        edges = topo8.path_edges(0, 7)
+        ups = [e for e in edges if e.direction is Direction.UP]
+        downs = [e for e in edges if e.direction is Direction.DOWN]
+        assert [e.child for e in ups] == [8, 4, 2]
+        assert [e.child for e in downs] == [3, 7, 15]
+
+    def test_left_oriented_path(self, topo8):
+        # paths exist for left-oriented communications too
+        edges = topo8.path_edges(5, 2)
+        assert DirectedEdge(topo8.leaf_heap_id(5), Direction.UP) in edges
+        assert DirectedEdge(topo8.leaf_heap_id(2), Direction.DOWN) in edges
+
+    def test_self_communication_rejected(self, topo8):
+        with pytest.raises(TopologyError):
+            topo8.path_edges(3, 3)
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_edge_count_matches_path_length(self, a, b):
+        if a == b:
+            return
+        t = CSTTopology.of(32)
+        edges = t.path_edges(a, b)
+        # one edge per hop; switches = edges - 1
+        assert len(edges) == t.path_length(a, b) + 1
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_no_edge_repeats(self, a, b):
+        if a == b:
+            return
+        edges = CSTTopology.of(32).path_edges(a, b)
+        assert len(set(edges)) == len(edges)
+
+
+class TestPathConnections:
+    def test_lca_turns_left_to_right(self, topo8):
+        conns = topo8.path_connections(0, 7)
+        assert conns[1] == CONN_L_TO_R
+
+    def test_up_path_connections(self, topo8):
+        conns = topo8.path_connections(0, 7)
+        assert conns[4] == CONN_L_UP  # leaf 8 is left child of 4
+        assert conns[2] == CONN_L_UP
+
+    def test_down_path_connections(self, topo8):
+        conns = topo8.path_connections(0, 7)
+        assert conns[3] == Connection(InPort.P, OutPort.R)
+        assert conns[7] == Connection(InPort.P, OutPort.R)
+
+    def test_right_child_source_uses_r_up(self, topo8):
+        conns = topo8.path_connections(1, 2)
+        assert conns[4] == CONN_R_UP
+
+    def test_travel_order(self, topo8):
+        switches = list(topo8.path_connections(0, 7).keys())
+        assert switches == [4, 2, 1, 3, 7]
+
+    def test_left_oriented_lca_turns_right_to_left(self, topo8):
+        conns = topo8.path_connections(7, 0)
+        assert conns[1] == Connection(InPort.R, OutPort.L)
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_connections_cover_exactly_path_switches(self, a, b):
+        if a == b:
+            return
+        t = CSTTopology.of(32)
+        conns = t.path_connections(a, b)
+        lca = t.lca_of_pes(a, b)
+        assert lca in conns
+        # every switch in the mapping lies on the leaf-to-leaf walk
+        for v in conns:
+            assert t.is_switch(v)
+
+    def test_path_length_values(self, topo8):
+        assert topo8.path_length(0, 1) == 1
+        assert topo8.path_length(0, 7) == 5
+        assert topo8.path_length(0, 3) == 3
+        assert topo8.path_length(2, 2) == 0

@@ -1,0 +1,88 @@
+"""Unit tests for CST computational algorithms (tree reduction)."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.algorithms import (
+    AlgorithmError,
+    srga_row_reduce,
+    tree_reduce,
+)
+from repro.extensions.srga import SRGA
+
+
+class TestTreeReduce:
+    def test_sum_small(self):
+        result = tree_reduce([1, 2, 3, 4], operator.add)
+        assert result.value == 10
+        assert result.result_pe == 3
+        assert result.steps == 2
+
+    def test_max(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        result = tree_reduce(values, max)
+        assert result.value == 9
+
+    def test_string_concatenation_preserves_order(self):
+        # non-commutative op: checks the left operand is the accumulator
+        values = list("abcdefgh")
+        result = tree_reduce(values, operator.add)
+        assert result.value == "abcdefgh"
+
+    def test_log_n_steps_one_round_each(self):
+        result = tree_reduce(list(range(64)), operator.add)
+        assert result.steps == 6
+        assert result.total_rounds == 6  # every step is width 1
+
+    def test_power_accounted(self):
+        result = tree_reduce([1, 2, 3, 4], operator.add)
+        assert result.total_power_units > 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(AlgorithmError):
+            tree_reduce([1, 2, 3], operator.add)
+
+    def test_rejects_single_value(self):
+        with pytest.raises(AlgorithmError):
+            tree_reduce([1], operator.add)
+
+    @given(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=2,
+            max_size=64,
+        ).filter(lambda v: (len(v) & (len(v) - 1)) == 0)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_python_sum(self, values):
+        assert tree_reduce(values, operator.add).value == sum(values)
+
+    def test_large_reduction(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 100, size=256).tolist()
+        result = tree_reduce(values, operator.add)
+        assert result.value == sum(values)
+        assert result.steps == 8
+
+
+class TestSRGARowReduce:
+    def test_row_reduce(self):
+        grid = SRGA(4, 8)
+        result = srga_row_reduce(grid, 2, [1] * 8, operator.add)
+        assert result.value == 8
+
+    def test_rejects_wrong_value_count(self):
+        with pytest.raises(AlgorithmError):
+            srga_row_reduce(SRGA(4, 8), 0, [1] * 4, operator.add)
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(AlgorithmError):
+            srga_row_reduce(SRGA(4, 8), 4, [1] * 8, operator.add)
+
+    def test_rejects_non_grid(self):
+        with pytest.raises(AlgorithmError):
+            srga_row_reduce("not a grid", 0, [1, 2], operator.add)

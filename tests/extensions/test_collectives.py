@@ -1,0 +1,108 @@
+"""Unit + property tests for the collective programs (payload-verified)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.collectives import (
+    CollectiveError,
+    gather,
+    reverse,
+    scatter,
+    shift,
+)
+
+POW2_LIST = st.integers(min_value=1, max_value=5).map(
+    lambda k: 1 << k
+)  # 2..32
+
+
+class TestGather:
+    def test_order_preserved(self):
+        result = gather(list("abcdefgh"))
+        assert result.values == {7: list("abcdefgh")}
+        assert result.steps == 3
+
+    def test_log_rounds(self):
+        result = gather(list(range(64)))
+        assert result.total_rounds == 6  # every step width 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CollectiveError):
+            gather([1, 2, 3])
+
+    @given(st.lists(st.integers(), min_size=4, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_gather_any_values(self, values):
+        assert gather(values).values[3] == values
+
+
+class TestScatter:
+    def test_each_item_lands_on_its_index(self):
+        result = scatter(list("abcdefgh"))
+        assert result.values == {i: ch for i, ch in enumerate("abcdefgh")}
+
+    def test_inverse_of_gather(self):
+        values = list(range(16))
+        gathered = gather(values).values[15]
+        rescattered = scatter(gathered).values
+        assert rescattered == {i: v for i, v in enumerate(values)}
+
+    def test_log_steps(self):
+        assert scatter(list(range(32))).steps == 5
+
+    def test_rejects_single(self):
+        with pytest.raises(CollectiveError):
+            scatter([1])
+
+
+class TestShift:
+    def test_shift_by_one(self):
+        result = shift(list("abcd"), 1)
+        assert result.values == {1: "a", 2: "b", 3: "c"}
+
+    def test_shift_by_half(self):
+        result = shift(list(range(8)), 4)
+        assert result.values == {4 + i: i for i in range(4)}
+
+    def test_crossing_distance_needs_layers(self):
+        # d=2 on 8 PEs: (0,2),(1,3) cross — at least 2 layers
+        result = shift(list(range(8)), 2)
+        assert result.steps >= 2
+        assert result.values == {i + 2: i for i in range(6)}
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(CollectiveError):
+            shift([1, 2, 3, 4], 0)
+        with pytest.raises(CollectiveError):
+            shift([1, 2, 3, 4], 4)
+
+    @given(
+        n_exp=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_shift_semantics_any_distance(self, n_exp, data):
+        n = 1 << n_exp
+        d = data.draw(st.integers(min_value=1, max_value=n - 1))
+        values = list(range(n))
+        result = shift(values, d)
+        assert result.values == {i + d: i for i in range(n - d)}
+
+
+class TestReverse:
+    def test_small(self):
+        result = reverse(list("abcd"))
+        assert result.values == {3: "a", 2: "b", 1: "c", 0: "d"}
+        assert result.steps == 2
+
+    def test_every_pe_receives(self):
+        n = 16
+        result = reverse(list(range(n)))
+        assert set(result.values) == set(range(n))
+        assert all(result.values[n - 1 - i] == i for i in range(n))
+
+    def test_power_is_both_phases(self):
+        result = reverse(list(range(8)))
+        assert result.total_power_units > 0
+        assert result.total_rounds == 8  # width n/2 per phase, twice

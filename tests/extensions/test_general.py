@@ -1,0 +1,128 @@
+"""Unit tests for arbitrary-set scheduling via well-nested layering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import crossing_chain, random_well_nested
+from repro.comms.wellnested import is_well_nested
+from repro.extensions.general import (
+    GeneralSetScheduler,
+    InterleavedGeneralScheduler,
+    wellnested_layers,
+)
+from repro.analysis.verifier import verify_schedule
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+@st.composite
+def arbitrary_set_st(draw, n_leaves=32, max_pairs=8):
+    """Any valid communication set: crossings and mixed orientation allowed."""
+    k = draw(st.integers(min_value=0, max_value=max_pairs))
+    pes = draw(
+        st.sets(st.integers(0, n_leaves - 1), min_size=2 * k, max_size=2 * k)
+    )
+    pes = sorted(pes)
+    perm = draw(st.permutations(pes))
+    comms = []
+    for i in range(k):
+        a, b = perm[2 * i], perm[2 * i + 1]
+        comms.append(Communication(a, b))
+    return CommunicationSet(comms)
+
+
+class TestWellnestedLayers:
+    def test_well_nested_set_is_one_layer(self):
+        cset = crossing_chain(4)
+        layers = wellnested_layers(cset)
+        assert len(layers) == 1
+        assert layers[0] == cset
+
+    def test_crossing_pair_splits(self):
+        cset = cs((0, 2), (1, 3))
+        layers = wellnested_layers(cset)
+        assert len(layers) == 2
+
+    def test_layers_partition_the_set(self):
+        cset = cs((0, 4), (1, 5), (2, 6), (3, 7))  # fully crossing ladder
+        layers = wellnested_layers(cset)
+        flat = sorted(c for layer in layers for c in layer)
+        assert flat == sorted(cset.comms)
+        assert len(layers) == 4  # every pair crosses every other
+
+    def test_each_right_layer_is_well_nested(self):
+        cset = cs((0, 2), (1, 3), (4, 6), (5, 7))
+        for layer in wellnested_layers(cset):
+            assert is_well_nested(layer)
+
+    def test_empty(self):
+        assert wellnested_layers(CommunicationSet(())) == []
+
+
+class TestGeneralSetScheduler:
+    def test_crossing_pair(self):
+        cset = cs((0, 2), (1, 3))
+        sched = GeneralSetScheduler()
+        s = sched.schedule(cset, 8)
+        verify_schedule(s, cset).raise_if_failed()
+        assert sched.last_layering.total_layers == 2
+
+    def test_mixed_orientation_with_crossings(self):
+        cset = cs((0, 2), (1, 3), (7, 5), (6, 4))
+        s = GeneralSetScheduler().schedule(cset, 8)
+        verify_schedule(s, cset).raise_if_failed()
+
+    def test_well_nested_degenerates_to_csa(self):
+        cset = crossing_chain(3)
+        sched = GeneralSetScheduler()
+        s = sched.schedule(cset)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.n_rounds == 3
+        assert sched.last_layering.total_layers == 1
+
+    def test_empty_set(self):
+        s = GeneralSetScheduler().schedule(CommunicationSet(()), 8)
+        assert s.n_rounds == 0
+
+    @given(cset=arbitrary_set_st())
+    @settings(max_examples=80, deadline=None)
+    def test_any_valid_set_schedules_correctly(self, cset):
+        s = GeneralSetScheduler().schedule(cset, 32)
+        verify_schedule(s, cset).raise_if_failed()
+
+
+class TestInterleavedGeneralScheduler:
+    def test_correctness_on_crossings(self):
+        cset = cs((0, 4), (1, 5), (2, 6), (3, 7))
+        s = InterleavedGeneralScheduler().schedule(cset, 8)
+        verify_schedule(s, cset).raise_if_failed()
+
+    def test_never_more_rounds_than_sequential(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            right = random_well_nested(5, 32, rng)
+            s_seq = GeneralSetScheduler().schedule(right, 32)
+            s_int = InterleavedGeneralScheduler().schedule(right, 32)
+            assert s_int.n_rounds <= s_seq.n_rounds
+
+    def test_opposite_orientations_interleave(self):
+        # a right chain and its left mirror use opposite edge directions:
+        # the merged schedule should take max(w, w), not w + w.
+        right = [Communication(0, 15), Communication(1, 14)]
+        left = [Communication(13, 2), Communication(12, 3)]
+        cset = CommunicationSet(right + left)
+        seq = GeneralSetScheduler().schedule(cset, 16)
+        merged = InterleavedGeneralScheduler().schedule(cset, 16)
+        verify_schedule(merged, cset).raise_if_failed()
+        assert merged.n_rounds < seq.n_rounds
+
+    @given(cset=arbitrary_set_st())
+    @settings(max_examples=80, deadline=None)
+    def test_any_valid_set_schedules_correctly(self, cset):
+        s = InterleavedGeneralScheduler().schedule(cset, 32)
+        verify_schedule(s, cset).raise_if_failed()

@@ -1,0 +1,85 @@
+"""Unit tests for the SRGA grid substrate."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import crossing_chain, disjoint_pairs
+from repro.extensions.srga import SRGA
+from repro.analysis.verifier import verify_schedule
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+class TestConstruction:
+    def test_valid_grid(self):
+        g = SRGA(4, 8)
+        assert g.rows == 4 and g.cols == 8
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(TopologyError):
+            SRGA(3, 8)
+        with pytest.raises(TopologyError):
+            SRGA(4, 6)
+
+    def test_pe_bounds(self):
+        g = SRGA(4, 4)
+        assert g.pe(3, 3) == (3, 3)
+        with pytest.raises(TopologyError):
+            g.pe(4, 0)
+        with pytest.raises(TopologyError):
+            g.pe(0, 4)
+
+
+class TestRouting:
+    def test_single_row(self):
+        g = SRGA(4, 8)
+        cset = cs((0, 3), (1, 2))
+        result = g.route(row_sets={1: cset})
+        assert set(result.row_schedules) == {1}
+        verify_schedule(result.row_schedules[1], cset).raise_if_failed()
+        assert result.makespan == 2
+
+    def test_rows_and_columns_concurrent(self):
+        g = SRGA(8, 8)
+        row_set = crossing_chain(3, 8)
+        col_set = disjoint_pairs(2)
+        result = g.route(row_sets={0: row_set}, col_sets={5: col_set})
+        assert result.makespan == 3  # max over trees, not sum
+        verify_schedule(result.row_schedules[0], row_set).raise_if_failed()
+        verify_schedule(result.col_schedules[5], col_set).raise_if_failed()
+
+    def test_makespan_empty(self):
+        assert SRGA(2, 2).route().makespan == 0
+
+    def test_total_power_aggregates(self):
+        g = SRGA(4, 8)
+        result = g.route(row_sets={0: cs((0, 1)), 2: cs((0, 1))})
+        single = g.route(row_sets={0: cs((0, 1))})
+        assert result.total_power == 2 * single.total_power
+
+    def test_max_switch_changes_bounded(self):
+        g = SRGA(8, 16)
+        result = g.route(
+            row_sets={r: crossing_chain(4, 16) for r in range(8)},
+            col_sets={c: crossing_chain(2, 8) for c in range(16)},
+        )
+        assert result.max_switch_changes <= 2  # Theorem 8 per tree
+
+    def test_row_index_validated(self):
+        with pytest.raises(TopologyError):
+            SRGA(4, 8).route(row_sets={4: cs((0, 1))})
+
+    def test_set_must_fit_tree(self):
+        with pytest.raises(TopologyError):
+            SRGA(4, 8).route(row_sets={0: cs((0, 9))})
+
+    def test_column_tree_uses_row_count(self):
+        g = SRGA(4, 16)
+        # column sets live on a 4-leaf tree: PE 3 is the last valid one
+        result = g.route(col_sets={0: cs((0, 3))})
+        assert result.col_schedules[0].n_leaves == 4
+        with pytest.raises(TopologyError):
+            g.route(col_sets={0: cs((0, 5))})

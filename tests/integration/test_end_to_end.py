@@ -1,0 +1,106 @@
+"""Cross-module integration tests: full workloads through the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_schedulers
+from repro.analysis.verifier import verify_schedule
+from repro.baselines import (
+    GreedyScheduler,
+    RandomOrderScheduler,
+    RoyIDScheduler,
+    SequentialScheduler,
+)
+from repro.comms.generators import (
+    crossing_chain,
+    paper_figure2_set,
+    random_well_nested,
+    segmentable_bus,
+    staircase,
+)
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.cst.power import PowerPolicy
+from repro.cst.topology import CSTTopology
+
+ALL_SCHEDULERS = [
+    PADRScheduler(),
+    RoyIDScheduler(),
+    GreedyScheduler("outermost"),
+    GreedyScheduler("innermost"),
+    GreedyScheduler("lexical"),
+    RandomOrderScheduler(seed=2),
+    SequentialScheduler(),
+]
+
+
+class TestAllSchedulersAgreeOnCorrectness:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            paper_figure2_set(),
+            crossing_chain(6),
+            staircase(3, 3, gap=1),
+            segmentable_bus([0, 5, 11, 20]),
+        ],
+        ids=["fig2", "crossing6", "staircase", "segbus"],
+    )
+    def test_every_scheduler_delivers_everything(self, workload):
+        n = max(16, workload.min_leaves())
+        comparison = compare_schedulers(workload, ALL_SCHEDULERS, n)
+        # compare_schedulers verifies internally; spot-check the aggregate
+        for s in comparison.schedules:
+            assert sorted(s.performed()) == sorted(workload.comms)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_workloads_all_schedulers(self, seed):
+        rng = np.random.default_rng(seed)
+        cset = random_well_nested(20, 80, rng)
+        compare_schedulers(cset, ALL_SCHEDULERS, 128)
+
+
+class TestRelativeBehaviour:
+    def test_round_ordering_csa_beats_sequential(self):
+        cset = staircase(4, 2)
+        comparison = compare_schedulers(
+            cset, [PADRScheduler(), SequentialScheduler()]
+        )
+        csa = comparison.by_name("padr-csa")
+        seq = comparison.by_name("sequential")
+        assert csa.n_rounds < seq.n_rounds
+        assert csa.n_rounds == comparison.width
+
+    def test_power_csa_no_worse_than_any_baseline(self):
+        for w in (8, 32):
+            cset = crossing_chain(w)
+            comparison = compare_schedulers(cset, ALL_SCHEDULERS)
+            csa = comparison.by_name("padr-csa")
+            for s in comparison.schedules:
+                assert csa.power.max_switch_changes <= s.power.max_switch_changes
+
+    def test_rebuild_vs_lazy_gap_grows_with_width(self):
+        gaps = []
+        for w in (4, 16, 64):
+            cset = crossing_chain(w)
+            lazy = RoyIDScheduler().schedule(cset)
+            rebuild = RoyIDScheduler().schedule(cset, policy=PowerPolicy.rebuild())
+            gaps.append(rebuild.power.max_switch_units - lazy.power.max_switch_units)
+        assert gaps[0] < gaps[1] < gaps[2]
+
+
+class TestScaleSmoke:
+    def test_large_tree_large_set(self):
+        rng = np.random.default_rng(0)
+        n = 1024
+        cset = random_well_nested(400, n, rng)
+        s = PADRScheduler().schedule(cset, n)
+        verify_schedule(s, cset).raise_if_failed()
+        assert s.n_rounds == width(cset, CSTTopology.of(n))
+        assert s.power.max_switch_changes <= 8
+
+    def test_maximum_density(self):
+        # every leaf is an endpoint
+        rng = np.random.default_rng(1)
+        cset = random_well_nested(64, 128, rng)
+        s = PADRScheduler().schedule(cset, 128)
+        verify_schedule(s, cset).raise_if_failed()

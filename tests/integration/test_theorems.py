@@ -1,0 +1,156 @@
+"""The paper's theorems as executable integration tests.
+
+One test class per theorem; each class states the claim it validates.
+These are the tests EXPERIMENTS.md points at for the paper-vs-measured
+record (the benchmarks regenerate the same quantities as tables).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.optimality import check_round_optimality
+from repro.analysis.verifier import verify_schedule
+from repro.comms.generators import (
+    crossing_chain,
+    disjoint_pairs,
+    paper_figure2_set,
+    random_well_nested,
+    staircase,
+)
+from repro.comms.width import width
+from repro.core.control import DownWord, StoredState, UpWord
+from repro.core.csa import PADRScheduler
+from repro.cst.engine import CSTEngine
+from repro.cst.network import CSTNetwork
+from repro.cst.power import PowerPolicy
+from repro.cst.topology import CSTTopology
+
+
+class TestTheorem4Correctness:
+    """Theorem 4: the algorithm establishes a dedicated path between each
+    source and its matching destination in some round."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_workloads(self, seed):
+        rng = np.random.default_rng(seed)
+        n_pairs = int(rng.integers(1, 30))
+        cset = random_well_nested(n_pairs, 64, rng)
+        s = PADRScheduler().schedule(cset, 64)
+        verify_schedule(s, cset).raise_if_failed()
+
+    def test_paths_are_dedicated_within_rounds(self):
+        # verified by the compatible-set check inside verify_schedule; this
+        # test makes the claim explicit on the paper's own example.
+        cset = paper_figure2_set()
+        s = PADRScheduler().schedule(cset, 16)
+        report = verify_schedule(s, cset)
+        assert report.ok
+
+
+class TestTheorem5Optimality:
+    """Theorem 5: a width-w set is routed in exactly w rounds, with O(1)
+    storage and O(1) words exchanged per switch."""
+
+    @pytest.mark.parametrize("w", [1, 2, 4, 8, 16, 32, 64, 128])
+    def test_exactly_w_rounds_on_width_stress(self, w):
+        cset = crossing_chain(w)
+        s = PADRScheduler().schedule(cset)
+        check_round_optimality(s, cset, require_optimal=True)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_exactly_w_rounds_on_random_sets(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        cset = random_well_nested(int(rng.integers(1, 40)), 128, rng)
+        s = PADRScheduler().schedule(cset, 128)
+        check_round_optimality(s, cset, require_optimal=True)
+
+    def test_storage_is_constant_words(self):
+        # C_S holds exactly five counters regardless of N or M
+        assert StoredState.stored_words() == 5
+
+    def test_messages_are_constant_words(self):
+        assert UpWord.wire_words() == 2
+        assert DownWord.wire_words() == 3
+
+    @pytest.mark.parametrize("n", [8, 64, 512])
+    def test_control_traffic_scales_linearly_with_tree(self, n):
+        # per round, each link carries exactly one constant-size word:
+        # total control words = Θ(N) per wave, independent of set size.
+        cset = disjoint_pairs(2)
+        s = PADRScheduler().schedule(cset, n)
+        per_wave = 2 * n - 2
+        waves = 1 + s.n_rounds
+        assert s.control_messages == per_wave * waves
+        assert s.control_words <= per_wave * waves * 3
+
+
+class TestTheorem8PowerOptimality:
+    """Theorem 8: each switch changes configuration O(1) times over the
+    whole schedule (vs O(w) for the prior ID-based algorithm)."""
+
+    @pytest.mark.parametrize("w", [2, 8, 32, 128, 256])
+    def test_csa_constant_changes_any_width(self, w):
+        s = PADRScheduler().schedule(crossing_chain(w))
+        assert s.power.max_switch_changes <= 2
+        assert s.power.max_switch_units <= 3
+
+    def test_csa_constant_changes_on_staircases(self):
+        for chains, depth in [(2, 8), (8, 2), (4, 4)]:
+            cset = staircase(chains, depth)
+            s = PADRScheduler().schedule(cset)
+            assert s.power.max_switch_changes <= 4
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_csa_bounded_changes_random(self, seed):
+        rng = np.random.default_rng(seed)
+        cset = random_well_nested(32, 128, rng)
+        s = PADRScheduler().schedule(cset, 128)
+        # Lemmas 6–7 bound per-port alternation; 6 covers all ports safely
+        assert s.power.max_switch_changes <= 6
+
+    def test_prior_art_pays_theta_w(self):
+        from repro.baselines import RoyIDScheduler
+
+        units = []
+        for w in (8, 32, 128):
+            s = RoyIDScheduler().schedule(
+                crossing_chain(w), policy=PowerPolicy.rebuild()
+            )
+            units.append(s.power.max_switch_units)
+        assert units == [8, 32, 128]  # exactly w — Θ(w) growth
+
+    def test_lemma7_word_stream_alternates_at_most_twice(self):
+        """Lemma 7: the per-child stream of source-requirement words forms
+        Q1 or Q2 — at most two alternations between [s,...] and [null/d]."""
+        from repro.core.control import DownKind
+        from repro.core.phase1 import run_phase1
+        from repro.core.phase2 import configure
+
+        cset = crossing_chain(16)
+        n = cset.min_leaves()
+        network = CSTNetwork.of_size(n)
+        network.assign_roles(cset.roles())
+        engine = CSTEngine(network)
+        states = run_phase1(engine)
+
+        seen: dict[int, list[bool]] = {}  # child heap id -> wants_source seq
+
+        def emit(switch_id, word):
+            outcome = configure(switch_id, states[switch_id], word)
+            for child, w in (
+                (2 * switch_id, outcome.left_word),
+                (2 * switch_id + 1, outcome.right_word),
+            ):
+                seen.setdefault(child, []).append(w.kind.wants_source)
+            return outcome.left_word, outcome.right_word
+
+        while any(st.matched for st in states.values()):
+            engine.downward_wave(DownWord.none(), emit)
+
+        for child, stream in seen.items():
+            alternations = sum(
+                1 for a, b in zip(stream, stream[1:]) if a != b
+            )
+            assert alternations <= 2, (
+                f"child {child} saw {alternations} alternations: {stream}"
+            )

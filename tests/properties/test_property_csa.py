@@ -1,0 +1,88 @@
+"""Property-based tests of the CSA over the space of well-nested sets.
+
+These are the strongest correctness evidence in the suite: hypothesis
+explores arbitrary well-nested workloads (including shrunk minimal
+counterexamples on failure) and every invariant of Theorems 4, 5 and 8 must
+hold on all of them.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis.optimality import check_round_optimality
+from repro.analysis.verifier import verify_schedule
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.cst.topology import CSTTopology
+
+from tests.conftest import wellnested_set_st
+
+TOPO = CSTTopology.of(64)
+
+
+@given(wellnested_set_st())
+@settings(max_examples=150, deadline=None)
+def test_theorem4_every_pair_delivered_exactly_once(cset):
+    s = PADRScheduler().schedule(cset, 64)
+    verify_schedule(s, cset).raise_if_failed()
+
+
+@given(wellnested_set_st())
+@settings(max_examples=150, deadline=None)
+def test_theorem5_rounds_equal_width(cset):
+    s = PADRScheduler().schedule(cset, 64)
+    check_round_optimality(s, cset, require_optimal=True)
+
+
+@given(wellnested_set_st())
+@settings(max_examples=150, deadline=None)
+def test_theorem8_constant_switch_changes(cset):
+    s = PADRScheduler().schedule(cset, 64)
+    # Lemmas 6–7: at most two alternations per word family per port; six
+    # bounds every switch with slack for the three-port interleavings.
+    assert s.power.max_switch_changes <= 6
+
+
+@given(wellnested_set_st())
+@settings(max_examples=100, deadline=None)
+def test_each_round_nonempty_and_strictly_progresses(cset):
+    s = PADRScheduler().schedule(cset, 64)
+    for r in s.rounds:
+        assert len(r.performed) >= 1
+    total = sum(len(r.performed) for r in s.rounds)
+    assert total == len(cset)
+
+
+@given(wellnested_set_st())
+@settings(max_examples=100, deadline=None)
+def test_outermost_rule_first_round_contains_all_depth_zero_roots(cset):
+    """The selection rule: every nesting root whose circuit does not clash
+    with another root's circuit is scheduled in round 0; in particular, on
+    conflict-free fronts the whole depth-0 level fires at once."""
+    from repro.comms.wellnested import nesting_depths
+    from repro.analysis.compatibility import is_compatible_set
+
+    if len(cset) == 0:
+        return
+    depths = nesting_depths(cset)
+    roots = [c for c, d in depths.items() if d == 0]
+    if not is_compatible_set(roots, TOPO):
+        return  # roots themselves clash (possible: disjoint intervals never
+        # clash, but roots plus piggybacked inner pairs can differ)
+    s = PADRScheduler().schedule(cset, 64)
+    round0 = set(s.rounds[0].performed)
+    for c in roots:
+        assert c in round0
+
+
+@given(wellnested_set_st())
+@settings(max_examples=100, deadline=None)
+def test_power_conservation(cset):
+    """Total charged units equal the sum over switches; every charged
+    switch actually lies on some communication's path."""
+    s = PADRScheduler().schedule(cset, 64)
+    per_switch = s.power.per_switch_units
+    assert sum(per_switch.values()) == s.power.total_units
+    on_paths = set()
+    for c in cset:
+        on_paths.update(TOPO.path_connections(c.src, c.dst).keys())
+    assert set(per_switch).issubset(on_paths)

@@ -1,0 +1,91 @@
+"""Property-based tests over all baseline schedulers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.verifier import verify_schedule
+from repro.baselines import (
+    GreedyScheduler,
+    RandomOrderScheduler,
+    RoyIDScheduler,
+    SequentialScheduler,
+)
+from repro.comms.width import width
+from repro.cst.topology import CSTTopology
+
+from tests.conftest import wellnested_set_st
+
+TOPO = CSTTopology.of(64)
+
+BASELINES = [
+    RoyIDScheduler(),
+    GreedyScheduler("outermost"),
+    GreedyScheduler("innermost"),
+    GreedyScheduler("lexical"),
+    RandomOrderScheduler(seed=5),
+    SequentialScheduler(),
+]
+
+
+@pytest.mark.parametrize("scheduler", BASELINES, ids=lambda s: s.name)
+class TestBaselineProperties:
+    @given(cset=wellnested_set_st(max_pairs=8))
+    @settings(max_examples=60, deadline=None)
+    def test_delivers_everything_exactly_once(self, scheduler, cset):
+        s = scheduler.schedule(cset, 64)
+        verify_schedule(s, cset).raise_if_failed()
+
+    @given(cset=wellnested_set_st(max_pairs=8))
+    @settings(max_examples=60, deadline=None)
+    def test_rounds_at_least_width(self, scheduler, cset):
+        s = scheduler.schedule(cset, 64)
+        assert s.n_rounds >= width(cset, TOPO)
+
+
+@given(cset=wellnested_set_st(max_pairs=8))
+@settings(max_examples=60, deadline=None)
+def test_roy_ids_equal_width_rounds(cset):
+    """The reconstruction's round-optimality, as promised in its docstring."""
+    s = RoyIDScheduler().schedule(cset, 64)
+    assert s.n_rounds == width(cset, TOPO)
+
+
+@given(cset=wellnested_set_st(max_pairs=8))
+@settings(max_examples=100, deadline=None)
+def test_greedy_outermost_width_optimal(cset):
+    """Outermost-first greedy matches the width bound.
+
+    Notably this does NOT hold for innermost-first: peeling inner pairs
+    first can leave a chain of mutually-conflicting outer communications
+    that then serialise (hypothesis finds e.g. {(0,12),(1,2),(3,11),(4,5),
+    (8,10),(13,14)}: width 2 but 3 innermost-first rounds).  Scheduling the
+    outermost communication first — the CSA's O_c(u) rule — is therefore
+    load-bearing for Theorem 5, not only for Theorem 8.
+    """
+    s = GreedyScheduler("outermost").schedule(cset, 64)
+    assert s.n_rounds == width(cset, TOPO)
+
+
+def test_greedy_innermost_not_always_optimal():
+    """Regression-pin the hypothesis counterexample described above."""
+    from repro.comms.communication import Communication, CommunicationSet
+
+    cset = CommunicationSet(
+        Communication(*p)
+        for p in [(0, 12), (1, 2), (3, 11), (4, 5), (8, 10), (13, 14)]
+    )
+    assert width(cset, TOPO) == 2
+    s = GreedyScheduler("innermost").schedule(cset, 64)
+    assert s.n_rounds == 3
+
+
+@given(cset=wellnested_set_st(max_pairs=8))
+@settings(max_examples=40, deadline=None)
+def test_csa_power_never_beaten(cset):
+    """No baseline achieves fewer max-per-switch changes than the CSA."""
+    from repro.core.csa import PADRScheduler
+
+    csa = PADRScheduler().schedule(cset, 64)
+    for scheduler in BASELINES:
+        other = scheduler.schedule(cset, 64)
+        assert csa.power.max_switch_changes <= other.power.max_switch_changes + 1

@@ -1,0 +1,97 @@
+"""Property-based tests of the tree geometry and path structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cst.topology import CSTTopology
+from repro.types import Direction, OutPort
+
+SIZES = st.sampled_from([2, 4, 8, 16, 64, 256])
+
+
+@st.composite
+def tree_and_pair(draw):
+    n = draw(SIZES)
+    a = draw(st.integers(min_value=0, max_value=n - 1))
+    b = draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != a))
+    return CSTTopology.of(n), a, b
+
+
+@given(tree_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_path_edges_alternate_up_then_down(args):
+    topo, a, b = args
+    edges = topo.path_edges(a, b)
+    dirs = [e.direction for e in edges]
+    # all UP edges precede all DOWN edges — circuits never turn back
+    first_down = next(
+        (i for i, d in enumerate(dirs) if d is Direction.DOWN), len(dirs)
+    )
+    assert all(d is Direction.UP for d in dirs[:first_down])
+    assert all(d is Direction.DOWN for d in dirs[first_down:])
+
+
+@given(tree_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_path_connections_walkable(args):
+    """Following the connections from the source leaf reaches the
+    destination leaf — the static analogue of network tracing."""
+    topo, a, b = args
+    conns = topo.path_connections(a, b)
+    node = topo.leaf_heap_id(a)
+    current = node >> 1
+    from repro.types import InPort
+
+    in_port = InPort.R if node & 1 else InPort.L
+    for _ in range(2 * topo.height + 1):
+        conn = conns[current]
+        assert conn.in_port is in_port
+        if conn.out_port is OutPort.P:
+            in_port = InPort.R if current & 1 else InPort.L
+            current >>= 1
+        else:
+            child = (current << 1) | (1 if conn.out_port is OutPort.R else 0)
+            if topo.is_leaf(child):
+                assert topo.pe_index(child) == b
+                return
+            in_port = InPort.P
+            current = child
+    raise AssertionError("walk did not terminate")
+
+
+@given(tree_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_path_symmetric_under_reversal(args):
+    """The reverse communication uses exactly the reversed edges."""
+    topo, a, b = args
+    fwd = set(topo.path_edges(a, b))
+    bwd = set(topo.path_edges(b, a))
+    assert bwd == {e.reverse for e in fwd}
+
+
+@given(tree_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_path_length_logarithmic(args):
+    topo, a, b = args
+    assert 1 <= topo.path_length(a, b) <= 2 * topo.height - 1
+
+
+@given(tree_and_pair())
+@settings(max_examples=200, deadline=None)
+def test_lca_level_bounds_path(args):
+    topo, a, b = args
+    lca = topo.lca_of_pes(a, b)
+    lvl = topo.level(lca)
+    assert topo.path_length(a, b) == 2 * (topo.height - lvl) - 1
+
+
+@given(st.sampled_from([2, 4, 8, 32]), st.data())
+@settings(max_examples=100, deadline=None)
+def test_subtree_partition(n, data):
+    """At every level, subtree leaf ranges partition the leaves."""
+    topo = CSTTopology.of(n)
+    lvl = data.draw(st.integers(min_value=0, max_value=topo.height - 1))
+    covered: list[int] = []
+    for v in topo.switches_at_level(lvl):
+        covered.extend(topo.subtree_leaf_range(v))
+    assert sorted(covered) == list(range(n))

@@ -1,0 +1,58 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.width == 16
+        args = build_parser().parse_args(["random"])
+        assert (args.pairs, args.leaves, args.seed) == (32, 128, 0)
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "timeline:" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "padr-csa" in out
+        assert "sequential" in out
+
+    def test_random(self, capsys):
+        assert main(["random", "--pairs", "4", "--leaves", "16", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "width=" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--max-width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "csa_max_changes" in out
+        # CSA stays at <= 2 changes for every width in the sweep
+        assert "roy_max_units" in out
+
+
+class TestTraceCommand:
+    def test_trace_runs(self, capsys):
+        assert main(["trace", "--width", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "traced CSA run" in out
+        assert "summary:" in out
+
+    def test_trace_changed_only_is_shorter(self, capsys):
+        main(["trace", "--width", "3"])
+        full = capsys.readouterr().out
+        main(["trace", "--width", "3", "--changed-only"])
+        filtered = capsys.readouterr().out
+        assert len(filtered) < len(full)

@@ -1,0 +1,143 @@
+"""Unit tests for the experiments package (sweeps + registry)."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    control_constants,
+    evolving_stream,
+    power_sweep_crossing,
+    repeated_pattern_stream,
+    rounds_vs_width_crossing,
+    rounds_vs_width_random,
+    run_experiment,
+    teardown_matrix,
+    total_energy_comparison,
+    traffic_vs_width,
+)
+
+
+class TestTheorem5Sweeps:
+    def test_crossing_all_optimal(self):
+        rows = rounds_vs_width_crossing(widths=(1, 2, 4))
+        assert [r["csa_rounds"] for r in rows] == [1, 2, 4]
+        assert all(r["csa_rounds/width"] == 1.0 for r in rows)
+
+    def test_random_all_optimal(self):
+        rows = rounds_vs_width_random(pair_counts=(4, 8), n_leaves=64)
+        assert all(r["csa_rounds"] == r["width"] for r in rows)
+
+
+class TestTheorem8Sweeps:
+    def test_crossing_shapes(self):
+        rows = power_sweep_crossing(widths=(4, 16))
+        assert all(r["csa_max_changes"] <= 2 for r in rows)
+        assert [r["roy_rebuild_max_units"] for r in rows] == [4, 16]
+
+    def test_total_energy_ratio_grows(self):
+        rows = total_energy_comparison(widths=(8, 32))
+        assert rows[0]["ratio"] < rows[1]["ratio"]
+
+
+class TestEfficiencySweeps:
+    def test_constants(self):
+        rows = control_constants(tree_sizes=(8, 32))
+        assert all(r["messages/(links*waves)"] == 1.0 for r in rows)
+        assert all(r["stored_words_per_switch"] == 5 for r in rows)
+
+    def test_traffic_width_independent(self):
+        rows = traffic_vs_width(widths=(1, 8), n_leaves=64)
+        assert rows[0]["messages_per_wave"] == rows[1]["messages_per_wave"]
+
+
+class TestAblation:
+    def test_matrix_ordering(self):
+        rows = teardown_matrix(widths=(4, 16))
+        for r in rows:
+            assert r["paper_total"] <= r["eager_total"] <= r["rebuild_total"]
+            assert r["rebuild_max_units"] == r["width"]
+
+
+class TestStreams:
+    def test_repeated_pattern(self):
+        rows = repeated_pattern_stream(repetitions=3)
+        persistent = next(r for r in rows if r["discipline"] == "persistent")
+        fresh = next(r for r in rows if r["discipline"] == "fresh")
+        assert persistent["total"] < fresh["total"]
+        assert persistent["profile"][1:] == [0, 0]
+
+    def test_evolving(self):
+        rows = evolving_stream(steps=3, n_pairs=5, n_leaves=32)
+        assert rows[0]["persistent_total"] <= rows[0]["fresh_total"]
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        assert {
+            "T5-crossing", "T5-random", "T8-crossing", "T8-random",
+            "T8-total", "EFF-constants", "EFF-traffic", "ABL-teardown",
+            "STREAM-repeat", "STREAM-evolve",
+        } == set(REGISTRY)
+
+    def test_run_by_id(self):
+        rows = run_experiment("T5-crossing")
+        assert rows and "csa_rounds" in rows[0]
+
+    def test_unknown_id_lists_valid(self):
+        with pytest.raises(KeyError, match="valid ids"):
+            run_experiment("nope")
+
+    def test_every_registered_experiment_returns_rows(self):
+        # the heavier sweeps run with their default parameters; this is
+        # the integration guarantee that the CLI's `experiment` command
+        # cannot hit a broken entry.
+        for eid in ("ABL-teardown", "EFF-traffic", "STREAM-evolve"):
+            rows = REGISTRY[eid].run()
+            assert isinstance(rows, list) and rows
+
+
+class TestCLIIntegration:
+    def test_experiment_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "T8-crossing" in out
+
+    def test_experiment_run(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "ABL-teardown"]) == 0
+        out = capsys.readouterr().out
+        assert "rebuild_max_units" in out
+
+    def test_experiment_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "bogus"]) == 2
+        assert "valid ids" in capsys.readouterr().out
+
+    def test_experiment_no_id_lists(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+
+class TestRegenerateScript:
+    def test_script_writes_tables(self, tmp_path, monkeypatch, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "regen", Path("scripts/regenerate_experiments.py")
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        monkeypatch.setattr("sys.argv", ["regen", str(tmp_path)])
+        assert mod.main() == 0
+        written = {p.name for p in tmp_path.iterdir()}
+        assert "INDEX.md" in written
+        assert "T8-crossing.txt" in written
+        assert len(written) == len(REGISTRY) + 1

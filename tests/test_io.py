@@ -1,0 +1,137 @@
+"""Unit tests for JSON serialization of workloads and schedules."""
+
+import json
+
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import crossing_chain, paper_figure2_set
+from repro.core.csa import PADRScheduler
+from repro.io import (
+    SerializationError,
+    cset_from_dict,
+    cset_to_dict,
+    load_workloads,
+    save_workloads,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.analysis.verifier import verify_schedule
+
+
+class TestCsetRoundTrip:
+    def test_roundtrip_identity(self, fig2_set):
+        assert cset_from_dict(cset_to_dict(fig2_set)) == fig2_set
+
+    def test_empty_set(self):
+        empty = CommunicationSet(())
+        assert cset_from_dict(cset_to_dict(empty)) == empty
+
+    def test_json_serializable(self, fig2_set):
+        text = json.dumps(cset_to_dict(fig2_set))
+        assert cset_from_dict(json.loads(text)) == fig2_set
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            cset_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        data = cset_to_dict(CommunicationSet(()))
+        data["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            cset_from_dict(data)
+
+    def test_malformed_comms_rejected(self):
+        with pytest.raises(SerializationError):
+            cset_from_dict(
+                {"format": "cst-padr/communication-set", "version": 1,
+                 "comms": [[1]]}
+            )
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip_preserves_everything_the_verifier_needs(self):
+        cset = paper_figure2_set()
+        original = PADRScheduler().schedule(cset, 16)
+        restored = schedule_from_dict(schedule_to_dict(original))
+
+        assert restored.scheduler_name == original.scheduler_name
+        assert restored.n_leaves == original.n_leaves
+        assert restored.n_rounds == original.n_rounds
+        assert list(restored.performed()) == list(original.performed())
+        assert restored.power.total_units == original.power.total_units
+        assert restored.power.max_switch_changes == original.power.max_switch_changes
+        assert restored.control_messages == original.control_messages
+
+    def test_restored_schedule_verifies(self):
+        cset = crossing_chain(4)
+        restored = schedule_from_dict(
+            schedule_to_dict(PADRScheduler().schedule(cset))
+        )
+        verify_schedule(restored, cset).raise_if_failed()
+
+    def test_tampered_schedule_fails_verification(self):
+        cset = crossing_chain(2)
+        data = schedule_to_dict(PADRScheduler().schedule(cset))
+        data["rounds"][0]["performed"] = [[0, 1]]  # corrupt a delivery
+        restored = schedule_from_dict(data)
+        assert not verify_schedule(restored, cset).ok
+
+    def test_json_serializable(self):
+        cset = crossing_chain(2)
+        text = json.dumps(schedule_to_dict(PADRScheduler().schedule(cset)))
+        restored = schedule_from_dict(json.loads(text))
+        assert restored.n_rounds == 2
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            schedule_from_dict({"format": "nope", "version": 1})
+
+
+class TestWorkloadSuites:
+    def test_save_and_load(self, tmp_path, fig2_set):
+        path = tmp_path / "suite.json"
+        suite = {"fig2": fig2_set, "chain": crossing_chain(3)}
+        save_workloads(path, suite)
+        loaded = load_workloads(path)
+        assert loaded == suite
+
+    def test_empty_suite(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_workloads(path, {})
+        assert load_workloads(path) == {}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError, match="cannot read"):
+            load_workloads(tmp_path / "does-not-exist.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_workloads(path)
+
+    def test_loaded_sets_schedule_correctly(self, tmp_path):
+        path = tmp_path / "suite.json"
+        save_workloads(path, {"w": crossing_chain(3)})
+        cset = load_workloads(path)["w"]
+        s = PADRScheduler().schedule(cset)
+        verify_schedule(s, cset).raise_if_failed()
+
+
+class TestIOProperties:
+    from hypothesis import given, settings
+
+    from tests.conftest import wellnested_set_st
+
+    @given(cset=wellnested_set_st(max_pairs=10))
+    @settings(max_examples=80, deadline=None)
+    def test_cset_roundtrip_property(self, cset):
+        assert cset_from_dict(cset_to_dict(cset)) == cset
+
+    @given(cset=wellnested_set_st(max_pairs=6))
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_roundtrip_property(self, cset):
+        s = PADRScheduler().schedule(cset, 64)
+        restored = schedule_from_dict(schedule_to_dict(s))
+        assert verify_schedule(restored, cset).ok

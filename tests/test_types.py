@@ -1,0 +1,87 @@
+"""Unit tests for the core value types (ports, connections, roles)."""
+
+import pytest
+
+from repro.exceptions import IllegalConnectionError
+from repro.types import (
+    CONN_DOWN_L,
+    CONN_DOWN_R,
+    CONN_L_TO_R,
+    CONN_L_UP,
+    CONN_R_TO_L,
+    CONN_R_UP,
+    LEGAL_CONNECTIONS,
+    Connection,
+    Direction,
+    InPort,
+    OutPort,
+    Role,
+    Side,
+)
+
+
+class TestPorts:
+    def test_in_port_sides(self):
+        assert InPort.L.side is Side.LEFT
+        assert InPort.R.side is Side.RIGHT
+        assert InPort.P.side is Side.PARENT
+
+    def test_out_port_sides(self):
+        assert OutPort.L.side is Side.LEFT
+        assert OutPort.R.side is Side.RIGHT
+        assert OutPort.P.side is Side.PARENT
+
+
+class TestConnection:
+    def test_exactly_six_legal_connections(self):
+        # 3 inputs × 3 outputs − 3 same-side pairs = 6 (paper §2)
+        assert len(LEGAL_CONNECTIONS) == 6
+        assert len(set(LEGAL_CONNECTIONS)) == 6
+
+    @pytest.mark.parametrize("in_port", list(InPort))
+    def test_same_side_rejected(self, in_port):
+        same_side = {
+            InPort.L: OutPort.L,
+            InPort.R: OutPort.R,
+            InPort.P: OutPort.P,
+        }[in_port]
+        with pytest.raises(IllegalConnectionError):
+            Connection(in_port, same_side)
+
+    def test_str_form(self):
+        assert str(CONN_L_TO_R) == "l_i->r_o"
+        assert str(CONN_DOWN_L) == "p_i->l_o"
+
+    def test_named_constants_cover_all(self):
+        named = {CONN_L_TO_R, CONN_R_TO_L, CONN_L_UP, CONN_R_UP, CONN_DOWN_L, CONN_DOWN_R}
+        assert named == set(LEGAL_CONNECTIONS)
+
+    def test_equality_and_hash(self):
+        assert Connection(InPort.L, OutPort.R) == CONN_L_TO_R
+        assert hash(Connection(InPort.L, OutPort.R)) == hash(CONN_L_TO_R)
+
+
+class TestDirection:
+    def test_opposites(self):
+        assert Direction.UP.opposite is Direction.DOWN
+        assert Direction.DOWN.opposite is Direction.UP
+
+    def test_double_opposite_identity(self):
+        for d in Direction:
+            assert d.opposite.opposite is d
+
+
+class TestRole:
+    def test_wire_encodings_match_paper(self):
+        # Step 1.1: source [1,0], destination [0,1], neither [0,0]
+        assert Role.SOURCE.wire_encoding == (1, 0)
+        assert Role.DESTINATION.wire_encoding == (0, 1)
+        assert Role.NEITHER.wire_encoding == (0, 0)
+
+    @pytest.mark.parametrize("role", list(Role))
+    def test_wire_roundtrip(self, role):
+        assert Role.from_wire(role.wire_encoding) is role
+
+    def test_invalid_wire_rejected(self):
+        with pytest.raises(ValueError):
+            Role.from_wire((1, 1))

@@ -1,0 +1,110 @@
+"""Unit tests for heap-tree bit math."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitmath import (
+    ceil_pow2,
+    common_prefix_node,
+    ilog2,
+    is_power_of_two,
+    level_of,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_small_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(20))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(x) for x in (3, 5, 6, 7, 9, 12, 100))
+
+    def test_zero_and_negative(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+
+class TestCeilPow2:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (9, 16), (1025, 2048)]
+    )
+    def test_values(self, n, expected):
+        assert ceil_pow2(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_pow2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_is_smallest_power_geq(self, n):
+        p = ceil_pow2(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p // 2 < n
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("k", range(0, 16))
+    def test_roundtrip(self, k):
+        assert ilog2(1 << k) == k
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(6)
+
+
+class TestLevelOf:
+    def test_root_is_level_zero(self):
+        assert level_of(1) == 0
+
+    def test_children_of_root(self):
+        assert level_of(2) == 1
+        assert level_of(3) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            level_of(0)
+
+    @given(st.integers(min_value=1, max_value=2**30))
+    def test_child_is_one_deeper(self, v):
+        assert level_of(2 * v) == level_of(v) + 1
+        assert level_of(2 * v + 1) == level_of(v) + 1
+
+
+class TestCommonPrefixNode:
+    def test_same_node(self):
+        assert common_prefix_node(5, 5) == 5
+
+    def test_siblings(self):
+        assert common_prefix_node(4, 5) == 2
+
+    def test_root_split(self):
+        # leaves 8 and 13 in an 8-leaf tree live in different halves
+        assert common_prefix_node(8, 13) == 1
+
+    def test_ancestor_descendant(self):
+        assert common_prefix_node(2, 9) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            common_prefix_node(0, 3)
+
+    @given(
+        st.integers(min_value=1, max_value=2**20),
+        st.integers(min_value=1, max_value=2**20),
+    )
+    def test_lca_is_common_ancestor(self, a, b):
+        lca = common_prefix_node(a, b)
+
+        def ancestors(v):
+            out = set()
+            while v >= 1:
+                out.add(v)
+                v >>= 1
+            return out
+
+        common = ancestors(a) & ancestors(b)
+        assert lca in common
+        # it is the *lowest*: no common ancestor is deeper
+        assert all(level_of(x) <= level_of(lca) for x in common)

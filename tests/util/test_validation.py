@@ -1,0 +1,47 @@
+"""Unit tests for argument validation helpers."""
+
+import pytest
+
+from repro.util.validation import check_index, check_positive, check_type
+
+
+class TestCheckIndex:
+    def test_accepts_in_range(self):
+        assert check_index(0, 5, "x") == 0
+        assert check_index(4, 5, "x") == 4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="x"):
+            check_index(5, 5, "x")
+        with pytest.raises(ValueError):
+            check_index(-1, 5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_index(True, 5, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_index(1.0, 5, "x")
+
+
+class TestCheckPositive:
+    def test_accepts_one(self):
+        assert check_positive(1, "n") == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "n")
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type("s", str, "v") == "s"
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="v must be str"):
+            check_type(3, str, "v")

@@ -1,0 +1,78 @@
+"""Unit tests for ASCII renderers."""
+
+import pytest
+
+from repro.comms.generators import crossing_chain, paper_figure2_set
+from repro.core.csa import PADRScheduler
+from repro.cst.topology import CSTTopology
+from repro.viz.ascii import (
+    render_change_profile,
+    render_leaf_roles,
+    render_round_configuration,
+    render_schedule_timeline,
+    render_tree,
+)
+
+
+class TestRenderLeafRoles:
+    def test_profile_line(self, fig2_set):
+        text = render_leaf_roles(fig2_set, 16)
+        assert "(()(()))(())...." in text
+        assert "0->7" in text
+
+    def test_three_lines(self, fig2_set):
+        assert len(render_leaf_roles(fig2_set, 16).splitlines()) == 3
+
+
+class TestRenderTree:
+    def test_levels_plus_leaf_row(self):
+        text = render_tree(CSTTopology.of(8))
+        lines = text.splitlines()
+        assert len(lines) == 4  # 3 switch levels + leaves
+        assert "1" in lines[0]
+
+    def test_custom_annotation(self):
+        text = render_tree(CSTTopology.of(4), lambda v: f"S{v}")
+        assert "S1" in text and "S2" in text and "S3" in text
+
+    def test_leaf_indices_present(self):
+        text = render_tree(CSTTopology.of(8))
+        last = text.splitlines()[-1]
+        for pe in range(8):
+            assert str(pe) in last
+
+
+class TestRenderRoundConfiguration:
+    def test_header_and_connections(self):
+        cset = crossing_chain(2)
+        s = PADRScheduler().schedule(cset)
+        text = render_round_configuration(s, 0)
+        assert text.startswith("round 0:")
+        assert "l>r" in text  # the root's matched connection
+
+    def test_round_bounds_checked(self):
+        s = PADRScheduler().schedule(crossing_chain(2))
+        with pytest.raises(IndexError):
+            render_round_configuration(s, 2)
+
+
+class TestRenderScheduleTimeline:
+    def test_one_row_per_comm(self):
+        cset = crossing_chain(3)
+        s = PADRScheduler().schedule(cset)
+        lines = render_schedule_timeline(s).splitlines()
+        assert len(lines) == 1 + len(cset)
+
+    def test_exactly_one_mark_per_row(self):
+        s = PADRScheduler().schedule(crossing_chain(3))
+        for line in render_schedule_timeline(s).splitlines()[1:]:
+            assert line.count("##") == 1
+
+
+class TestRenderChangeProfile:
+    def test_shape_matches_tree(self):
+        cset = crossing_chain(4)
+        s = PADRScheduler().schedule(cset)
+        topo = CSTTopology.of(s.n_leaves)
+        lines = render_change_profile(s).splitlines()
+        assert len(lines) == topo.height + 1
