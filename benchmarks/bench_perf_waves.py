@@ -1,0 +1,85 @@
+"""PERF-waves — the fast-path wave engine vs the reference oracle.
+
+No paper counterpart (the paper is analytic); this benchmark tracks the
+tentpole optimisation itself.  Expected shape: for a sparse width-w set on
+an N-leaf tree (w ≪ N) the fast engine's Phase-2 rounds touch only the
+O(w · log N) live frontier while the reference engine walks all Θ(N) links
+every wave, so the gap must *grow* with N and the fast engine must be at
+least 3× faster by N = 2^12.  Both engines must produce identical
+schedules and identical logical control-traffic counts — only
+``physical_messages`` may differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comms.generators import random_well_nested
+from repro.core.csa import PADRScheduler
+from repro.cst.engine import CSTEngine, ReferenceWaveEngine
+from repro.cst.network import CSTNetwork
+
+#: sparse workload: 24 pairs regardless of tree size keeps w ≪ n.
+_PAIRS = 24
+
+
+def _workload(n: int):
+    rng = np.random.default_rng(7)
+    return random_well_nested(_PAIRS, n, rng)
+
+
+def _run(factory, cset, n):
+    sched = PADRScheduler(validate_input=False, engine_factory=factory)
+    return sched.schedule(cset, network=CSTNetwork.of_size(n))
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_perf_fast_engine(benchmark, n):
+    """Fast path: frontier-pruned waves, vectorised Phase 1."""
+    cset = _workload(n)
+    benchmark(lambda: _run(CSTEngine, cset, n))
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_perf_reference_engine(benchmark, n):
+    """Reference oracle: every node, every wave."""
+    cset = _workload(n)
+    benchmark(lambda: _run(ReferenceWaveEngine, cset, n))
+
+
+def test_fast_engine_speedup_floor():
+    """Acceptance gate: ≥3× over the reference at n = 2^12 with w ≪ n."""
+    import time
+
+    n = 4096
+    cset = _workload(n)
+
+    def best_of(factory, reps=5):
+        t = float("inf")
+        for _ in range(reps):
+            net = CSTNetwork.of_size(n)
+            sched = PADRScheduler(validate_input=False, engine_factory=factory)
+            t0 = time.perf_counter()
+            sched.schedule(cset, network=net)
+            t = min(t, time.perf_counter() - t0)
+        return t
+
+    fast = best_of(CSTEngine)
+    ref = best_of(ReferenceWaveEngine)
+    assert ref / fast >= 3.0, f"speedup {ref / fast:.2f}x < 3x at n={n}"
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_engines_agree_and_prune_saves_traffic(n):
+    """Identical schedules + logical counts; physical strictly lower."""
+    cset = _workload(n)
+    fast = _run(CSTEngine, cset, n)
+    ref = _run(ReferenceWaveEngine, cset, n)
+    assert [r.performed for r in fast.rounds] == [r.performed for r in ref.rounds]
+    assert [r.writers for r in fast.rounds] == [r.writers for r in ref.rounds]
+    assert fast.control_messages == ref.control_messages
+    assert fast.control_words == ref.control_words
+    assert fast.power.total_units == ref.power.total_units
+    # the reference walks everything: physical == logical there.
+    assert ref.physical_messages == ref.control_messages
+    # sparse set on a big tree: pruning must pay.
+    assert fast.physical_messages < fast.control_messages

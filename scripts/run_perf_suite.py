@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Time the PADR scheduler end-to-end across tree sizes.
+
+Writes ``results/BENCH_scaling.json`` — one row per tree size with the
+wall-clock time of a full ``PADRScheduler.schedule`` call (Phase 1 +
+Phase-2 rounds + commits + transfers) on a sparse random well-nested set,
+plus the logical (paper-model) and physical (simulator-walked) control
+message counts, so the frontier-pruning savings are tracked alongside the
+timing trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_perf_suite.py            # full sweep
+    PYTHONPATH=src python scripts/run_perf_suite.py --smoke    # CI subset
+    PYTHONPATH=src python scripts/run_perf_suite.py --smoke \
+        --baseline results/BENCH_scaling.json                  # regression gate
+
+With ``--baseline`` each measured size is compared against the checked-in
+baseline row; a wall-time regression worse than ``--tolerance`` (default
+2.0×) fails the run with exit code 1.  Counts (logical/physical messages)
+must match the baseline exactly — they are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.comms.generators import random_well_nested
+from repro.comms.width import width
+from repro.core.csa import PADRScheduler
+from repro.cst.network import CSTNetwork
+from repro.cst.topology import CSTTopology
+
+#: full trajectory (2^6 .. 2^14) and the CI smoke subset.
+FULL_SIZES = [2**k for k in range(6, 15)]
+SMOKE_SIZES = [2**6, 2**8, 2**10]
+
+#: sparse workload — fixed pair count keeps w ≪ n across the sweep.
+PAIRS = 24
+SEED = 7
+
+
+def measure(n: int, reps: int) -> dict:
+    rng = np.random.default_rng(SEED)
+    cset = random_well_nested(PAIRS, n, rng)
+    w = width(cset, CSTTopology.of(n))
+    sched = PADRScheduler(validate_input=False)
+    best = float("inf")
+    schedule = None
+    for _ in range(reps):
+        net = CSTNetwork.of_size(n)
+        t0 = time.perf_counter()
+        schedule = sched.schedule(cset, network=net)
+        best = min(best, time.perf_counter() - t0)
+    assert schedule is not None
+    return {
+        "n": n,
+        "w": w,
+        "wall_s": round(best, 6),
+        "physical_messages": schedule.physical_messages,
+        "logical_messages": schedule.control_messages,
+    }
+
+
+def check_baseline(rows: list[dict], baseline_path: Path, tolerance: float) -> int:
+    try:
+        baseline = {r["n"]: r for r in json.loads(baseline_path.read_text())["rows"]}
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 1
+    failures = 0
+    for row in rows:
+        base = baseline.get(row["n"])
+        if base is None:
+            print(f"n={row['n']}: no baseline row, skipping")
+            continue
+        ratio = row["wall_s"] / base["wall_s"] if base["wall_s"] else float("inf")
+        status = "ok"
+        if ratio > tolerance:
+            status = f"REGRESSION (> {tolerance:.1f}x)"
+            failures += 1
+        for key in ("logical_messages", "physical_messages"):
+            if row[key] != base[key]:
+                status = f"COUNT MISMATCH ({key}: {row[key]} vs {base[key]})"
+                failures += 1
+        print(
+            f"n={row['n']:>6}  wall {row['wall_s'] * 1e3:8.2f} ms  "
+            f"baseline {base['wall_s'] * 1e3:8.2f} ms  ratio {ratio:5.2f}x  {status}"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"measure only the CI subset {SMOKE_SIZES} with fewer repetitions",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="compare against this BENCH_scaling.json instead of writing one",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="max wall-time ratio vs baseline before failing (default 2.0)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("results/BENCH_scaling.json"),
+        help="where to write the measurement rows (ignored with --baseline)",
+    )
+    args = parser.parse_args()
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    reps = 3 if args.smoke else 5
+    rows = []
+    for n in sizes:
+        row = measure(n, reps)
+        rows.append(row)
+        print(
+            f"n={n:>6}  w={row['w']:>3}  wall {row['wall_s'] * 1e3:8.2f} ms  "
+            f"physical {row['physical_messages']:>8}  "
+            f"logical {row['logical_messages']:>8}"
+        )
+
+    if args.baseline is not None:
+        return check_baseline(rows, args.baseline, args.tolerance)
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "cst-padr/perf-scaling",
+        "version": 1,
+        "workload": {"pairs": PAIRS, "seed": SEED, "generator": "random_well_nested"},
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

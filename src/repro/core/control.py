@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.exceptions import ProtocolError
 
-__all__ = ["UpWord", "StoredState", "DownKind", "DownWord"]
+__all__ = ["UpWord", "StoredState", "ZERO_STATE", "DownKind", "DownWord"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,6 +139,14 @@ class StoredState:
         return f"C_S[M={m}, S_L-M={t4}, D_L={t3}, S_R={t2}, D_R-M={t5}]"
 
 
+#: Shared all-zero stored state, interned by Phase 1 for the (on sparse
+#: workloads, overwhelming) majority of switches with no endpoints below.
+#: Sharing one mutable instance is safe because an all-zero state is never
+#: mutated: CONFIGURE only decrements counters of endpoints it schedules,
+#: and no rank can legally select an endpoint from an empty subtree.
+ZERO_STATE = StoredState()
+
+
 class DownKind(enum.Enum):
     """The four values of ``C_{D-*_1}`` (paper Step 2.1)."""
 
@@ -184,14 +192,20 @@ class DownWord:
 
     @staticmethod
     def src(x_s: int) -> "DownWord":
+        if 0 <= x_s < _INTERNED_RANKS:
+            return _SRC_WORDS[x_s]
         return DownWord(DownKind.SRC, x_s=x_s)
 
     @staticmethod
     def dst(x_d: int) -> "DownWord":
+        if 0 <= x_d < _INTERNED_RANKS:
+            return _DST_WORDS[x_d]
         return DownWord(DownKind.DST, x_d=x_d)
 
     @staticmethod
     def both(x_s: int, x_d: int) -> "DownWord":
+        if 0 <= x_s < _INTERNED_BOTH and 0 <= x_d < _INTERNED_BOTH:
+            return _BOTH_WORDS[x_s][x_d]
         return DownWord(DownKind.BOTH, x_s=x_s, x_d=x_d)
 
     @staticmethod
@@ -204,3 +218,17 @@ class DownWord:
 
 
 _NONE_WORD = DownWord(DownKind.NONE)
+
+# Interned flyweights for the control words that dominate Phase-2 traffic.
+# Low ranks are overwhelmingly common (a rank counts *remaining* endpoints,
+# and the CSA drains them towards zero), so the factory methods above serve
+# these shared immutable instances instead of re-validating fresh
+# allocations once per switch per round.
+_INTERNED_RANKS = 33
+_INTERNED_BOTH = 9
+_SRC_WORDS = tuple(DownWord(DownKind.SRC, x_s=x) for x in range(_INTERNED_RANKS))
+_DST_WORDS = tuple(DownWord(DownKind.DST, x_d=x) for x in range(_INTERNED_RANKS))
+_BOTH_WORDS = tuple(
+    tuple(DownWord(DownKind.BOTH, x_s=s, x_d=d) for d in range(_INTERNED_BOTH))
+    for s in range(_INTERNED_BOTH)
+)

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from repro.comms.communication import CommunicationSet
-from repro.core.control import StoredState, UpWord
+from repro.core.control import ZERO_STATE, StoredState, UpWord
 from repro.cst.engine import CSTEngine
 from repro.exceptions import ProtocolError
 from repro.types import Role
 
-__all__ = ["run_phase1", "phase1_states"]
+__all__ = ["run_phase1", "run_phase1_vectorized", "phase1_states", "pending_matched"]
 
 
 def run_phase1(engine: CSTEngine) -> dict[int, StoredState]:
@@ -36,16 +38,30 @@ def run_phase1(engine: CSTEngine) -> dict[int, StoredState]:
     partner inside the tree and is reported as a protocol error.
     """
     network = engine.network
+    if network.event_log is not None:
+        return _run_phase1_logged(engine)
+    pes = network.pes
     states: dict[int, StoredState] = {}
 
-    def leaf_word(pe: int) -> UpWord:
-        s, d = network.pes[pe].role_word()
-        return UpWord(s, d)
+    # the ``[S, D]`` pairs travel as plain tuples on the hot path — the
+    # UpWord wrapper's validation is redundant here (counts are sums of
+    # non-negative role words) and its per-node allocation is measurable at
+    # large N; word-size accounting still uses ``UpWord.wire_words()``.
+    # The logged variant above keeps recording real :class:`UpWord`\ s so
+    # event traces render ``[S=…, D=…]`` as before.
+    def leaf_word(pe: int) -> tuple[int, int]:
+        return pes[pe].role_word()
 
-    def combine(switch_id: int, left: UpWord, right: UpWord) -> UpWord:
-        s_l, d_l = left.sources, left.destinations
-        s_r, d_r = right.sources, right.destinations
-        m = min(s_l, d_r)  # Lemma 1: left sources pair with right destinations
+    def combine(
+        switch_id: int, left: tuple[int, int], right: tuple[int, int]
+    ) -> tuple[int, int]:
+        s_l, d_l = left
+        s_r, d_r = right
+        if not (s_l or d_l or s_r or d_r):
+            # quiescent subtree: intern the shared all-zero state.
+            states[switch_id] = ZERO_STATE
+            return _ZERO_PAIR
+        m = s_l if s_l < d_r else d_r  # Lemma 1: left sources pair right dsts
         states[switch_id] = StoredState(
             matched=m,
             unmatched_left_src=s_l - m,
@@ -53,16 +69,145 @@ def run_phase1(engine: CSTEngine) -> dict[int, StoredState]:
             right_src=s_r,
             unmatched_right_dst=d_r - m,
         )
-        return UpWord(s_l - m + s_r, d_l + d_r - m)
+        return (s_l - m + s_r, d_l + d_r - m)
 
-    sent = engine.upward_wave(leaf_word, combine, words_per_message=UpWord.wire_words())
-    root_out = sent[engine.topology.root]
-    if root_out.sources or root_out.destinations:
+    sent = engine.upward_wave(
+        leaf_word, combine, words_per_message=UpWord.wire_words(), collect=False
+    )
+    root_s, root_d = sent[engine.topology.root]
+    if root_s or root_d:
         raise ProtocolError(
-            f"unbalanced communication set: root would forward {root_out} to a "
+            f"unbalanced communication set: root would forward "
+            f"{UpWord(root_s, root_d)} to a non-existent parent (some endpoint "
+            "has no partner)"
+        )
+    return states
+
+
+_ZERO_PAIR = (0, 0)
+
+
+def _run_phase1_logged(engine: CSTEngine) -> dict[int, StoredState]:
+    """Phase 1 with an event log attached: words are real :class:`UpWord`\\ s
+    so the recorded control events keep the seed's rendering and validation."""
+    pes = engine.network.pes
+    states: dict[int, StoredState] = {}
+
+    def leaf_word(pe: int) -> UpWord:
+        return UpWord(*pes[pe].role_word())
+
+    def combine(switch_id: int, left: UpWord, right: UpWord) -> UpWord:
+        m = min(left.sources, right.destinations)
+        states[switch_id] = StoredState(
+            matched=m,
+            unmatched_left_src=left.sources - m,
+            left_dst=left.destinations,
+            right_src=right.sources,
+            unmatched_right_dst=right.destinations - m,
+        )
+        return UpWord(
+            left.sources - m + right.sources,
+            left.destinations + right.destinations - m,
+        )
+
+    sent = engine.upward_wave(
+        leaf_word, combine, words_per_message=UpWord.wire_words(), collect=False
+    )
+    root = sent[engine.topology.root]
+    if root.sources or root.destinations:
+        raise ProtocolError(
+            f"unbalanced communication set: root would forward {root} to a "
             "non-existent parent (some endpoint has no partner)"
         )
     return states
+
+
+def run_phase1_vectorized(engine: CSTEngine) -> dict[int, StoredState]:
+    """Phase 1 as a level-synchronous numpy reduction.
+
+    Computes exactly the same per-switch ``C_S`` counters as
+    :func:`run_phase1` — ``M = min(S_L, D_R)`` level by level, leaves up —
+    but in O(log N) numpy passes instead of 2N Python ``combine`` calls.
+    The wave still *happens* in the modelled hardware (every link carries
+    its ``[S, D]`` word), so the engine trace records the same logical and
+    physical message counts as the callable-driven wave; only the
+    simulator's work is vectorised.  Falls back to :func:`run_phase1` when
+    an event log is attached, which wants the per-node wave for fidelity.
+    """
+    network = engine.network
+    if network.event_log is not None:
+        return run_phase1(engine)
+    n = engine.topology.n_leaves
+    srcs = np.zeros(2 * n, dtype=np.int64)
+    dsts = np.zeros(2 * n, dtype=np.int64)
+    pes = network.pes
+    for i in network.roled_pes:
+        s, d = pes[i].role_word()
+        srcs[n + i] = s
+        dsts[n + i] = d
+
+    matched = np.zeros(n, dtype=np.int64)
+    t4 = np.zeros(n, dtype=np.int64)  # S_L - M
+    t3 = np.zeros(n, dtype=np.int64)  # D_L
+    t2 = np.zeros(n, dtype=np.int64)  # S_R
+    t5 = np.zeros(n, dtype=np.int64)  # D_R - M
+    for lvl in range(engine.topology.height - 1, -1, -1):
+        lo, hi = 1 << lvl, 2 << lvl
+        s_l, s_r = srcs[2 * lo : 2 * hi : 2], srcs[2 * lo + 1 : 2 * hi : 2]
+        d_l, d_r = dsts[2 * lo : 2 * hi : 2], dsts[2 * lo + 1 : 2 * hi : 2]
+        m = np.minimum(s_l, d_r)  # Lemma 1
+        matched[lo:hi] = m
+        t4[lo:hi] = s_l - m
+        t3[lo:hi] = d_l
+        t2[lo:hi] = s_r
+        t5[lo:hi] = d_r - m
+        srcs[lo:hi] = s_l - m + s_r
+        dsts[lo:hi] = d_l + d_r - m
+
+    if srcs[1] or dsts[1]:
+        raise ProtocolError(
+            f"unbalanced communication set: root would forward "
+            f"{UpWord(int(srcs[1]), int(dsts[1]))} to a non-existent parent "
+            "(some endpoint has no partner)"
+        )
+
+    states: dict[int, StoredState] = dict.fromkeys(range(1, n), ZERO_STATE)
+    live = (np.nonzero(matched + t4 + t3 + t2 + t5)[0]).tolist()
+    for v in live:
+        states[v] = StoredState(
+            matched=int(matched[v]),
+            unmatched_left_src=int(t4[v]),
+            left_dst=int(t3[v]),
+            right_src=int(t2[v]),
+            unmatched_right_dst=int(t5[v]),
+        )
+    n_messages = 2 * n - 2
+    engine.trace.record_wave(n_messages, n_messages * UpWord.wire_words())
+    return states
+
+
+def pending_matched(states: Mapping[int, StoredState], n_leaves: int) -> list[int]:
+    """Subtree-matched totals for the frontier-pruned fast path.
+
+    Returns a flat list indexed by heap id (size ``2 * n_leaves``) where
+    entry ``v`` is the number of still-unscheduled matched pairs stored at
+    switches in the subtree rooted at ``v`` (leaves are always 0).  A
+    Phase-2 down-wave may skip any subtree whose incoming word is
+    ``[null,null]`` and whose entry here is 0 — no descendant can stage a
+    connection or emit a live word.  The scheduler decrements the entries
+    of a switch and all its ancestors whenever that switch schedules one of
+    its matched pairs, keeping the invariant current between rounds *and*
+    for the not-yet-visited frontier within a round (ancestors are always
+    visited first on a down-wave).
+    """
+    pending = [0] * (2 * n_leaves)
+    for v in range(n_leaves - 1, 0, -1):
+        acc = states[v].matched
+        left = 2 * v
+        if left < n_leaves:
+            acc += pending[left] + pending[left + 1]
+        pending[v] = acc
+    return pending
 
 
 def phase1_states(

@@ -62,6 +62,11 @@ class ConfigureOutcome:
 
 _NONE = DownWord.none()
 
+#: shared outcome for the quiescent case — by far the most common call on
+#: large trees (every off-path switch hits it every round in the reference
+#: walk); :class:`ConfigureOutcome` is frozen, so one instance is safe.
+_IDLE_OUTCOME = ConfigureOutcome((), _NONE, _NONE, scheduled_matched=False)
+
 
 def configure(switch_id: int, state: StoredState, received: DownWord) -> ConfigureOutcome:
     """Run CONFIGURE for one switch and one round.
@@ -90,7 +95,7 @@ def configure(switch_id: int, state: StoredState, received: DownWord) -> Configu
 
 def _case_none(state: StoredState) -> ConfigureOutcome:
     if state.matched == 0:
-        return ConfigureOutcome((), _NONE, _NONE, scheduled_matched=False)
+        return _IDLE_OUTCOME
     state.matched -= 1
     # O_c(u): ask the left child for the source ranked just after the
     # unmatched left sources, the right child for the destination ranked

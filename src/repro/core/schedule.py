@@ -87,6 +87,7 @@ class Schedule:
         "power",
         "control_messages",
         "control_words",
+        "physical_messages",
     )
 
     def __init__(
@@ -99,6 +100,7 @@ class Schedule:
         *,
         control_messages: int = 0,
         control_words: int = 0,
+        physical_messages: int | None = None,
     ) -> None:
         self.cset = cset
         self.n_leaves = n_leaves
@@ -107,6 +109,12 @@ class Schedule:
         self.power = power
         self.control_messages = control_messages
         self.control_words = control_words
+        #: transmissions the simulator actually walked; equals
+        #: ``control_messages`` (the paper-model logical count) unless the
+        #: frontier-pruned engine skipped dead subtrees.
+        self.physical_messages = (
+            control_messages if physical_messages is None else physical_messages
+        )
 
     # -- views ----------------------------------------------------------------
 

@@ -19,7 +19,7 @@ from repro.cst.switch import Switch, SwitchConfiguration
 from repro.cst.power import PowerMeter, PowerPolicy, PowerReport
 from repro.cst.pe import ProcessingElement
 from repro.cst.network import CSTNetwork, TraceResult
-from repro.cst.engine import CSTEngine, EngineTrace
+from repro.cst.engine import CSTEngine, EngineTrace, ReferenceWaveEngine
 
 __all__ = [
     "CSTTopology",
@@ -34,4 +34,5 @@ __all__ = [
     "TraceResult",
     "CSTEngine",
     "EngineTrace",
+    "ReferenceWaveEngine",
 ]

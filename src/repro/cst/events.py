@@ -93,6 +93,33 @@ class EventLog:
         self.events.append(make(self._seq, self.wave))
         self._seq += 1
 
+    # -- closure-free recording ---------------------------------------------
+    #
+    # The :meth:`record` protocol allocates a lambda per call site even for
+    # the common event kinds; the wave engine's hot loops use these direct
+    # appenders instead.
+
+    def control(self, node: int, direction: str, word: Any) -> None:
+        """Append a :class:`ControlEvent` without building a closure."""
+        self.events.append(ControlEvent(self._seq, self.wave, node, direction, word))
+        self._seq += 1
+
+    def commit(self, switch: int, connections: tuple[str, ...], changed: bool) -> None:
+        """Append a :class:`CommitEvent` without building a closure."""
+        self.events.append(
+            CommitEvent(self._seq, self.wave, switch, connections, changed)
+        )
+        self._seq += 1
+
+    def transfer(
+        self, source_pe: int, delivered_pe: int | None, hops: tuple[int, ...]
+    ) -> None:
+        """Append a :class:`TransferEvent` without building a closure."""
+        self.events.append(
+            TransferEvent(self._seq, self.wave, source_pe, delivered_pe, hops)
+        )
+        self._seq += 1
+
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:

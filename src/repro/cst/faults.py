@@ -146,6 +146,7 @@ def inject(network: CSTNetwork, switch_id: int, fault: SwitchFault) -> None:
     if switch_id not in network.switches:
         raise FaultError(f"no switch {switch_id} in this network")
     current = network.switches[switch_id]
+    network.fault_injected = True
     if isinstance(current, _FaultySwitch):
         current.fault = fault
         return
@@ -163,4 +164,5 @@ def clear_faults(network: CSTNetwork) -> int:
             healthy.rounds_committed = sw.rounds_committed
             network.switches[heap_id] = healthy
             n += 1
+    network.fault_injected = False
     return n

@@ -19,7 +19,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.exceptions import ProtocolError
 from repro.types import Connection, InPort, OutPort, Role
-from repro.cst.events import CommitEvent, EventLog, TransferEvent
+from repro.cst.events import EventLog
 from repro.cst.pe import ProcessingElement
 from repro.cst.power import PowerMeter, PowerPolicy, PowerReport
 from repro.cst.switch import Switch
@@ -69,6 +69,14 @@ class CSTNetwork:
             ProcessingElement(i) for i in range(topology.n_leaves)
         ]
         self.rounds_run = 0
+        #: PE indices holding a non-NEITHER role (maintained by
+        #: :meth:`assign_roles`) — the only leaves obligation checks and
+        #: role sweeps need to visit.
+        self._roled_pes: list[int] = []
+        #: set by :func:`repro.cst.faults.inject`; a faulty switch corrupts
+        #: its configuration on *every* commit, so the selective fast path
+        #: of :meth:`commit_round` must not skip idle switches then.
+        self.fault_injected = False
 
     # -- construction helpers ------------------------------------------------
 
@@ -83,10 +91,23 @@ class CSTNetwork:
         return cls(CSTTopology.of(n_leaves), policy=policy, event_log=event_log)
 
     def assign_roles(self, roles: Mapping[int, Role]) -> None:
-        """Set PE roles from a ``pe index -> Role`` mapping; others NEITHER."""
-        for pe in self.pes:
-            pe.role = roles.get(pe.index, Role.NEITHER)
+        """Set PE roles from a ``pe index -> Role`` mapping; others NEITHER.
+
+        Only PEs whose role or transfer state can have changed are touched:
+        a NEITHER PE never writes nor latches, so sweeping all N leaves per
+        set (as the seed did) is wasted work for sparse sets.
+        """
+        pes = self.pes
+        for i in self._roled_pes:
+            if i not in roles:
+                pe = pes[i]
+                pe.role = Role.NEITHER
+                pe.reset_transfer_state()
+        for i, role in roles.items():
+            pe = pes[i]
+            pe.role = role
             pe.reset_transfer_state()
+        self._roled_pes = [i for i, r in roles.items() if r is not Role.NEITHER]
 
     # -- round protocol -------------------------------------------------------
 
@@ -95,21 +116,37 @@ class CSTNetwork:
         for heap_id, conns in requirements.items():
             self.switches[heap_id].require_all(conns)
 
-    def commit_round(self) -> None:
-        """Commit all switches for this round (power is charged here)."""
+    def commit_round(self, staged_ids: Iterable[int] | None = None) -> None:
+        """Commit switches for this round (power is charged here).
+
+        ``staged_ids`` — when the caller knows exactly which switches were
+        staged this round — enables the fast path: only those switches are
+        committed.  This is observationally equivalent to the full sweep
+        only under the lazy (paper) teardown policy, where committing an
+        unstaged switch is a no-op; with eager teardown (unstaged switches
+        must clear), an attached event log (every switch logs its commit),
+        or injected faults (corruption applies per commit), the full sweep
+        runs regardless.
+        """
+        if (
+            staged_ids is not None
+            and self.event_log is None
+            and not self.fault_injected
+            and not self.meter.policy.eager_teardown
+        ):
+            switches = self.switches
+            for heap_id in staged_ids:
+                switches[heap_id].commit_round()
+            self.rounds_run += 1
+            return
         for sw in self.switches.values():
             before = sw.config_changes
             config = sw.commit_round()
             if self.event_log is not None:
-                changed = sw.config_changes != before
-                self.event_log.record(
-                    lambda seq, wave, sw=sw, config=config, changed=changed: CommitEvent(
-                        seq,
-                        wave,
-                        switch=sw.heap_id,
-                        connections=tuple(sorted(str(c) for c in config)),
-                        changed=changed,
-                    )
+                self.event_log.commit(
+                    sw.heap_id,
+                    tuple(sorted(str(c) for c in config)),
+                    sw.config_changes != before,
                 )
         self.rounds_run += 1
 
@@ -165,15 +202,7 @@ class CSTNetwork:
             tr = self.trace_from(src)
             results.append(tr)
             if self.event_log is not None:
-                self.event_log.record(
-                    lambda seq, wave, tr=tr: TransferEvent(
-                        seq,
-                        wave,
-                        source_pe=tr.source_pe,
-                        delivered_pe=tr.delivered_pe,
-                        hops=tr.hops,
-                    )
-                )
+                self.event_log.transfer(tr.source_pe, tr.delivered_pe, tr.hops)
             if tr.delivered_pe is not None:
                 receiver = self.pes[tr.delivered_pe]
                 if receiver.role is Role.DESTINATION:
@@ -190,9 +219,18 @@ class CSTNetwork:
         return {v: sw.config_changes for v, sw in self.switches.items()}
 
     @property
+    def roled_pes(self) -> list[int]:
+        """Indices of PEs holding a non-NEITHER role (sorted by assignment)."""
+        return list(self._roled_pes)
+
+    @property
     def all_done(self) -> bool:
-        """True when every PE's obligation is satisfied."""
-        return all(pe.done for pe in self.pes)
+        """True when every PE's obligation is satisfied.
+
+        NEITHER PEs are vacuously done, so only roled PEs are checked.
+        """
+        pes = self.pes
+        return all(pes[i].done for i in self._roled_pes)
 
     def reset(self) -> None:
         """Clear all mutable state (configurations, meters, PE latches)."""

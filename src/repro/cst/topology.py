@@ -102,6 +102,20 @@ class CSTTopology:
         """Heap id of the root switch."""
         return 1
 
+    @property
+    def first_leaf(self) -> int:
+        """Heap id of PE 0 — leaves occupy ``[first_leaf, heap_size)``."""
+        return self._n
+
+    @property
+    def heap_size(self) -> int:
+        """Size of a flat array indexed by heap id (``2N``; index 0 unused).
+
+        The wave engine and the frontier tracker preallocate buffers of
+        this size so the hot path never touches a dict.
+        """
+        return 2 * self._n
+
     def __repr__(self) -> str:
         return f"CSTTopology(n_leaves={self._n})"
 

@@ -87,7 +87,12 @@ class StreamScheduler:
         self, csets: Sequence[CommunicationSet], n_leaves: int
     ) -> StreamResult:
         network = CSTNetwork.of_size(n_leaves, policy=self.policy)
-        scheduler = PADRScheduler()
+        # With a persistent network, consecutive sets with identical role
+        # assignments yield identical Phase-1 counters, so the upward wave
+        # is skipped and the cached pristine states restored.  The fresh-
+        # network control condition models a PADR-unaware system and pays
+        # full price every step.
+        scheduler = PADRScheduler(reuse_phase1=not self.fresh_network_per_step)
         steps: list[StreamStep] = []
         spent_before = 0
         for index, cset in enumerate(csets):

@@ -101,6 +101,7 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
         "control": {
             "messages": schedule.control_messages,
             "words": schedule.control_words,
+            "physical_messages": schedule.physical_messages,
         },
     }
 
@@ -140,6 +141,11 @@ def schedule_from_dict(data: Mapping[str, Any]) -> Schedule:
             power=power,
             control_messages=int(control.get("messages", 0)),
             control_words=int(control.get("words", 0)),
+            physical_messages=(
+                int(control["physical_messages"])
+                if "physical_messages" in control
+                else None
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed schedule payload: {exc}") from exc

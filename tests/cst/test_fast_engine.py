@@ -1,0 +1,123 @@
+"""Unit tests for the fast-path wave engine (pruning + accounting)."""
+
+import pytest
+
+from repro.cst.engine import CSTEngine, EngineTrace, ReferenceWaveEngine
+from repro.cst.events import EventLog
+from repro.cst.network import CSTNetwork
+
+
+def make_engine(n=8, cls=CSTEngine, event_log=None):
+    return cls(CSTNetwork.of_size(n, event_log=event_log))
+
+
+class TestFrontierPruning:
+    """downward_wave(prune=...) walks only the live frontier."""
+
+    def test_single_live_path(self):
+        eng = make_engine(8)
+        # only the leftmost path stays live: emit forwards the word left,
+        # kills the right; prune declares 0 dead.
+        leaf_words = eng.downward_wave(
+            "x",
+            lambda v, w: (w, 0),
+            prune=lambda node, w: w == 0,
+        )
+        assert leaf_words == {0: "x"}
+        # live links: 1->2, 2->4, 4->leaf0 — three physical transmissions.
+        assert eng.trace.physical_messages == 3
+        # the paper's model still charges every link.
+        assert eng.trace.messages == 14
+
+    def test_root_word_dead_skips_everything(self):
+        eng = make_engine(8)
+        called = []
+        leaf_words = eng.downward_wave(
+            0,
+            lambda v, w: called.append(v) or (w, w),
+            prune=lambda node, w: True,
+        )
+        assert leaf_words == {}
+        assert called == []  # not even the root switch ran
+        assert eng.trace.physical_messages == 0
+        assert eng.trace.messages == 14
+
+    def test_no_prune_reaches_every_leaf(self):
+        eng = make_engine(8)
+        leaf_words = eng.downward_wave("x", lambda v, w: (w, w))
+        assert set(leaf_words) == set(range(8))
+        assert eng.trace.physical_messages == eng.trace.messages == 14
+
+    def test_event_log_forces_full_walk(self):
+        """Log fidelity beats pruning: every node logs every wave."""
+        log = EventLog()
+        eng = make_engine(8, event_log=log)
+        leaf_words = eng.downward_wave(
+            "x",
+            lambda v, w: (w, 0),
+            prune=lambda node, w: w == 0,
+        )
+        assert set(leaf_words) == set(range(8))  # full walk, all leaves
+        assert eng.trace.physical_messages == 14
+        from repro.cst.events import ControlEvent
+
+        assert len(log.of_kind(ControlEvent)) == 14
+
+    def test_reference_engine_ignores_prune(self):
+        eng = make_engine(8, cls=ReferenceWaveEngine)
+        leaf_words = eng.downward_wave(
+            "x",
+            lambda v, w: (w, 0),
+            prune=lambda node, w: w == 0,
+        )
+        assert set(leaf_words) == set(range(8))
+        assert eng.trace.physical_messages == eng.trace.messages == 14
+
+
+class TestUpwardWaveBuffer:
+    def test_collect_false_returns_heap_indexed_buffer(self):
+        eng = make_engine(8)
+        buf = eng.upward_wave(
+            leaf_word=lambda pe: 1,
+            combine=lambda v, l, r: l + r,
+            collect=False,
+        )
+        assert buf[1] == 8
+        assert buf[4] == 2
+        assert buf[8] == 1
+        # physical always equals logical on the upward wave.
+        assert eng.trace.physical_messages == eng.trace.messages == 14
+
+    def test_collect_true_matches_buffer(self):
+        eng = make_engine(8)
+        sent = eng.upward_wave(lambda pe: 1, lambda v, l, r: l + r)
+        assert sent[1] == 8 and len(sent) == 15
+
+
+class TestPerWaveCap:
+    def test_samples_capped_totals_exact(self):
+        trace = EngineTrace()
+        extra = 7
+        for _ in range(EngineTrace.PER_WAVE_CAP + extra):
+            trace.record_wave(14, 42)
+        assert len(trace.per_wave_messages) == EngineTrace.PER_WAVE_CAP
+        assert trace.uncapped_waves == extra
+        # totals keep full fidelity past the cap.
+        assert trace.waves == EngineTrace.PER_WAVE_CAP + extra
+        assert trace.messages == 14 * trace.waves
+        assert trace.words == 42 * trace.waves
+
+    def test_physical_defaults_to_logical(self):
+        trace = EngineTrace()
+        trace.record_wave(14, 42)
+        assert trace.physical_messages == 14
+        assert trace.physical_words == 42
+        trace.record_wave(14, 42, physical_messages=3, physical_words=9)
+        assert trace.physical_messages == 17
+        assert trace.physical_words == 51
+
+
+class TestEngineFlags:
+    def test_vectorized_phase1_preference(self):
+        assert CSTEngine.prefers_vectorized_phase1 is True
+        assert ReferenceWaveEngine.prefers_vectorized_phase1 is False

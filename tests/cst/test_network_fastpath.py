@@ -1,0 +1,89 @@
+"""Tests for the selective commit fast path and sparse role sweeps."""
+
+import numpy as np
+
+from repro.comms.generators import crossing_chain, random_well_nested
+from repro.core.csa import PADRScheduler
+from repro.cst.events import CommitEvent, EventLog
+from repro.cst.faults import StuckSwitchFault, clear_faults, inject
+from repro.cst.network import CSTNetwork
+from repro.cst.power import PowerPolicy
+from repro.types import Role
+
+
+class TestCommitFastPath:
+    """commit_round(staged_ids) must be observationally equivalent."""
+
+    def _schedule_power(self, *, policy, event_log=None, n=32):
+        cset = crossing_chain(4, n)
+        network = CSTNetwork.of_size(n, policy=policy, event_log=event_log)
+        schedule = PADRScheduler().schedule(cset, network=network)
+        return schedule, network
+
+    def test_lazy_policy_same_power_as_full_sweep(self):
+        """Fast path active under the paper policy: same schedule + power
+        as with an event log attached (which forces the full sweep)."""
+        fast, _ = self._schedule_power(policy=PowerPolicy.paper())
+        full, _ = self._schedule_power(
+            policy=PowerPolicy.paper(), event_log=EventLog()
+        )
+        assert [r.performed for r in fast.rounds] == [r.performed for r in full.rounds]
+        assert fast.power.total_units == full.power.total_units
+        assert fast.power.per_switch_changes == full.power.per_switch_changes
+
+    def test_eager_policy_clears_unstaged_switches(self):
+        """Eager teardown must keep sweeping every switch: a configured
+        switch that stages nothing next round must drop its connections."""
+        eager, network = self._schedule_power(policy=PowerPolicy.eager())
+        # after the final commit under eager teardown nothing may linger
+        # beyond that round's staging — re-commit with an empty staging and
+        # every crossbar must clear.
+        network.commit_round()
+        assert all(len(sw.configuration) == 0 for sw in network.switches.values())
+
+    def test_event_log_records_every_switch_commit(self):
+        log = EventLog()
+        _, network = self._schedule_power(policy=PowerPolicy.paper(), event_log=log)
+        commits = log.of_kind(CommitEvent)
+        n_switches = len(network.switches)
+        # full sweep per round: every switch logs a commit, every round.
+        assert len(commits) == n_switches * network.rounds_run
+
+    def test_fault_injection_disables_fast_path(self):
+        network = CSTNetwork.of_size(8)
+        assert network.fault_injected is False
+        inject(network, 2, StuckSwitchFault())
+        assert network.fault_injected is True
+        clear_faults(network)
+        assert network.fault_injected is False
+
+
+class TestSparseRoleSweeps:
+    def test_reassignment_clears_stale_roles(self):
+        network = CSTNetwork.of_size(16)
+        network.assign_roles({0: Role.SOURCE, 5: Role.DESTINATION})
+        network.assign_roles({3: Role.SOURCE, 9: Role.DESTINATION})
+        assert network.pes[0].role is Role.NEITHER
+        assert network.pes[5].role is Role.NEITHER
+        assert network.pes[3].role is Role.SOURCE
+        assert network.pes[9].role is Role.DESTINATION
+        assert sorted(network.roled_pes) == [3, 9]
+
+    def test_all_done_checks_only_roled_pes(self):
+        network = CSTNetwork.of_size(16)
+        network.assign_roles({3: Role.SOURCE, 9: Role.DESTINATION})
+        assert not network.all_done  # obligations outstanding
+        network.assign_roles({})
+        assert network.all_done  # NEITHER PEs are vacuously done
+
+    def test_successive_sets_schedule_correctly(self):
+        """Back-to-back scheduling on one network (the stream pattern) must
+        not leak roles between sets."""
+        rng = np.random.default_rng(3)
+        network = CSTNetwork.of_size(64)
+        sched = PADRScheduler()
+        for _ in range(5):
+            cset = random_well_nested(6, 64, rng)
+            s = sched.schedule(cset, network=network)
+            delivered = {c for r in s.rounds for c in r.performed}
+            assert delivered == set(cset)
