@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Keep the documentation honest: check code blocks, CLI refs and links.
+
+Three checks over ``README.md`` and ``docs/*.md``:
+
+1. every fenced ``python`` code block must at least *compile* (catches
+   renamed symbols leaving stale ``import`` lines only at runtime, but
+   syntax rot — the common drift mode — immediately); blocks containing
+   doctest prompts (``>>>``) are run through :mod:`doctest` against the
+   real ``repro`` package;
+2. every ``cst-padr <subcommand>`` mention must name a subcommand the
+   argument parser actually registers;
+3. every relative markdown link must point at a file that exists.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Exit code 0 when clean, 1 with one line per problem otherwise.  Wired
+into CI (docs job) and tier-1 (``tests/test_docs.py``).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+CLI_RE = re.compile(r"`?cst-padr\s+([a-z][a-z0-9-]*)")
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)#\s]+)\)")
+
+
+def doc_files() -> list[Path]:
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def code_blocks(text: str) -> list[tuple[int, str, str]]:
+    """(first line number, language, source) for each fenced block."""
+    blocks = []
+    lang = None
+    start = 0
+    buf: list[str] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        m = FENCE_RE.match(line)
+        if m and lang is None:
+            lang, start, buf = m.group(1) or "", i + 1, []
+        elif line.strip() == "```" and lang is not None:
+            blocks.append((start, lang, "\n".join(buf)))
+            lang = None
+        elif lang is not None:
+            buf.append(line)
+    return blocks
+
+
+def registered_subcommands() -> set[str]:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._actions:  # argparse keeps subparsers here
+        if hasattr(action, "choices") and action.choices:
+            return set(action.choices)
+    raise AssertionError("CLI parser has no subcommands")
+
+
+def check_file(path: Path, subcommands: set[str]) -> list[str]:
+    problems = []
+    text = path.read_text()
+    rel = path.relative_to(ROOT)
+
+    for lineno, lang, source in code_blocks(text):
+        if lang != "python":
+            continue
+        if ">>>" in source:
+            runner = doctest.DocTestRunner(verbose=False)
+            test = doctest.DocTestParser().get_doctest(
+                source, {}, str(rel), str(rel), lineno
+            )
+            runner.run(test)
+            if runner.failures:
+                problems.append(f"{rel}:{lineno}: doctest block failed")
+            continue
+        try:
+            compile(source, f"{rel}:{lineno}", "exec")
+        except SyntaxError as exc:
+            problems.append(f"{rel}:{lineno}: python block does not compile: {exc.msg}")
+
+    for m in CLI_RE.finditer(text):
+        sub = m.group(1)
+        if sub not in subcommands:
+            line = text.count("\n", 0, m.start()) + 1
+            problems.append(f"{rel}:{line}: unknown cst-padr subcommand '{sub}'")
+
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        if not (path.parent / target).exists():
+            line = text.count("\n", 0, m.start()) + 1
+            problems.append(f"{rel}:{line}: broken link '{target}'")
+
+    return problems
+
+
+def main() -> int:
+    problems = []
+    subcommands = registered_subcommands()
+    for path in doc_files():
+        problems.extend(check_file(path, subcommands))
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        n = len(doc_files())
+        print(f"docs ok: {n} files, subcommands {sorted(subcommands)}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,12 @@ plus the logical (paper-model) and physical (simulator-walked) control
 message counts, so the frontier-pruning savings are tracked alongside the
 timing trajectory.
 
+Each row also embeds a metrics-registry snapshot (``"metrics"``) from a
+separate, *instrumented* run of the same workload — aggregate counters
+and summary gauges only, per-switch families folded to max/total so the
+file stays small.  The timed run stays uninstrumented, so the wall-clock
+trajectory measures the same hot path as before.
+
 Usage::
 
     PYTHONPATH=src python scripts/run_perf_suite.py            # full sweep
@@ -46,6 +52,37 @@ PAIRS = 24
 SEED = 7
 
 
+def registry_snapshot(cset, n: int) -> dict:
+    """Metrics from one instrumented (untimed) run, folded for archival.
+
+    Per-switch counter families collapse to their max (the Theorem-8
+    quantity) and total; nondeterministic spans are dropped so snapshots
+    stay diffable across hosts.
+    """
+    from repro.obs import Instrumentation, MetricsRegistry
+    from repro.obs.registry import parse_key
+
+    obs = Instrumentation(MetricsRegistry(), run="csa")
+    PADRScheduler(validate_input=False, obs=obs).schedule(
+        cset, network=CSTNetwork.of_size(n)
+    )
+    snap = obs.metrics.snapshot()
+    counters: dict[str, int] = {}
+    per_switch: dict[str, list[int]] = {}
+    for key, value in snap["counters"].items():
+        name, labels = parse_key(key)
+        if "switch" in labels:
+            per_switch.setdefault(name, []).append(value)
+        else:
+            counters[name] = value
+    for name, values in per_switch.items():
+        counters[f"{name}.max_switch"] = max(values)
+        counters[f"{name}.total"] = sum(values)
+        counters[f"{name}.switches"] = len(values)
+    gauges = {parse_key(k)[0]: v for k, v in snap["gauges"].items()}
+    return {"counters": counters, "gauges": gauges}
+
+
 def measure(n: int, reps: int) -> dict:
     rng = np.random.default_rng(SEED)
     cset = random_well_nested(PAIRS, n, rng)
@@ -65,6 +102,7 @@ def measure(n: int, reps: int) -> dict:
         "wall_s": round(best, 6),
         "physical_messages": schedule.physical_messages,
         "logical_messages": schedule.control_messages,
+        "metrics": registry_snapshot(cset, n),
     }
 
 
@@ -89,6 +127,10 @@ def check_baseline(rows: list[dict], baseline_path: Path, tolerance: float) -> i
             if row[key] != base[key]:
                 status = f"COUNT MISMATCH ({key}: {row[key]} vs {base[key]})"
                 failures += 1
+        # registry snapshots are deterministic too (timings are excluded).
+        if "metrics" in base and row["metrics"]["counters"] != base["metrics"]["counters"]:
+            status = "METRICS MISMATCH"
+            failures += 1
         print(
             f"n={row['n']:>6}  wall {row['wall_s'] * 1e3:8.2f} ms  "
             f"baseline {base['wall_s'] * 1e3:8.2f} ms  ratio {ratio:5.2f}x  {status}"
@@ -141,7 +183,7 @@ def main() -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "format": "cst-padr/perf-scaling",
-        "version": 1,
+        "version": 2,
         "workload": {"pairs": PAIRS, "seed": SEED, "generator": "random_well_nested"},
         "rows": rows,
     }

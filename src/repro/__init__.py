@@ -28,6 +28,8 @@ Package map
 ``repro.analysis``   verification (Theorem 4), optimality (Theorem 5) and
                      power reporting (Theorem 8).
 ``repro.extensions`` left-oriented/mixed sets and the SRGA grid substrate.
+``repro.obs``        observability: metrics registry, structured trace
+                     export, scheduler instrumentation.
 ``repro.viz``        ASCII figures.
 """
 
@@ -78,6 +80,12 @@ from repro.io import (
     schedule_from_dict,
     schedule_to_dict,
 )
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    TraceExporter,
+    observe_schedule,
+)
 
 __version__ = "1.0.0"
 
@@ -122,5 +130,9 @@ __all__ = [
     "save_workloads",
     "schedule_from_dict",
     "schedule_to_dict",
+    "Instrumentation",
+    "MetricsRegistry",
+    "TraceExporter",
+    "observe_schedule",
     "__version__",
 ]

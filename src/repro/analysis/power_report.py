@@ -1,28 +1,66 @@
-"""Tabulation helpers for power and configuration-change data (Theorem 8)."""
+"""Tabulation helpers for power and configuration-change data (Theorem 8).
+
+Since the observability layer landed, these tables are computed from
+**metrics-registry snapshots** rather than from bespoke per-function
+counter walks: a finished schedule is ingested with
+:func:`repro.obs.observe_schedule` and every consumer reads the same
+``power.units{switch=v}`` / ``config.changes{switch=v}`` counters — the
+identical format a live-instrumented run (``PADRScheduler(obs=...)``),
+a ``cst-padr metrics`` invocation or a perf-suite row produces.  The
+``*_from_snapshot`` variants accept such a snapshot directly, so traces
+captured elsewhere (a JSON-lines file, a CI artifact) can be tabulated
+without re-running anything.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.schedule import Schedule
 from repro.cst.topology import CSTTopology
+from repro.obs.instrument import observe_schedule, per_switch_changes_from
+from repro.obs.registry import MetricsRegistry
 
-__all__ = ["power_table", "change_histogram", "per_level_changes"]
+__all__ = [
+    "power_table",
+    "change_histogram",
+    "per_level_changes",
+    "snapshot_of",
+    "change_histogram_from_snapshot",
+    "per_level_changes_from_snapshot",
+]
+
+
+def snapshot_of(schedule: Schedule, *, run: str = "run") -> dict[str, Any]:
+    """A fresh registry snapshot holding one schedule's observable totals."""
+    registry = MetricsRegistry()
+    observe_schedule(registry, schedule, run=run)
+    return registry.snapshot()
 
 
 def power_table(schedules: Sequence[Schedule]) -> list[dict[str, object]]:
     """One row per schedule: the power quantities the paper's analysis compares."""
     rows: list[dict[str, object]] = []
     for s in schedules:
+        snap = snapshot_of(s, run=s.scheduler_name)
+        gauges = snap["gauges"]
+        per_switch = [
+            v for k, v in snap["counters"].items() if k.startswith("power.units{")
+        ]
         rows.append(
             {
                 "scheduler": s.scheduler_name,
-                "rounds": s.n_rounds,
-                "power_total": s.power.total_units,
-                "power_max_switch": s.power.max_switch_units,
-                "changes_max_switch": s.power.max_switch_changes,
-                "power_mean_switch": round(s.power.mean_switch_units, 2),
+                "rounds": gauges[f"rounds{{run={s.scheduler_name}}}"],
+                "power_total": gauges[f"power.units.total{{run={s.scheduler_name}}}"],
+                "power_max_switch": max(per_switch, default=0),
+                "changes_max_switch": max(
+                    per_switch_changes_from(snap, run=s.scheduler_name).values(),
+                    default=0,
+                ),
+                "power_mean_switch": round(
+                    sum(per_switch) / len(per_switch) if per_switch else 0.0, 2
+                ),
             }
         )
     return rows
@@ -34,15 +72,31 @@ def change_histogram(schedule: Schedule) -> Mapping[int, int]:
     Under Theorem 8 the CSA's histogram has no mass beyond a small
     constant ``k`` regardless of the width.
     """
-    counts = Counter(schedule.power.per_switch_changes.values())
-    return dict(sorted(counts.items()))
+    return change_histogram_from_snapshot(snapshot_of(schedule))
+
+
+def change_histogram_from_snapshot(
+    snapshot: Mapping[str, Any], *, run: str | None = None
+) -> Mapping[int, int]:
+    """:func:`change_histogram` over a registry snapshot (any producer)."""
+    changes = per_switch_changes_from(snapshot, run=run)
+    return dict(sorted(Counter(changes.values()).items()))
 
 
 def per_level_changes(schedule: Schedule) -> Mapping[int, int]:
     """Maximum configuration changes per tree level (root = level 0)."""
-    topo = CSTTopology.of(schedule.n_leaves)
+    return per_level_changes_from_snapshot(
+        snapshot_of(schedule), n_leaves=schedule.n_leaves
+    )
+
+
+def per_level_changes_from_snapshot(
+    snapshot: Mapping[str, Any], *, n_leaves: int, run: str | None = None
+) -> Mapping[int, int]:
+    """:func:`per_level_changes` over a registry snapshot (any producer)."""
+    topo = CSTTopology.of(n_leaves)
     out: dict[int, int] = {}
-    for switch_id, changes in schedule.power.per_switch_changes.items():
+    for switch_id, changes in per_switch_changes_from(snapshot, run=run).items():
         lvl = topo.level(switch_id)
         out[lvl] = max(out.get(lvl, 0), changes)
     return dict(sorted(out.items()))

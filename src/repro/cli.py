@@ -10,8 +10,12 @@ Usage (installed as ``cst-padr``, also ``python -m repro``):
     cst-padr sweep --max-width 64 # Theorem 5/8 sweep table
     cst-padr experiment <id>      # any registered experiment (see --list)
     cst-padr trace --width 3      # structured event trace of a CSA run
+    cst-padr trace --width 8 --jsonl run.jsonl   # JSON-lines trace, CSA + Roy
+    cst-padr metrics --width 8    # metrics-registry snapshot of a run
 
 All output is plain text; the same tables the benchmarks assert on.
+``trace --jsonl`` and ``metrics`` are the observability layer's entry
+points (see docs/observability.md for the schema).
 """
 
 from __future__ import annotations
@@ -119,6 +123,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.jsonl is not None:
+        return _cmd_trace_jsonl(args)
+
     from repro.cst.events import EventLog
     from repro.cst.network import CSTNetwork
 
@@ -134,6 +141,89 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(log.render(changed_only=args.changed_only))
     print()
     print("summary:", log.summary())
+    return 0
+
+
+def _observed_workload(args: argparse.Namespace):
+    """The workload an observability subcommand runs: random or chain."""
+    if getattr(args, "pairs", None):
+        rng = np.random.default_rng(args.seed)
+        return random_well_nested(args.pairs, args.leaves, rng)
+    return crossing_chain(args.width)
+
+
+def _cmd_trace_jsonl(args: argparse.Namespace) -> int:
+    """Structured JSON-lines trace: the CSA live-instrumented, plus the
+    Roy baseline under its per-round-rebuild discipline — one file holding
+    the Theorem-8 O(1)-vs-Θ(w) evidence (see docs/observability.md)."""
+    from repro.obs import Instrumentation, MetricsRegistry, TraceExporter
+    from repro.obs.trace import export_schedule
+
+    cset = _observed_workload(args)
+    registry = MetricsRegistry()
+    trace = TraceExporter()
+
+    obs = Instrumentation(registry, trace, run="csa")
+    PADRScheduler(obs=obs).schedule(cset)
+
+    roy = RoyIDScheduler().schedule(cset, policy=PowerPolicy.rebuild())
+    export_schedule(trace, roy, run="roy-rebuild")
+    from repro.obs import observe_schedule
+
+    observe_schedule(registry, roy, run="roy-rebuild")
+
+    if args.jsonl == "-":
+        n_events = trace.to_jsonl(sys.stdout)
+        report = sys.stderr
+    else:
+        n_events = trace.to_jsonl(args.jsonl)
+        report = sys.stdout
+    for run, entry in trace.summary().items():
+        print(
+            f"{run}: rounds={entry.get('rounds')} "
+            f"total_power_units={entry.get('total_power_units')} "
+            f"max_switch_changes={entry.get('max_switch_changes')}",
+            file=report,
+        )
+    print(f"wrote {n_events} events to {args.jsonl}", file=report)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a workload with the metrics registry attached and dump the
+    snapshot (counters / gauges / histograms / spans)."""
+    import json
+
+    from repro.obs import Instrumentation, MetricsRegistry
+
+    cset = _observed_workload(args)
+    obs = Instrumentation(MetricsRegistry(), run="csa")
+    schedule = PADRScheduler(obs=obs).schedule(cset)
+    snapshot = obs.metrics.snapshot()
+
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"metrics for one CSA run: {len(cset)} comms, "
+        f"{schedule.n_leaves} leaves, {schedule.n_rounds} rounds"
+    )
+    for section in ("counters", "gauges"):
+        if snapshot[section]:
+            print(f"\n{section}:")
+            for key, value in snapshot[section].items():
+                print(f"  {key:<45s} {value}")
+    if snapshot["histograms"]:
+        print("\nhistograms:")
+        for key, h in snapshot["histograms"].items():
+            print(
+                f"  {key:<45s} count={h['count']} sum={h['sum']:g} "
+                f"min={h['min']:g} max={h['max']:g}"
+            )
+    if snapshot["spans"]:
+        print("\nspans (wall-clock, nondeterministic):")
+        for key, s in snapshot["spans"].items():
+            print(f"  {key:<45s} count={s['count']} total={s['total_s'] * 1e3:.2f} ms")
     return 0
 
 
@@ -184,8 +274,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--changed-only", action="store_true", help="hide no-op switch commits"
     )
+    p.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="write a JSON-lines trace (CSA + Roy baseline) to PATH, or - for stdout",
+    )
+    _add_workload_options(p)
+
+    p = sub.add_parser(
+        "metrics", help="run a workload and dump the metrics-registry snapshot"
+    )
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--json", action="store_true", help="emit the snapshot as JSON")
+    _add_workload_options(p)
 
     return parser
+
+
+def _add_workload_options(p: argparse.ArgumentParser) -> None:
+    """Random-workload selection shared by the observability subcommands;
+    with ``--pairs`` the run uses a random well-nested set instead of the
+    crossing chain selected by ``--width``."""
+    p.add_argument("--pairs", type=int, default=None)
+    p.add_argument("--leaves", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -197,6 +310,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -36,6 +36,7 @@ from repro.cst.engine import CSTEngine
 from repro.cst.network import CSTNetwork
 from repro.cst.power import PowerPolicy
 from repro.exceptions import ProtocolError, SchedulingError
+from repro.obs.instrument import Instrumentation
 from repro.types import Connection, Role
 
 __all__ = ["PADRScheduler"]
@@ -53,6 +54,12 @@ class PADRScheduler(Scheduler):
         verify that every counter on every switch is exhausted when the
         algorithm stops (a cheap global invariant the distributed algorithm
         itself cannot see).
+    obs:
+        optional :class:`~repro.obs.Instrumentation` — when given, the run
+        emits per-round metrics and trace events into it (registry hooks on
+        the engine trace and power meter, round/phase deltas, run
+        summaries).  ``None`` (default) keeps the uninstrumented hot path:
+        the only residual cost is a handful of ``is not None`` checks.
     """
 
     name = "padr-csa"
@@ -65,6 +72,7 @@ class PADRScheduler(Scheduler):
         strict: bool = True,
         engine_factory: Callable[[CSTNetwork], CSTEngine] | None = None,
         reuse_phase1: bool = False,
+        obs: "Instrumentation | None" = None,
     ) -> None:
         self.validate_input = validate_input
         self.check_postconditions = check_postconditions
@@ -84,6 +92,7 @@ class PADRScheduler(Scheduler):
         #: skips its (logical) control traffic; the stream scheduler opts
         #: in, single-set accounting stays untouched.
         self.reuse_phase1 = reuse_phase1
+        self.obs = obs
         self._phase1_key: tuple[int, dict[int, Role]] | None = None
         self._phase1_states: dict[int, StoredState] | None = None
         self._phase1_pending: list[int] | None = None
@@ -107,6 +116,19 @@ class PADRScheduler(Scheduler):
         configurations persist between them.  When given, ``n_leaves`` and
         ``policy`` must not conflict with it.
         """
+        if self.obs is None:
+            return self._schedule(cset, n_leaves, policy=policy, network=network)
+        with self.obs.metrics.span("csa.schedule", run=self.obs.run):
+            return self._schedule(cset, n_leaves, policy=policy, network=network)
+
+    def _schedule(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+        network: CSTNetwork | None = None,
+    ) -> Schedule:
         if self.validate_input:
             require_well_nested(cset)
         if network is not None:
@@ -126,6 +148,12 @@ class PADRScheduler(Scheduler):
         roles = cset.roles()
         network.assign_roles(roles)
         engine = self.engine_factory(network)
+
+        obs = self.obs
+        if obs is not None:
+            obs.run_start(scheduler=self.name, n_leaves=n, n_comms=len(cset))
+            engine.trace.on_wave = obs.wave_hook()
+            obs.attach(network)
 
         states, pending = self._phase1(engine, n, roles)
         self.last_network = network
@@ -156,7 +184,7 @@ class PADRScheduler(Scheduler):
                 pending = [pe.index for pe in network.pes if not pe.done]
                 raise ProtocolError(f"CSA finished but PEs {pending} are unsatisfied")
 
-        return Schedule(
+        schedule = Schedule(
             cset=cset,
             n_leaves=n,
             scheduler_name=self.name,
@@ -166,6 +194,9 @@ class PADRScheduler(Scheduler):
             control_words=engine.trace.words,
             physical_messages=engine.trace.physical_messages,
         )
+        if obs is not None:
+            obs.run_end(schedule)
+        return schedule
 
     # ------------------------------------------------------------------
 
@@ -173,24 +204,49 @@ class PADRScheduler(Scheduler):
         self, engine: CSTEngine, n: int, roles: Mapping[int, Role]
     ) -> tuple[dict[int, StoredState], list[int]]:
         """Run Phase 1, or restore it from cache when roles are unchanged."""
+        obs = self.obs
         key = (n, dict(roles))
         if self.reuse_phase1 and key == self._phase1_key:
             assert self._phase1_states is not None and self._phase1_pending is not None
+            if obs is not None:
+                obs.phase1(
+                    live_switches=sum(
+                        1 for st in self._phase1_states.values() if not st.exhausted
+                    ),
+                    logical_messages=0,
+                    physical_messages=0,
+                    cached=True,
+                )
             return (
                 {v: st.copy() for v, st in self._phase1_states.items()},
                 list(self._phase1_pending),
             )
-        if getattr(engine, "prefers_vectorized_phase1", False):
-            states = run_phase1_vectorized(engine)
+        msgs_before = engine.trace.messages
+        phys_before = engine.trace.physical_messages
+        if obs is not None:
+            with obs.metrics.span("csa.phase1", run=obs.run):
+                states = self._phase1_wave(engine)
         else:
-            states = run_phase1(engine)
+            states = self._phase1_wave(engine)
         pending = pending_matched(states, n)
+        if obs is not None:
+            obs.phase1(
+                live_switches=sum(1 for st in states.values() if not st.exhausted),
+                logical_messages=engine.trace.messages - msgs_before,
+                physical_messages=engine.trace.physical_messages - phys_before,
+                cached=False,
+            )
         if self.reuse_phase1:
             # cache pristine copies before Phase 2 mutates the counters.
             self._phase1_key = key
             self._phase1_states = {v: st.copy() for v, st in states.items()}
             self._phase1_pending = list(pending)
         return states, pending
+
+    def _phase1_wave(self, engine: CSTEngine) -> dict[int, StoredState]:
+        if getattr(engine, "prefers_vectorized_phase1", False):
+            return run_phase1_vectorized(engine)
+        return run_phase1(engine)
 
     def _run_round(
         self,
@@ -202,6 +258,15 @@ class PADRScheduler(Scheduler):
         """One Phase-2 round: down-wave, commit, transfer, record."""
         network = engine.network
         staged: dict[int, tuple[Connection, ...]] = {}
+
+        obs = self.obs
+        pruned_subtrees = 0
+        if obs is not None:
+            meter = network.meter
+            units_before = meter.total_units
+            changes_before = meter.total_changes
+            msgs_before = engine.trace.messages
+            phys_before = engine.trace.physical_messages
 
         def emit(switch_id: int, word: DownWord) -> tuple[DownWord, DownWord]:
             outcome = configure(switch_id, states[switch_id], word)
@@ -220,6 +285,19 @@ class PADRScheduler(Scheduler):
             # [null,null], every leaf word would be [null,null] (skipped
             # below anyway).  Leaves always have pending 0.
             return word.kind is DownKind.NONE and not pending[node]
+
+        if obs is not None:
+            # counting wrapper, created only when observed — the unobserved
+            # fast path keeps the bare predicate.  Each True is one dead
+            # link at the live frontier, i.e. one skipped subtree.
+            base_prune = prune
+
+            def prune(node: int, word: DownWord) -> bool:
+                nonlocal pruned_subtrees
+                dead = base_prune(node, word)
+                if dead:
+                    pruned_subtrees += 1
+                return dead
 
         leaf_words = engine.downward_wave(
             DownWord.none(),
@@ -280,6 +358,19 @@ class PADRScheduler(Scheduler):
             raise ProtocolError(
                 f"round {round_no}: control wave selected receivers "
                 f"{sorted(receivers)} but data arrived at {sorted(delivered_set)}"
+            )
+
+        if obs is not None:
+            obs.round(
+                index=round_no,
+                writers=len(writers),
+                performed=len(performed),
+                staged_switches=len(staged),
+                config_changes=meter.total_changes - changes_before,
+                power_units=meter.total_units - units_before,
+                logical_messages=engine.trace.messages - msgs_before,
+                physical_messages=engine.trace.physical_messages - phys_before,
+                pruned_subtrees=pruned_subtrees,
             )
 
         return RoundRecord(

@@ -62,6 +62,12 @@ class EngineTrace:
     streams previously grew this list without bound.  Waves beyond the cap
     are still fully accounted in the totals and tallied in
     ``uncapped_waves``.
+
+    ``on_wave`` is the observability layer's injectable hook
+    (:meth:`repro.obs.Instrumentation.wave_hook`): called once per wave
+    with ``(messages, words, physical_messages, physical_words)``.  It
+    defaults to ``None`` and costs one identity check per wave — the
+    no-op path stays on the fast engine's perf floor.
     """
 
     #: maximum number of per-wave samples retained (satellite fix for the
@@ -76,6 +82,8 @@ class EngineTrace:
     per_wave_messages: list[int] = field(default_factory=list)
     #: waves whose sample was aggregated into the totals only (cap reached).
     uncapped_waves: int = 0
+    #: optional per-wave metrics sink; see class docstring.
+    on_wave: Callable[[int, int, int, int], None] | None = None
 
     def record_wave(
         self,
@@ -88,14 +96,16 @@ class EngineTrace:
         self.messages += messages
         self.words += words
         self.waves += 1
-        self.physical_messages += (
-            messages if physical_messages is None else physical_messages
-        )
-        self.physical_words += words if physical_words is None else physical_words
+        pm = messages if physical_messages is None else physical_messages
+        pw = words if physical_words is None else physical_words
+        self.physical_messages += pm
+        self.physical_words += pw
         if len(self.per_wave_messages) < self.PER_WAVE_CAP:
             self.per_wave_messages.append(messages)
         else:
             self.uncapped_waves += 1
+        if self.on_wave is not None:
+            self.on_wave(messages, words, pm, pw)
 
     @property
     def mean_messages_per_wave(self) -> float:

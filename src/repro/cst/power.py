@@ -19,7 +19,7 @@ O(1)-units-per-switch bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 __all__ = ["PowerPolicy", "PowerMeter", "PowerReport"]
 
@@ -130,12 +130,21 @@ class PowerMeter:
 
     ``tree_height`` is set by the owning network when the policy uses
     level-weighted wire costs; without it the weight is 1 everywhere.
+
+    ``on_charge(switch_id, cost)`` / ``on_change(switch_id)`` are the
+    observability layer's injectable hooks
+    (:meth:`repro.obs.Instrumentation.attach`); they default to ``None``
+    and cost one identity check per charge/change, so an unobserved run
+    pays nothing measurable.
     """
 
     policy: PowerPolicy = field(default_factory=PowerPolicy.paper)
     tree_height: int | None = None
     _units: dict[int, int] = field(default_factory=dict)
     _changes: dict[int, int] = field(default_factory=dict)
+    #: optional metrics sinks; see class docstring.
+    on_charge: Callable[[int, int], None] | None = None
+    on_change: Callable[[int], None] | None = None
 
     def _weight(self, switch_id: int) -> int:
         base = self.policy.wire_weight_base
@@ -152,14 +161,22 @@ class PowerMeter:
         if n_connections:
             cost = n_connections * self.policy.unit_cost * self._weight(switch_id)
             self._units[switch_id] = self._units.get(switch_id, 0) + cost
+            if self.on_charge is not None:
+                self.on_charge(switch_id, cost)
 
     def note_change(self, switch_id: int) -> None:
         """Record that ``switch_id`` changed configuration this round."""
         self._changes[switch_id] = self._changes.get(switch_id, 0) + 1
+        if self.on_change is not None:
+            self.on_change(switch_id)
 
     @property
     def total_units(self) -> int:
         return sum(self._units.values())
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self._changes.values())
 
     def units_of(self, switch_id: int) -> int:
         return self._units.get(switch_id, 0)

@@ -28,6 +28,7 @@ from repro.core.csa import PADRScheduler
 from repro.core.schedule import Schedule
 from repro.cst.network import CSTNetwork
 from repro.cst.power import PowerPolicy
+from repro.obs.instrument import Instrumentation
 
 __all__ = ["StreamStep", "StreamResult", "StreamScheduler"]
 
@@ -78,10 +79,15 @@ class StreamScheduler:
         policy: PowerPolicy | None = None,
         fresh_network_per_step: bool = False,
         verify: bool = True,
+        obs: "Instrumentation | None" = None,
     ) -> None:
         self.policy = policy or PowerPolicy.paper()
         self.fresh_network_per_step = fresh_network_per_step
         self.verify = verify
+        #: optional :class:`~repro.obs.Instrumentation`; forwarded to the
+        #: underlying :class:`PADRScheduler` (per-round/engine metrics) and
+        #: extended here with per-step stream counters and histograms.
+        self.obs = obs
 
     def run(
         self, csets: Sequence[CommunicationSet], n_leaves: int
@@ -92,7 +98,10 @@ class StreamScheduler:
         # is skipped and the cached pristine states restored.  The fresh-
         # network control condition models a PADR-unaware system and pays
         # full price every step.
-        scheduler = PADRScheduler(reuse_phase1=not self.fresh_network_per_step)
+        obs = self.obs
+        scheduler = PADRScheduler(
+            reuse_phase1=not self.fresh_network_per_step, obs=obs
+        )
         steps: list[StreamStep] = []
         spent_before = 0
         for index, cset in enumerate(csets):
@@ -103,11 +112,18 @@ class StreamScheduler:
             if self.verify:
                 verify_schedule(schedule, cset).raise_if_failed()
             spent_now = network.meter.total_units
+            step_units = spent_now - spent_before
+            if obs is not None:
+                m = obs.metrics
+                m.inc("stream.steps", run=obs.run)
+                m.observe("stream.step_power_units", step_units, run=obs.run)
+                m.observe("stream.step_rounds", schedule.n_rounds, run=obs.run)
+                m.set("stream.power_units.total", spent_now, run=obs.run)
             steps.append(
                 StreamStep(
                     index=index,
                     schedule=schedule,
-                    power_units=spent_now - spent_before,
+                    power_units=step_units,
                     rounds=schedule.n_rounds,
                 )
             )

@@ -1,0 +1,57 @@
+"""repro.obs — the observability layer (metrics registry + trace export).
+
+Public surface:
+
+* :class:`MetricsRegistry` — counters, gauges, histograms, timing spans;
+  near-zero overhead when disabled (:data:`NULL_REGISTRY`).
+* :class:`TraceExporter` — per-round scheduler/engine events serialised as
+  deterministic JSON-lines; :func:`export_schedule` for finished runs,
+  :func:`read_jsonl` to load traces back.
+* :class:`Instrumentation` — the bundle schedulers accept (``obs=`` on
+  :class:`~repro.core.csa.PADRScheduler` and
+  :class:`~repro.extensions.stream.StreamScheduler`); owns all metric
+  names and the trace schema.
+* :func:`observe_schedule` / :func:`per_switch_changes_from` — registry
+  ingestion/extraction for after-the-fact analysis of any scheduler's
+  output.
+
+See ``docs/observability.md`` for the full schema and overhead contract.
+"""
+
+from repro.obs.instrument import (
+    Instrumentation,
+    observe_schedule,
+    per_switch_changes_from,
+    per_switch_counters_from,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    PHYSICAL_PREFIX,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    metric_key,
+    parse_key,
+)
+from repro.obs.trace import TraceExporter, export_schedule, read_jsonl
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "NULL_REGISTRY",
+    "PHYSICAL_PREFIX",
+    "metric_key",
+    "parse_key",
+    "TraceExporter",
+    "export_schedule",
+    "read_jsonl",
+    "Instrumentation",
+    "observe_schedule",
+    "per_switch_changes_from",
+    "per_switch_counters_from",
+]

@@ -1,0 +1,357 @@
+"""The metrics registry: counters, gauges, histograms and timing spans.
+
+Observability for the reproduction follows one rule: **the measured system
+must not know it is being measured**.  Schedulers, engines and meters emit
+into a :class:`MetricsRegistry` through injectable hooks that default to
+``None``/no-op, so a run without observability attached executes the exact
+hot path PR 1 benchmarked (the ``bench_perf_waves`` 3× floor guards this).
+
+Two planes of metrics
+---------------------
+
+The engine distinguishes *logical* control traffic (the paper's model: one
+message per link per wave) from *physical* traffic (what the simulator
+actually walked; smaller on the frontier-pruned fast path).  Metrics follow
+the same discipline by **name**: anything under the ``phys.`` prefix is a
+simulator-plane quantity and may differ between the fast and reference
+engines; everything else is logical-plane and must be bit-identical across
+engine implementations (property-tested in
+``tests/properties/test_property_differential.py``).
+
+Key encoding
+------------
+
+Instruments are identified by a name plus optional labels.  Snapshots
+flatten both into one string key — ``name{k=v,...}`` with labels sorted —
+so exported JSON stays greppable and diffable:
+
+>>> reg = MetricsRegistry()
+>>> reg.inc("config.changes", 2, switch=5, run="csa")
+>>> reg.snapshot()["counters"]
+{'config.changes{run=csa,switch=5}': 2}
+>>> parse_key("config.changes{run=csa,switch=5}")
+('config.changes', {'run': 'csa', 'switch': '5'})
+
+Disabled mode
+-------------
+
+``MetricsRegistry(enabled=False)`` (or the shared :data:`NULL_REGISTRY`)
+hands out interned null instruments whose methods are ``pass`` and whose
+spans never read the clock, so instrumented code can call unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "NULL_REGISTRY",
+    "PHYSICAL_PREFIX",
+    "metric_key",
+    "parse_key",
+]
+
+#: metrics whose name starts with this prefix are simulator-plane
+#: quantities (physical traffic, pruning savings) and are exempt from the
+#: fast-vs-reference engine equality property.
+PHYSICAL_PREFIX = "phys."
+
+#: default histogram bucket upper bounds (powers of two; +inf is implicit).
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(float(2**k) for k in range(0, 13))
+
+
+def metric_key(name: str, labels: Mapping[str, Any] | None = None) -> str:
+    """Flatten ``name`` + ``labels`` into the canonical snapshot key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key` (label values come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class Counter:
+    """A monotonically increasing integer (e.g. rounds run, messages sent)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.key!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that may move both ways (e.g. pending pairs)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A distribution: count/sum/min/max plus cumulative bucket counts.
+
+    Buckets are upper bounds (``value <= bound``); values beyond the last
+    bound land in the implicit ``+inf`` bucket.  The export format mirrors
+    the Prometheus convention so downstream tooling needs no adapter.
+    """
+
+    __slots__ = ("key", "buckets", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, key: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.key = key
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +1: the +inf bucket
+        self.count = 0
+        self.total: float = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def export(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+        cumulative = 0
+        buckets: dict[str, int] = {}
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            cumulative += n
+            buckets[f"le={bound:g}"] = cumulative
+        buckets["le=+inf"] = cumulative + self.bucket_counts[-1]
+        out["buckets"] = buckets
+        return out
+
+
+class Span:
+    """Aggregated wall-clock timings for one named region.
+
+    Used as a context manager (``with registry.span("csa.phase1"): ...``);
+    repeated entries aggregate.  Timings are *not* part of the structured
+    trace (they are nondeterministic) — they live only in the metrics
+    snapshot, under ``spans``.
+    """
+
+    __slots__ = ("key", "count", "total_s", "min_s", "max_s", "_t0")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s: float | None = None
+        self.max_s: float | None = None
+        self._t0: float | None = None
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        assert self._t0 is not None, "span exited without entering"
+        dt = time.perf_counter() - self._t0
+        self._t0 = None
+        self.count += 1
+        self.total_s += dt
+        if self.min_s is None or dt < self.min_s:
+            self.min_s = dt
+        if self.max_s is None or dt > self.max_s:
+            self.max_s = dt
+
+    def export(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Process-local registry of named instruments.
+
+    Instruments are created on first use and identified by
+    ``(name, labels)``; repeated lookups return the same object, so hot
+    callers may hold the instrument directly instead of re-resolving the
+    key.  With ``enabled=False`` every accessor returns the shared null
+    instrument and ``snapshot()`` is empty.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: dict[str, Span] = {}
+
+    # -- instrument accessors (get-or-create) -------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = metric_key(name, labels)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(key)
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = metric_key(name, labels)
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(key)
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = metric_key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(key, buckets)
+        return h
+
+    def span(self, name: str, **labels: Any) -> Span:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        key = metric_key(name, labels)
+        s = self._spans.get(key)
+        if s is None:
+            s = self._spans[key] = Span(key)
+        return s
+
+    # -- one-shot conveniences ----------------------------------------------
+
+    def inc(self, name: str, amount: int = 1, **labels: Any) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set(self, name: str, value: float, **labels: Any) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything recorded so far, as plain JSON-serialisable dicts.
+
+        Keys within each section are sorted, so snapshots of deterministic
+        runs compare equal structurally *and* textually.
+        """
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].export() for k in sorted(self._histograms)
+            },
+            "spans": {k: self._spans[k].export() for k in sorted(self._spans)},
+        }
+
+    def logical_counters(self) -> dict[str, int]:
+        """Counters minus the ``phys.`` plane — the engine-independent view."""
+        return {
+            k: c.value
+            for k, c in sorted(self._counters.items())
+            if not k.startswith(PHYSICAL_PREFIX)
+        }
+
+    def counters_matching(self, name: str) -> Iterator[tuple[dict[str, str], int]]:
+        """Yield ``(labels, value)`` for every counter with this base name."""
+        for key, c in sorted(self._counters.items()):
+            base, labels = parse_key(key)
+            if base == name:
+                yield labels, c.value
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+
+
+#: shared disabled registry — safe to pass anywhere instrumentation is
+#: expected when you want guaranteed-no-op behaviour.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,158 @@
+"""Structured trace export: per-round scheduler/engine events as JSON-lines.
+
+A :class:`TraceExporter` accumulates events (plain dicts) in run order and
+serialises them one-JSON-object-per-line, the format every log pipeline
+ingests.  Events carry **only deterministic quantities** — counts, deltas,
+ids — never wall-clock times, so traces of the same workload are
+byte-identical across hosts and engine implementations (the golden-file
+test in ``tests/obs`` pins the schema).
+
+Event kinds (full field-by-field schema in ``docs/observability.md``):
+
+``run_start``
+    workload and scheduler identity: ``run``, ``scheduler``, ``n_leaves``,
+    ``n_comms``, ``width``, ``wave_depth`` (tree height — the latency of
+    one synchronous wave).
+``phase1``
+    the single upward counter-distribution wave: ``live_switches``
+    (switches storing a non-zero ``C_S``), ``logical_messages``,
+    ``physical_messages``, ``cached`` (Phase-1 reuse hit).
+``round``
+    one Phase-2 round, all quantities **deltas for this round**:
+    ``writers``, ``performed``, ``staged_switches``, ``config_changes``,
+    ``power_units``, ``logical_messages``, ``physical_messages``,
+    ``pruned_links`` (logical − physical), ``pruned_subtrees`` (dead
+    subtrees the fast path skipped; 0 on the reference engine).
+``run_end``
+    totals plus the Theorem-8 evidence: ``rounds``, ``total_power_units``,
+    ``max_switch_units``, ``max_switch_changes``, ``per_switch_changes``
+    (heap id → count), traffic totals.
+
+Every event also carries ``seq`` (global order) and ``event`` (the kind).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping, TextIO
+
+__all__ = ["TraceExporter", "export_schedule", "read_jsonl"]
+
+
+class TraceExporter:
+    """Accumulates structured events and serialises them as JSON-lines."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event; ``seq`` and ``event`` are added automatically."""
+        record = {"seq": len(self.events), "event": event}
+        record.update(fields)
+        self.events.append(record)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def lines(self) -> Iterator[str]:
+        """The events as JSON strings (sorted keys, compact separators)."""
+        for e in self.events:
+            yield json.dumps(e, sort_keys=True, separators=(",", ":"))
+
+    def to_jsonl(self, target: str | Path | TextIO) -> int:
+        """Write all events to ``target`` (path or text stream); returns count."""
+        if isinstance(target, (str, Path)):
+            with open(target, "w", encoding="utf-8") as fh:
+                return self.to_jsonl(fh)
+        for line in self.lines():
+            target.write(line + "\n")
+        return len(self.events)
+
+    def dumps(self) -> str:
+        buf = io.StringIO()
+        self.to_jsonl(buf)
+        return buf.getvalue()
+
+    # -- summarisation ---------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Fold the event stream into one dict per run label.
+
+        For each ``run``: the run_end totals plus per-kind event counts —
+        the quick-look view the CLI prints after writing a trace.
+        """
+        runs: dict[str, dict[str, Any]] = {}
+        for e in self.events:
+            run = e.get("run", "default")
+            entry = runs.setdefault(run, {"events": 0, "rounds": 0})
+            entry["events"] += 1
+            if e["event"] == "round":
+                entry["rounds"] += 1
+            elif e["event"] == "run_end":
+                per_switch = ("per_switch_changes", "per_switch_units")
+                for k, v in e.items():
+                    if k not in ("seq", "event", "run") + per_switch:
+                        entry[k] = v
+                if "per_switch_changes" in e:
+                    changes = e["per_switch_changes"].values()
+                    entry["max_switch_changes"] = max(changes, default=0)
+        return runs
+
+
+def export_schedule(
+    trace: TraceExporter, schedule: Any, *, run: str = "run"
+) -> None:
+    """Emit a finished :class:`~repro.core.schedule.Schedule` as trace events.
+
+    The after-the-fact exporter for schedulers that were not instrumented
+    live (the centralized baselines): round events carry only what the
+    schedule recorded (no per-round power/traffic deltas — those need live
+    hooks), while ``run_end`` carries the full Theorem-8 per-switch data.
+    """
+    trace.emit(
+        "run_start",
+        run=run,
+        scheduler=schedule.scheduler_name,
+        n_leaves=schedule.n_leaves,
+        n_comms=len(schedule.cset),
+        wave_depth=schedule.n_leaves.bit_length() - 1,
+    )
+    for r in schedule.rounds:
+        trace.emit(
+            "round",
+            run=run,
+            round=r.index,
+            writers=len(r.writers),
+            performed=len(r.performed),
+            staged_switches=len(r.staged),
+        )
+    power = schedule.power
+    trace.emit(
+        "run_end",
+        run=run,
+        rounds=schedule.n_rounds,
+        total_power_units=power.total_units,
+        max_switch_units=power.max_switch_units,
+        max_switch_changes=power.max_switch_changes,
+        per_switch_changes={
+            str(v): c for v, c in sorted(power.per_switch_changes.items())
+        },
+        per_switch_units={
+            str(v): u for v, u in sorted(power.per_switch_units.items())
+        },
+        logical_messages=schedule.control_messages,
+        logical_words=schedule.control_words,
+        physical_messages=schedule.physical_messages,
+    )
+
+
+def read_jsonl(source: str | Path | TextIO) -> list[dict[str, Any]]:
+    """Parse a JSON-lines trace back into event dicts (for tests/tools)."""
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as fh:
+            return read_jsonl(fh)
+    return [json.loads(line) for line in source if line.strip()]

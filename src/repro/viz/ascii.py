@@ -7,12 +7,13 @@ from scripts, notebooks and CI logs alike.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 from repro.comms.communication import CommunicationSet
 from repro.comms.wellnested import parenthesis_profile
 from repro.core.schedule import Schedule
 from repro.cst.topology import CSTTopology
+from repro.obs.instrument import per_switch_counters_from
 
 __all__ = [
     "render_leaf_roles",
@@ -20,6 +21,7 @@ __all__ = [
     "render_round_configuration",
     "render_schedule_timeline",
     "render_change_profile",
+    "render_change_profile_from_snapshot",
 ]
 
 
@@ -103,4 +105,30 @@ def render_change_profile(schedule: Schedule) -> str:
     """Per-switch configuration-change counts, tree-shaped (Theorem 8 view)."""
     topo = CSTTopology.of(schedule.n_leaves)
     changes = schedule.power.per_switch_changes
+    return render_tree(topo, lambda v: str(changes.get(v, 0)))
+
+
+def render_change_profile_from_snapshot(
+    snapshot: Mapping[str, Any],
+    n_leaves: int,
+    *,
+    run: str | None = None,
+    counter: str = "config.changes",
+) -> str:
+    """Theorem-8 change profile from a metrics-registry snapshot.
+
+    Accepts any snapshot carrying per-switch counters — from a
+    live-instrumented run, :func:`repro.obs.observe_schedule` output, or a
+    row loaded back from ``results/BENCH_scaling.json``.  ``run`` selects
+    one run label when the snapshot holds several (e.g. the CSA and the
+    Roy baseline side by side); ``counter`` picks the counter family:
+    ``config.changes`` (differing commits) or ``power.units``
+    (connection establishments — under the ``rebuild`` policy this is the
+    per-round reconfiguration count, the Θ(w) side of Theorem 8).
+    Rendering the CSA's changes tree next to the Roy baseline's units tree
+    is the visual O(1)-vs-O(w) comparison of
+    ``examples/power_comparison.py``.
+    """
+    topo = CSTTopology.of(n_leaves)
+    changes = per_switch_counters_from(snapshot, counter, run=run)
     return render_tree(topo, lambda v: str(changes.get(v, 0)))

@@ -1,0 +1,145 @@
+"""Unit tests for the metrics registry: instrument semantics, key encoding,
+disabled-mode no-op behaviour, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    parse_key,
+)
+
+
+class TestKeyEncoding:
+    def test_no_labels(self):
+        assert metric_key("csa.rounds") == "csa.rounds"
+        assert parse_key("csa.rounds") == ("csa.rounds", {})
+
+    def test_labels_sorted(self):
+        key = metric_key("config.changes", {"switch": 5, "run": "csa"})
+        assert key == "config.changes{run=csa,switch=5}"
+
+    def test_roundtrip(self):
+        key = metric_key("power.units", {"run": "roy", "switch": 12})
+        name, labels = parse_key(key)
+        assert name == "power.units"
+        assert labels == {"run": "roy", "switch": "12"}
+
+
+class TestCounter:
+    def test_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert reg.snapshot()["counters"]["x"] == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", run="a") is reg.counter("x", run="a")
+        assert reg.counter("x", run="a") is not reg.counter("x", run="b")
+
+    def test_counters_matching(self):
+        reg = MetricsRegistry()
+        reg.inc("config.changes", 2, switch=1)
+        reg.inc("config.changes", 7, switch=2)
+        reg.inc("other", 1)
+        found = dict(
+            (labels["switch"], v)
+            for labels, v in reg.counters_matching("config.changes")
+        )
+        assert found == {"1": 2, "2": 7}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pending")
+        g.set(10)
+        g.add(-3)
+        assert reg.snapshot()["gauges"]["pending"] == 7
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        out = h.export()
+        assert out["count"] == 4
+        assert out["sum"] == 106
+        assert out["min"] == 1
+        assert out["max"] == 100
+        # cumulative bucket counts, Prometheus-style
+        assert out["buckets"] == {"le=1": 1, "le=2": 2, "le=4": 3, "le=+inf": 4}
+        assert h.mean == pytest.approx(26.5)
+
+    def test_registry_observe(self):
+        reg = MetricsRegistry()
+        reg.observe("round.writers", 3, run="csa")
+        snap = reg.snapshot()["histograms"]["round.writers{run=csa}"]
+        assert snap["count"] == 1 and snap["sum"] == 3
+
+
+class TestSpan:
+    def test_aggregates_across_entries(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            with reg.span("work"):
+                pass
+        out = reg.snapshot()["spans"]["work"]
+        assert out["count"] == 3
+        assert out["total_s"] >= 0
+        assert out["min_s"] <= out["max_s"]
+
+
+class TestDisabledMode:
+    def test_snapshot_stays_empty(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("x", 5)
+        reg.set("g", 1)
+        reg.observe("h", 2)
+        with reg.span("s"):
+            pass
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+
+    def test_null_registry_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+        NULL_REGISTRY.inc("anything")
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+
+    def test_null_instruments_are_interned(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.histogram("b") is reg.span("c")
+
+
+class TestSnapshot:
+    def test_json_serialisable_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a", "b"]
+
+    def test_logical_counters_excludes_physical_plane(self):
+        reg = MetricsRegistry()
+        reg.inc("ctrl.messages", 10)
+        reg.inc("phys.messages", 4)
+        assert reg.logical_counters() == {"ctrl.messages": 10}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}

@@ -1,0 +1,134 @@
+"""Trace exporter tests: schema golden file, JSON-lines round-trip,
+after-the-fact schedule export, summaries."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.comms.generators import crossing_chain
+from repro.core.csa import PADRScheduler
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    TraceExporter,
+    export_schedule,
+    read_jsonl,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "trace_width2.jsonl"
+
+#: fields every event of each kind must carry — the documented schema
+#: (docs/observability.md); adding a field is fine, removing one is a
+#: breaking change this test is meant to catch.
+REQUIRED_FIELDS = {
+    "run_start": {"seq", "event", "run", "scheduler", "n_leaves", "n_comms", "wave_depth"},
+    "phase1": {"seq", "event", "run", "live_switches", "logical_messages",
+               "physical_messages", "cached"},
+    "round": {"seq", "event", "run", "round", "writers", "performed",
+              "staged_switches"},
+    "run_end": {"seq", "event", "run", "rounds", "total_power_units",
+                "max_switch_units", "max_switch_changes", "per_switch_changes",
+                "per_switch_units", "logical_messages", "logical_words",
+                "physical_messages"},
+}
+
+
+def _instrumented_trace(width: int = 2) -> TraceExporter:
+    trace = TraceExporter()
+    obs = Instrumentation(MetricsRegistry(), trace, run="csa")
+    PADRScheduler(obs=obs).schedule(crossing_chain(width))
+    return trace
+
+
+class TestGoldenFile:
+    def test_cli_trace_matches_golden(self, tmp_path):
+        """The `cst-padr trace --jsonl` output is byte-stable (deterministic
+        events only — no timestamps, no host-dependent values)."""
+        from repro.cli import main
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--width", "2", "--jsonl", str(out)]) == 0
+        assert out.read_text() == GOLDEN.read_text()
+
+    def test_golden_events_satisfy_schema(self):
+        events = read_jsonl(GOLDEN)
+        assert len(events) > 0
+        for i, e in enumerate(events):
+            assert e["seq"] == i
+            missing = REQUIRED_FIELDS[e["event"]] - set(e)
+            assert not missing, f"event {i} ({e['event']}) missing {missing}"
+
+    def test_golden_contains_both_runs(self):
+        runs = {e["run"] for e in read_jsonl(GOLDEN)}
+        assert runs == {"csa", "roy-rebuild"}
+
+
+class TestExporter:
+    def test_seq_and_event_injected(self):
+        t = TraceExporter()
+        t.emit("a", x=1)
+        t.emit("b", y=2)
+        assert t.events[0] == {"seq": 0, "event": "a", "x": 1}
+        assert t.events[1]["seq"] == 1
+        assert len(t) == 2
+
+    def test_jsonl_roundtrip_via_stream_and_path(self, tmp_path):
+        t = _instrumented_trace()
+        buf = io.StringIO()
+        n = t.to_jsonl(buf)
+        assert n == len(t.events)
+        assert read_jsonl(io.StringIO(buf.getvalue())) == t.events
+        p = tmp_path / "t.jsonl"
+        t.to_jsonl(p)
+        assert read_jsonl(p) == t.events
+
+    def test_lines_are_compact_sorted_json(self):
+        t = TraceExporter()
+        t.emit("x", b=1, a=2)
+        (line,) = list(t.lines())
+        assert line == '{"a":2,"b":1,"event":"x","seq":0}'
+
+    def test_round_deltas_sum_to_run_totals(self):
+        t = _instrumented_trace(width=3)
+        events = t.events
+        end = next(e for e in events if e["event"] == "run_end")
+        phase1 = next(e for e in events if e["event"] == "phase1")
+        rounds = [e for e in events if e["event"] == "round"]
+        assert (
+            phase1["logical_messages"] + sum(r["logical_messages"] for r in rounds)
+            == end["logical_messages"]
+        )
+        assert sum(r["power_units"] for r in rounds) == end["total_power_units"]
+        assert sum(r["config_changes"] for r in rounds) == sum(
+            end["per_switch_changes"].values()
+        )
+
+    def test_pruning_fields_consistent(self):
+        for e in _instrumented_trace(width=3).events:
+            if e["event"] == "round":
+                assert e["pruned_links"] == e["logical_messages"] - e["physical_messages"]
+                assert e["pruned_links"] >= 0
+
+
+class TestExportSchedule:
+    def test_finished_schedule_roundtrip(self):
+        cset = crossing_chain(3)
+        schedule = PADRScheduler().schedule(cset)
+        t = TraceExporter()
+        export_schedule(t, schedule, run="after")
+        kinds = [e["event"] for e in t.events]
+        assert kinds == ["run_start"] + ["round"] * schedule.n_rounds + ["run_end"]
+        end = t.events[-1]
+        assert end["total_power_units"] == schedule.power.total_units
+        assert end["per_switch_changes"] == {
+            str(v): c for v, c in schedule.power.per_switch_changes.items()
+        }
+
+
+class TestSummary:
+    def test_summary_folds_per_run(self):
+        t = _instrumented_trace(width=2)
+        s = t.summary()
+        assert s["csa"]["rounds"] == 2
+        assert s["csa"]["max_switch_changes"] == 2
+        assert "per_switch_changes" not in s["csa"]

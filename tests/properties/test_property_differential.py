@@ -13,14 +13,15 @@ from repro.core.csa import PADRScheduler
 from repro.core.phase1 import run_phase1, run_phase1_vectorized
 from repro.cst.engine import CSTEngine, ReferenceWaveEngine
 from repro.cst.network import CSTNetwork
+from repro.obs import Instrumentation, MetricsRegistry
 
 from tests.conftest import wellnested_set_st
 
 N = 64
 
 
-def _schedule(cset, factory):
-    sched = PADRScheduler(validate_input=False, engine_factory=factory)
+def _schedule(cset, factory, obs=None):
+    sched = PADRScheduler(validate_input=False, engine_factory=factory, obs=obs)
     return sched.schedule(cset, network=CSTNetwork.of_size(N))
 
 
@@ -39,6 +40,29 @@ def test_fast_and_reference_schedules_identical(cset):
     # the reference walks every link; the fast path never walks more.
     assert ref.physical_messages == ref.control_messages
     assert fast.physical_messages <= fast.control_messages
+
+
+@given(cset=wellnested_set_st(max_pairs=8))
+@settings(max_examples=60, deadline=None)
+def test_fast_and_reference_logical_metrics_identical(cset):
+    """Observability restates the invisibility property: every *logical*
+    metric (paper-model counters — ``ctrl.*``, ``power.*``, ``config.*``,
+    ``csa.*``) must be identical between engines.  Only the ``phys.``
+    plane — what the simulator actually walked — may differ, which is
+    exactly why those counters carry the prefix ``logical_counters()``
+    excludes."""
+    snaps = {}
+    for key, factory in (("fast", CSTEngine), ("ref", ReferenceWaveEngine)):
+        obs = Instrumentation(MetricsRegistry(), run="d")
+        _schedule(cset, factory, obs=obs)
+        snaps[key] = obs.metrics
+    assert snaps["fast"].logical_counters() == snaps["ref"].logical_counters()
+    fast_phys = snaps["fast"].snapshot()["counters"]
+    ref_phys = snaps["ref"].snapshot()["counters"]
+    # the reference engine never prunes, so its physical plane equals the
+    # logical one; the fast path's is bounded above by it.
+    assert ref_phys["phys.messages{run=d}"] == ref_phys["ctrl.messages{run=d}"]
+    assert fast_phys["phys.messages{run=d}"] <= fast_phys["ctrl.messages{run=d}"]
 
 
 @given(cset=wellnested_set_st(max_pairs=8))

@@ -1,0 +1,39 @@
+"""Documentation drift gate: run scripts/check_docs.py as a tier-1 test.
+
+Docs are part of the deliverable — a python block that stopped
+compiling, a `cst-padr` subcommand that was renamed away, or a dead
+relative link fails the suite, not just the CI docs job.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_are_consistent(capsys):
+    sys.path.insert(0, str(ROOT / "scripts"))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+
+    subcommands = check_docs.registered_subcommands()
+    problems = []
+    for path in check_docs.doc_files():
+        problems.extend(check_docs.check_file(path, subcommands))
+    assert not problems, "\n".join(problems)
+
+
+def test_new_subcommands_are_documented():
+    """Every CLI subcommand must be mentioned in README or docs/."""
+    sys.path.insert(0, str(ROOT / "scripts"))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+
+    corpus = "\n".join(p.read_text() for p in check_docs.doc_files())
+    mentioned = set(check_docs.CLI_RE.findall(corpus))
+    missing = check_docs.registered_subcommands() - mentioned
+    assert not missing, f"undocumented subcommands: {sorted(missing)}"
