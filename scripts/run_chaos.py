@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Seeded chaos campaigns against the fault-recovery loop.
+
+Runs :func:`repro.recovery.run_campaign` — inject one reachable fault per
+trial, let :class:`~repro.recovery.ResilientScheduler` detect, quarantine
+and reroute, and tabulate detection accuracy and delivery rate per
+(fault model × workload width) cell.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_chaos.py                  # full sweep
+    PYTHONPATH=src python scripts/run_chaos.py --smoke          # CI gate
+    PYTHONPATH=src python scripts/run_chaos.py --json out.json  # raw trials
+
+``--smoke`` runs the fixed-seed acceptance campaign (64 leaves, widths
+2/4/8) and fails with exit code 1 unless
+
+* dead-switch and stuck-switch detection accuracy is 100%,
+* misroute detection accuracy is at least 90%,
+* every trial's delivered/undelivered split exactly partitions its input,
+* the healthy-network control runs match the plain CSA bit for bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.comparison import format_table
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.recovery import run_campaign
+
+SMOKE_SEED = 2007  # IPPS 2007 — fixed so CI failures reproduce locally
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--leaves", type=int, default=64)
+    parser.add_argument("--widths", type=int, nargs="+", default=[2, 4, 8])
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["dead", "stuck", "misroute"],
+        choices=["dead", "stuck", "misroute"],
+    )
+    parser.add_argument("--trials", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed-seed acceptance campaign; non-zero exit on any gate miss",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write raw per-trial records and the metrics snapshot to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    seed = SMOKE_SEED if args.smoke else args.seed
+    obs = Instrumentation(MetricsRegistry(), run="chaos")
+    result = run_campaign(
+        n_leaves=args.leaves,
+        widths=tuple(args.widths),
+        models=tuple(args.models),
+        trials=args.trials,
+        seed=seed,
+        obs=obs,
+    )
+
+    print(
+        f"chaos campaign: {args.leaves} leaves, widths {args.widths}, "
+        f"seed={seed}, {len(result.trials)} faulted trials"
+    )
+    print(format_table(result.rows()))
+    print(
+        "healthy-control parity: "
+        + ", ".join(
+            f"w={w}:{'ok' if ok else 'MISMATCH'}"
+            for w, ok in sorted(result.control_parity.items())
+        )
+    )
+    print(f"partitions sound: {result.all_partitions_ok}")
+
+    if args.json:
+        payload = {
+            "n_leaves": result.n_leaves,
+            "seed": result.seed,
+            "trials": [dataclasses.asdict(t) for t in result.trials],
+            "control_parity": {str(k): v for k, v in result.control_parity.items()},
+            "metrics": obs.metrics.snapshot(),
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+
+    if args.smoke:
+        gates = {
+            "dead detection 100%": result.detection_accuracy("dead") == 1.0,
+            "stuck detection 100%": result.detection_accuracy("stuck") == 1.0,
+            "misroute detection >= 90%": result.detection_accuracy("misroute") >= 0.9,
+            "partitions sound": result.all_partitions_ok,
+            "healthy controls bit-identical": result.all_controls_ok,
+        }
+        failed = [name for name, ok in gates.items() if not ok]
+        for name, ok in gates.items():
+            print(f"  gate {'PASS' if ok else 'FAIL'}: {name}")
+        if failed:
+            print(f"SMOKE FAILED: {', '.join(failed)}")
+            return 1
+        print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,8 @@ Package map
 ``repro.extensions`` left-oriented/mixed sets and the SRGA grid substrate.
 ``repro.obs``        observability: metrics registry, structured trace
                      export, scheduler instrumentation.
+``repro.recovery``   fault detection (probe circuits), quarantine planning
+                     and the resilient schedule/verify/retry loop.
 ``repro.viz``        ASCII figures.
 """
 
@@ -86,6 +88,14 @@ from repro.obs import (
     TraceExporter,
     observe_schedule,
 )
+from repro.recovery import (
+    DegradedSchedule,
+    FaultDetector,
+    QuarantinePlan,
+    ResilientScheduler,
+    plan_quarantine,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -134,5 +144,11 @@ __all__ = [
     "MetricsRegistry",
     "TraceExporter",
     "observe_schedule",
+    "DegradedSchedule",
+    "FaultDetector",
+    "QuarantinePlan",
+    "ResilientScheduler",
+    "plan_quarantine",
+    "run_campaign",
     "__version__",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.comms.communication import CommunicationSet
+from repro.comms.communication import Communication, CommunicationSet
 from repro.core.schedule import Schedule
 from repro.analysis.compatibility import is_compatible_set
 from repro.cst.topology import CSTTopology
@@ -33,16 +33,45 @@ __all__ = ["VerificationReport", "verify_schedule"]
 
 @dataclass
 class VerificationReport:
-    """Outcome of verifying one schedule."""
+    """Outcome of verifying one schedule.
+
+    Besides the human-readable ``failures`` strings, the report carries
+    structured evidence consumed by the recovery layer
+    (:mod:`repro.recovery.detector`):
+
+    ``missing``
+        communications never observed to complete;
+    ``misdelivered``
+        ``(expected communication, actual destination PE)`` pairs for
+        payloads that arrived at the wrong leaf;
+    ``spurious``
+        observed ``(src, dst)`` deliveries whose source or destination is
+        not an endpoint of the set.
+    """
 
     scheduler_name: str
     n_comms: int
     n_rounds: int
     failures: list[str] = field(default_factory=list)
+    missing: list[Communication] = field(default_factory=list)
+    misdelivered: list[tuple[Communication, int]] = field(default_factory=list)
+    spurious: list[Communication] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def failed_comms(self) -> tuple[Communication, ...]:
+        """Expected communications the schedule provably did not serve —
+        the evidence set fault detection starts from (deduplicated, in
+        set order)."""
+        seen: dict[Communication, None] = {}
+        for c in self.missing:
+            seen.setdefault(c, None)
+        for c, _actual in self.misdelivered:
+            seen.setdefault(c, None)
+        return tuple(seen)
 
     def raise_if_failed(self) -> "VerificationReport":
         if self.failures:
@@ -79,21 +108,26 @@ def verify_schedule(schedule: Schedule, cset: CommunicationSet) -> VerificationR
         expected = truth.get(comm.src)
         if expected is None:
             report.failures.append(f"PE {comm.src} transmitted but is not a source")
+            report.spurious.append(comm)
         elif comm.dst != expected:
             report.failures.append(
                 f"payload of PE {comm.src} delivered to PE {comm.dst}, "
                 f"expected PE {expected}"
             )
+            report.misdelivered.append((Communication(comm.src, expected), comm.dst))
         if comm.dst not in valid_dsts:
             report.failures.append(
                 f"PE {comm.dst} latched a payload but is not a destination"
             )
+            if expected is not None and comm not in report.spurious:
+                report.spurious.append(comm)
 
     # 2. completeness / exactly-once.
     for c in cset:
         count = sum(n for comm, n in performed.items() if comm.src == c.src)
         if count == 0:
             report.failures.append(f"communication {c} never performed")
+            report.missing.append(c)
         elif count > 1:
             report.failures.append(f"source PE {c.src} transmitted {count} times")
 

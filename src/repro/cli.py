@@ -12,6 +12,7 @@ Usage (installed as ``cst-padr``, also ``python -m repro``):
     cst-padr trace --width 3      # structured event trace of a CSA run
     cst-padr trace --width 8 --jsonl run.jsonl   # JSON-lines trace, CSA + Roy
     cst-padr metrics --width 8    # metrics-registry snapshot of a run
+    cst-padr chaos --leaves 64    # seeded fault-injection campaign
 
 All output is plain text; the same tables the benchmarks assert on.
 ``trace --jsonl`` and ``metrics`` are the observability layer's entry
@@ -227,6 +228,40 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault-injection campaign against the resilient scheduler."""
+    from repro.obs import Instrumentation, MetricsRegistry
+    from repro.recovery import run_campaign
+
+    obs = Instrumentation(MetricsRegistry(), run="chaos")
+    result = run_campaign(
+        n_leaves=args.leaves,
+        widths=tuple(args.widths),
+        models=tuple(args.models),
+        trials=args.trials,
+        seed=args.seed,
+        obs=obs,
+    )
+    print(
+        f"chaos campaign: {args.leaves} leaves, seed={args.seed}, "
+        f"{len(result.trials)} faulted trials"
+    )
+    print(format_table(result.rows()))
+    controls = ", ".join(
+        f"w={w}:{'ok' if ok else 'MISMATCH'}"
+        for w, ok in sorted(result.control_parity.items())
+    )
+    print(f"healthy-control parity: {controls}")
+    print(f"delivered/undelivered partitions sound: {result.all_partitions_ok}")
+    if args.json:
+        import json
+
+        print(json.dumps(obs.metrics.snapshot(), indent=2, sort_keys=True))
+    if not (result.all_partitions_ok and result.all_controls_ok):
+        return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY, run_experiment
 
@@ -289,6 +324,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit the snapshot as JSON")
     _add_workload_options(p)
 
+    p = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign (detection/delivery table)"
+    )
+    p.add_argument("--leaves", type=int, default=64)
+    p.add_argument(
+        "--widths", type=int, nargs="+", default=[2, 4, 8], metavar="W"
+    )
+    p.add_argument(
+        "--models",
+        nargs="+",
+        default=["dead", "stuck", "misroute"],
+        choices=["dead", "stuck", "misroute"],
+        metavar="MODEL",
+    )
+    p.add_argument("--trials", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true", help="also dump the recovery metrics snapshot"
+    )
+
     return parser
 
 
@@ -311,6 +366,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -93,7 +93,7 @@ class PADRScheduler(Scheduler):
         #: in, single-set accounting stays untouched.
         self.reuse_phase1 = reuse_phase1
         self.obs = obs
-        self._phase1_key: tuple[int, dict[int, Role]] | None = None
+        self._phase1_key: tuple | None = None
         self._phase1_states: dict[int, StoredState] | None = None
         self._phase1_pending: list[int] | None = None
         #: populated by :meth:`schedule` for introspection and tests.
@@ -203,9 +203,15 @@ class PADRScheduler(Scheduler):
     def _phase1(
         self, engine: CSTEngine, n: int, roles: Mapping[int, Role]
     ) -> tuple[dict[int, StoredState], list[int]]:
-        """Run Phase 1, or restore it from cache when roles are unchanged."""
+        """Run Phase 1, or restore it from cache when roles are unchanged.
+
+        The cache key includes the network's fault signature: a fault
+        injected or cleared between two runs on the same roles must force a
+        fresh upward wave rather than silently restoring state recorded
+        under different hardware conditions.
+        """
         obs = self.obs
-        key = (n, dict(roles))
+        key = (n, dict(roles), engine.network.fault_signature())
         if self.reuse_phase1 and key == self._phase1_key:
             assert self._phase1_states is not None and self._phase1_pending is not None
             if obs is not None:

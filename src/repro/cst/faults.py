@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.cst.network import CSTNetwork
 from repro.cst.switch import Switch, SwitchConfiguration
-from repro.exceptions import ReproError
+from repro.exceptions import PortConflictError, ReproError
 from repro.types import Connection, InPort, OutPort
 
 __all__ = [
@@ -109,9 +109,11 @@ class MisrouteFault(SwitchFault):
             swapped.append(Connection(conn.in_port, out))
         try:
             return SwitchConfiguration(swapped)
-        except Exception:
+        except PortConflictError:
             # conflicting swapped outputs: the hardware resolves to chaos;
-            # model as holding only the first connection.
+            # model as holding only the first connection.  Only a port
+            # conflict is hardware chaos — anything else is a programming
+            # error and must propagate.
             return SwitchConfiguration(swapped[:1])
 
 
@@ -124,6 +126,9 @@ class _FaultySwitch(Switch):
         # adopt the inner switch's identity and meter
         super().__init__(inner.heap_id, inner._meter)
         self._config = inner.configuration
+        # requests already staged in the current uncommitted round survive
+        # the wrap: the fault strikes the hardware, not the control plane.
+        self._staged = list(inner._staged)
         self.config_changes = inner.config_changes
         self.rounds_committed = inner.rounds_committed
         self.fault = fault
@@ -160,6 +165,9 @@ def clear_faults(network: CSTNetwork) -> int:
         if isinstance(sw, _FaultySwitch):
             healthy = Switch(heap_id, network.meter)
             healthy._config = sw.configuration
+            # carry the current round's uncommitted staged requests too —
+            # repair happens between commits, not between stage and commit.
+            healthy._staged = list(sw._staged)
             healthy.config_changes = sw.config_changes
             healthy.rounds_committed = sw.rounds_committed
             network.switches[heap_id] = healthy

@@ -78,6 +78,23 @@ class CSTNetwork:
         #: of :meth:`commit_round` must not skip idle switches then.
         self.fault_injected = False
 
+    def fault_signature(self) -> tuple[tuple[int, str], ...]:
+        """Identity of the currently injected faults: ``(heap id, fault name)``.
+
+        Empty for a healthy network.  Caches keyed on network state (e.g.
+        the scheduler's Phase-1 reuse) include this signature so injecting
+        or clearing a fault between runs invalidates them.  Detected by
+        duck typing (a faulty wrapper carries a ``fault`` attribute) so the
+        substrate stays independent of :mod:`repro.cst.faults`.
+        """
+        if not self.fault_injected:
+            return ()
+        return tuple(
+            (heap_id, sw.fault.name)
+            for heap_id, sw in sorted(self.switches.items())
+            if hasattr(sw, "fault")
+        )
+
     # -- construction helpers ------------------------------------------------
 
     @classmethod

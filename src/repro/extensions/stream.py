@@ -104,6 +104,7 @@ class StreamScheduler:
         )
         steps: list[StreamStep] = []
         spent_before = 0
+        stream_total = 0
         for index, cset in enumerate(csets):
             if self.fresh_network_per_step:
                 network = CSTNetwork.of_size(n_leaves, policy=self.policy)
@@ -113,12 +114,16 @@ class StreamScheduler:
                 verify_schedule(schedule, cset).raise_if_failed()
             spent_now = network.meter.total_units
             step_units = spent_now - spent_before
+            # accumulate the stream-wide bill ourselves: the meter's own
+            # total resets with the network under fresh_network_per_step,
+            # and a "total" gauge must never go backwards mid-stream.
+            stream_total += step_units
             if obs is not None:
                 m = obs.metrics
                 m.inc("stream.steps", run=obs.run)
                 m.observe("stream.step_power_units", step_units, run=obs.run)
                 m.observe("stream.step_rounds", schedule.n_rounds, run=obs.run)
-                m.set("stream.power_units.total", spent_now, run=obs.run)
+                m.set("stream.power_units.total", stream_total, run=obs.run)
             steps.append(
                 StreamStep(
                     index=index,

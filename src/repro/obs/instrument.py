@@ -24,6 +24,15 @@ Metric name map (logical plane unless noted):
 ``round.power_units`` (hist.)  power delta per round
 ``stream.steps``               stream steps scheduled
 ``stream.step_power_units``    per-step power (histogram)
+``recovery.probe_rounds``      fault-localisation probe circuits committed
+``recovery.detections``        detection passes that localised ≥1 switch
+``recovery.fault_switches``    switches localised as faulty (cumulative)
+``recovery.attempts``          resilient schedule attempts (success + retry)
+``recovery.backoff_rounds``    idle rounds paid as retry backoff
+``recovery.delivered``         communications delivered by resilient runs
+``recovery.undelivered``       communications given up as blocked/unverified
+``recovery.quarantined``       quarantined switches at run end (gauge)
+``recovery.delivery_rate``     per-run delivered fraction (histogram)
 ``csa.schedule`` (span)        wall-clock of one ``schedule()`` call
 ``csa.phase1`` (span)          wall-clock of Phase 1
 =============================  ===============================================
@@ -161,6 +170,74 @@ class Instrumentation:
                 logical_messages=schedule.control_messages,
                 logical_words=schedule.control_words,
                 physical_messages=schedule.physical_messages,
+            )
+
+    # -- fault recovery ------------------------------------------------------
+
+    def recovery_probe_round(self) -> None:
+        """One committed probe circuit (detector)."""
+        self.metrics.inc("recovery.probe_rounds", run=self.run)
+
+    def recovery_detection(self, *, switches: int, probe_rounds: int) -> None:
+        """One :meth:`FaultDetector.detect` pass finished."""
+        m = self.metrics
+        r = self.run
+        if switches:
+            m.inc("recovery.detections", run=r)
+            m.inc("recovery.fault_switches", switches, run=r)
+        if self.trace is not None:
+            self.trace.emit(
+                "recovery_detection",
+                run=r,
+                switches=switches,
+                probe_rounds=probe_rounds,
+            )
+
+    def recovery_attempt(
+        self, *, index: int, scheduled: int, verified_ok: bool
+    ) -> None:
+        """One iteration of the resilient schedule/verify loop."""
+        self.metrics.inc("recovery.attempts", run=self.run)
+        if self.trace is not None:
+            self.trace.emit(
+                "recovery_attempt",
+                run=self.run,
+                attempt=index,
+                scheduled=scheduled,
+                verified_ok=verified_ok,
+            )
+
+    def recovery_result(
+        self,
+        *,
+        delivered: int,
+        undelivered: int,
+        quarantined: int,
+        attempts: int,
+        backoff_rounds: int,
+    ) -> None:
+        """Final tally of one resilient run."""
+        m = self.metrics
+        r = self.run
+        m.inc("recovery.delivered", delivered, run=r)
+        m.inc("recovery.undelivered", undelivered, run=r)
+        m.inc("recovery.backoff_rounds", backoff_rounds, run=r)
+        m.set("recovery.quarantined", quarantined, run=r)
+        total = delivered + undelivered
+        m.observe(
+            "recovery.delivery_rate",
+            delivered / total if total else 1.0,
+            run=r,
+        )
+        if self.trace is not None:
+            self.trace.emit(
+                "recovery_result",
+                run=r,
+                delivered=delivered,
+                undelivered=undelivered,
+                quarantined=quarantined,
+                attempts=attempts,
+                backoff_rounds=backoff_rounds,
             )
 
     # -- engine / meter hook factories ---------------------------------------

@@ -1,0 +1,53 @@
+"""Fault detection and recovery on the CST.
+
+Built on the fault models of :mod:`repro.cst.faults` and the evidence of
+:mod:`repro.analysis.verifier`:
+
+* :mod:`~repro.recovery.detector` — black-box probe-circuit localisation
+  of the faulty switch (binary search over circuit prefixes);
+* :mod:`~repro.recovery.quarantine` — splitting a communication set into
+  routable and blocked around quarantined switches;
+* :mod:`~repro.recovery.resilient` — :class:`ResilientScheduler`, the
+  schedule → verify → detect → quarantine → retry loop returning a
+  :class:`DegradedSchedule`;
+* :mod:`~repro.recovery.chaos` — seeded fault campaigns measuring
+  detection accuracy and delivery rate (``cst-padr chaos``).
+"""
+
+from repro.recovery.chaos import CampaignResult, ChaosTrial, run_campaign
+from repro.recovery.detector import (
+    DetectionResult,
+    FaultDetector,
+    Localisation,
+    ProbeOutcome,
+)
+from repro.recovery.quarantine import (
+    QuarantinePlan,
+    circuit_crosses,
+    degraded_leaves,
+    fault_reachable,
+    plan_quarantine,
+)
+from repro.recovery.resilient import (
+    AttemptRecord,
+    DegradedSchedule,
+    ResilientScheduler,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CampaignResult",
+    "ChaosTrial",
+    "DegradedSchedule",
+    "DetectionResult",
+    "FaultDetector",
+    "Localisation",
+    "ProbeOutcome",
+    "QuarantinePlan",
+    "ResilientScheduler",
+    "circuit_crosses",
+    "degraded_leaves",
+    "fault_reachable",
+    "plan_quarantine",
+    "run_campaign",
+]

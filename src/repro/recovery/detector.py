@@ -1,0 +1,271 @@
+"""Fault localisation: from verifier evidence to a switch heap id.
+
+The verifier (:mod:`repro.analysis.verifier`) tells us *which
+communications* failed; this module finds *which switch* broke them.  The
+detector is black-box: it never inspects switch internals or per-hop
+traces for its verdict — it stages **probe circuits** on the live
+(possibly faulty) network, commits a round, and observes only where each
+probe payload is delivered, exactly the evidence real hardware gives a
+diagnostic controller.
+
+Probe discipline
+----------------
+A failing communication ``(s, d)`` pins the fault (for the fault models in
+:mod:`repro.cst.faults`, under the single-fault hypothesis) to one of the
+``k = O(log n)`` switches on its circuit ``p_0 .. p_{k-1}`` (up-path
+switches, the LCA at position ``q``, then down-path switches).  For each
+prefix of that circuit there is a *prefix probe*: a circuit from ``s``
+that follows the original connections up to some switch ``p_i`` and then
+escapes into a disjoint, healthy-by-hypothesis subtree:
+
+* at an up-path switch the escape **turns** into the sibling subtree
+  (``p_i`` becomes the probe's LCA);
+* at a down-path switch the escape descends into the **other child**;
+* the full circuit ``s -> d`` itself is the final probe.
+
+The escape circuit is simply the unique tree circuit from ``s`` to the
+escape leaf, so each probe is one ``path_connections`` staging plus one
+committed round.  A probe *passes* iff its payload is delivered to the
+escape leaf.  For a fault that reproducibly corrupted the original
+circuit, probe outcomes are monotone along the prefix order — every probe
+whose circuit exercises the corrupted connection fails, every earlier one
+passes — so a **binary search** over the ``O(log n)`` prefixes localises
+the fault with ``O(log log n)`` probe rounds (``O(log n)`` probes is the
+budget; we stay well under it).
+
+One structural ambiguity needs a follow-up probe: the LCA's turn cannot
+be exercised without also entering the destination arm through the LCA's
+arm child, so when the binary search lands on that first arm position the
+detector runs a *sibling-cross* probe entirely inside the arm child's
+subtree (the arm child as LCA) to decide which of the two switches is
+bad.
+
+A probe round costs real power and rounds on the live network — the
+recovery layer accounts for it under the ``recovery.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.comms.communication import Communication
+from repro.cst.network import CSTNetwork
+from repro.obs.instrument import Instrumentation
+from repro.recovery.quarantine import circuit_crosses
+from repro.types import OutPort
+
+__all__ = ["ProbeOutcome", "Localisation", "DetectionResult", "FaultDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeOutcome:
+    """One committed probe circuit and where its payload ended up."""
+
+    src_pe: int
+    dst_pe: int
+    delivered_pe: int | None
+
+    @property
+    def passed(self) -> bool:
+        return self.delivered_pe == self.dst_pe
+
+
+@dataclass(frozen=True, slots=True)
+class Localisation:
+    """Result of binary-searching one failing communication's circuit."""
+
+    comm: Communication
+    suspect: int | None
+    probes: tuple[ProbeOutcome, ...]
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.probes)
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionResult:
+    """Aggregate verdict of one detection pass over the evidence set."""
+
+    fault_switches: frozenset[int]
+    probe_rounds: int
+    localisations: tuple[Localisation, ...]
+
+    @property
+    def found(self) -> bool:
+        return bool(self.fault_switches)
+
+
+class FaultDetector:
+    """Localises faulty switches from failed communications via probes.
+
+    Parameters
+    ----------
+    max_evidence:
+        cap on how many failing communications one :meth:`detect` call
+        binary-searches; evidence explained by an already-localised fault
+        is skipped for free, so the cap only matters under multi-fault
+        damage.
+    obs:
+        optional :class:`~repro.obs.Instrumentation`; probe rounds and
+        detections are recorded under ``recovery.*``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_evidence: int = 8,
+        obs: "Instrumentation | None" = None,
+    ) -> None:
+        self.max_evidence = max_evidence
+        self.obs = obs
+
+    # -- public API --------------------------------------------------------
+
+    def detect(
+        self, network: CSTNetwork, evidence: Iterable[Communication]
+    ) -> DetectionResult:
+        """Localise faults behind the given failing communications.
+
+        Evidence is processed in the given order (deterministic for a
+        deterministic caller); a communication whose circuit crosses an
+        already-localised fault is considered explained and not probed.
+        """
+        topo = network.topology
+        found: dict[int, None] = {}
+        localisations: list[Localisation] = []
+        probe_rounds = 0
+        examined = 0
+        seen: set[Communication] = set()
+        for comm in evidence:
+            if comm in seen:
+                continue
+            seen.add(comm)
+            if examined >= self.max_evidence:
+                break
+            if any(circuit_crosses(comm, v, topo) for v in found):
+                continue
+            examined += 1
+            loc = self.localise(network, comm)
+            localisations.append(loc)
+            probe_rounds += loc.n_probes
+            if loc.suspect is not None:
+                found.setdefault(loc.suspect, None)
+        result = DetectionResult(
+            fault_switches=frozenset(found),
+            probe_rounds=probe_rounds,
+            localisations=tuple(localisations),
+        )
+        if self.obs is not None:
+            self.obs.recovery_detection(
+                switches=len(result.fault_switches), probe_rounds=probe_rounds
+            )
+        return result
+
+    def localise(
+        self, network: CSTNetwork, comm: Communication
+    ) -> Localisation:
+        """Binary-search ``comm``'s circuit for the corrupting switch.
+
+        Returns a suspect heap id, or ``None`` when the full circuit now
+        delivers correctly (the fault did not reproduce — transient, or
+        sitting elsewhere).
+        """
+        topo = network.topology
+        conns = topo.path_connections(comm.src, comm.dst)
+        path: Sequence[int] = list(conns)
+        k = len(path)
+        # the LCA is the unique switch whose connection drives a child
+        # output while entering from a child; up-path hops all drive p_o.
+        q = next(
+            i for i, v in enumerate(path) if conns[v].out_port is not OutPort.P
+        )
+        # probe index space: up turns 0..q-1, arm escapes q+1..k-1, and k
+        # for the full circuit.  The LCA (index q) has no standalone probe:
+        # exercising its turn necessarily enters the arm child's subtree.
+        indices = list(range(0, q)) + list(range(q + 1, k)) + [k]
+
+        outcomes: list[ProbeOutcome] = []
+
+        def probe(i: int) -> ProbeOutcome:
+            src, dst = self._probe_endpoints(network, comm, path, q, k, i)
+            out = self._run_probe(network, src, dst)
+            outcomes.append(out)
+            return out
+
+        # the full circuit must still fail, else nothing is localisable.
+        if probe(k).passed:
+            return Localisation(comm=comm, suspect=None, probes=tuple(outcomes))
+
+        lo, hi = 0, len(indices) - 1  # indices[hi] == k, known failing
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if probe(indices[mid]).passed:
+                lo = mid + 1
+            else:
+                hi = mid
+        first_failing = indices[lo]
+
+        if first_failing == k:
+            suspect = path[k - 1]
+        elif first_failing == q + 1:
+            # probes through all up prefixes passed; the first failing
+            # probe exercises both the LCA's turn and the arm child —
+            # split the pair with a circuit wholly inside the arm child.
+            arm_child = path[q + 1]
+            out = self._sibling_cross(network, arm_child)
+            outcomes.append(out)
+            suspect = arm_child if not out.passed else path[q]
+        else:
+            suspect = path[first_failing]
+        return Localisation(comm=comm, suspect=suspect, probes=tuple(outcomes))
+
+    # -- probe plumbing ----------------------------------------------------
+
+    def _probe_endpoints(
+        self,
+        network: CSTNetwork,
+        comm: Communication,
+        path: Sequence[int],
+        q: int,
+        k: int,
+        i: int,
+    ) -> tuple[int, int]:
+        """Endpoints of prefix probe ``i`` (see module docstring)."""
+        topo = network.topology
+        if i == k:
+            return comm.src, comm.dst
+        if i < q:
+            # turn at up switch path[i]: escape into the sibling of the
+            # child the payload arrived from.
+            arrived = path[i - 1] if i > 0 else topo.leaf_heap_id(comm.src)
+            escape = arrived ^ 1
+        else:
+            # down switch path[i]: escape into the child the original
+            # circuit does NOT continue through.
+            cont = path[i + 1] if i + 1 < k else topo.leaf_heap_id(comm.dst)
+            escape = cont ^ 1
+        return comm.src, topo.subtree_leaf_range(escape).start
+
+    def _sibling_cross(self, network: CSTNetwork, v: int) -> ProbeOutcome:
+        """A probe circuit whose LCA is ``v``: leaf of its left subtree to
+        leaf of its right subtree — exercises ``v`` without its parent."""
+        topo = network.topology
+        src = topo.subtree_leaf_range(v << 1).start
+        dst = topo.subtree_leaf_range((v << 1) | 1).start
+        return self._run_probe(network, src, dst)
+
+    def _run_probe(
+        self, network: CSTNetwork, src_pe: int, dst_pe: int
+    ) -> ProbeOutcome:
+        """Stage one probe circuit, commit a round, observe the delivery."""
+        conns = network.topology.path_connections(src_pe, dst_pe)
+        network.stage({v: (c,) for v, c in conns.items()})
+        network.commit_round()
+        tr = network.trace_from(src_pe)
+        if self.obs is not None:
+            self.obs.recovery_probe_round()
+        return ProbeOutcome(
+            src_pe=src_pe, dst_pe=dst_pe, delivered_pe=tr.delivered_pe
+        )

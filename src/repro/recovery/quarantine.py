@@ -1,0 +1,150 @@
+"""Quarantine planning: which communications survive a faulty switch.
+
+Once :mod:`repro.recovery.detector` has localised a fault, the planner
+marks the faulted switch (and, transitively, everything that depends on
+it) *degraded* and splits the communication set into
+
+* **routable** communications — their unique tree circuit avoids every
+  quarantined switch, so the CSA can still deliver them exactly as on a
+  healthy network (circuits in a tree are unique, so avoiding a switch is
+  a property of the endpoints, not a routing choice);
+* **blocked** communications — their circuit must cross a quarantined
+  switch; no schedule can deliver them until the hardware is repaired.
+
+Because a subset of a right-oriented well-nested set is itself
+right-oriented and well-nested, the routable part is always a legal
+:class:`~repro.core.csa.PADRScheduler` input — quarantining never turns a
+schedulable workload into an unschedulable one, it only shrinks it.
+
+The module also answers the *reachability* question the detector's
+soundness argument rests on (see ``tests/properties/test_property_faults``):
+a fault is provably harmless when no circuit of the set exercises the
+faulted switch in a way that fault model can corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.cst.faults import MisrouteFault, SwitchFault
+from repro.cst.topology import CSTTopology
+from repro.types import OutPort
+
+__all__ = [
+    "QuarantinePlan",
+    "circuit_crosses",
+    "plan_quarantine",
+    "degraded_leaves",
+    "fault_reachable",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinePlan:
+    """The split of one communication set around a set of bad switches."""
+
+    quarantined: frozenset[int]
+    routable: CommunicationSet
+    blocked: tuple[Communication, ...]
+
+    @property
+    def fully_routable(self) -> bool:
+        return not self.blocked
+
+    def summary(self) -> str:
+        q = ",".join(str(v) for v in sorted(self.quarantined)) or "-"
+        return (
+            f"quarantine[{q}]: {len(self.routable)} routable, "
+            f"{len(self.blocked)} blocked"
+        )
+
+
+def circuit_crosses(
+    comm: Communication, switch_id: int, topo: CSTTopology
+) -> bool:
+    """True when ``comm``'s unique circuit traverses ``switch_id``.
+
+    The circuit climbs from the source leaf to the LCA and descends to the
+    destination leaf, so it crosses ``v`` iff ``v`` lies on one of those
+    two root-ward chains at or below the LCA.
+    """
+    lca = topo.lca_of_pes(comm.src, comm.dst)
+    for endpoint in (comm.src, comm.dst):
+        v = topo.leaf_heap_id(endpoint) >> 1
+        while v >= lca:
+            if v == switch_id:
+                return True
+            if v == lca:
+                break
+            v >>= 1
+    return False
+
+
+def plan_quarantine(
+    cset: CommunicationSet,
+    quarantined: Iterable[int],
+    topo: CSTTopology,
+) -> QuarantinePlan:
+    """Partition ``cset`` into routable and blocked around bad switches."""
+    bad = frozenset(quarantined)
+    routable: list[Communication] = []
+    blocked: list[Communication] = []
+    for comm in cset:
+        if any(circuit_crosses(comm, v, topo) for v in bad):
+            blocked.append(comm)
+        else:
+            routable.append(comm)
+    return QuarantinePlan(
+        quarantined=bad,
+        routable=CommunicationSet(routable),
+        blocked=tuple(blocked),
+    )
+
+
+def degraded_leaves(quarantined: Iterable[int], topo: CSTTopology) -> set[int]:
+    """PE indices whose connectivity a quarantine degrades.
+
+    Leaves *under* a quarantined switch can still talk among themselves
+    inside an intact proper subtree, but every circuit leaving the
+    quarantined subtree — and every circuit whose LCA is the bad switch —
+    is blocked, so the whole subtree is reported as degraded capacity.
+    """
+    out: set[int] = set()
+    for v in quarantined:
+        out.update(topo.subtree_leaf_range(v))
+    return out
+
+
+def fault_reachable(
+    fault: SwitchFault,
+    switch_id: int,
+    cset: CommunicationSet,
+    topo: CSTTopology,
+) -> bool:
+    """Can this fault at this switch corrupt any circuit of ``cset``?
+
+    The soundness side-condition of fault detection: when this returns
+    ``False`` the fault is provably harmless for the workload (on a network
+    whose crossbars start idle) and the verifier legitimately reports a
+    clean schedule.
+
+    * A dead or stuck switch corrupts every circuit that crosses it (a
+      stuck switch freezes an idle crossbar, so any required connection is
+      refused).
+    * A misroute fault swaps only the two *child* outputs, so it corrupts
+      a circuit iff the circuit's required connection at the switch drives
+      ``l_o`` or ``r_o`` — i.e. the switch acts as the circuit's LCA or as
+      a down-path hop.  Pure pass-through-up hops (``child -> p_o``) are
+      untouched by the swap.
+    """
+    for comm in cset:
+        if not circuit_crosses(comm, switch_id, topo):
+            continue
+        if not isinstance(fault, MisrouteFault):
+            return True
+        required = topo.path_connections(comm.src, comm.dst)[switch_id]
+        if required.out_port in (OutPort.L, OutPort.R):
+            return True
+    return False

@@ -1,0 +1,274 @@
+"""Schedule → verify → detect → quarantine → reschedule.
+
+:class:`ResilientScheduler` wraps the paper's
+:class:`~repro.core.csa.PADRScheduler` with a bounded recovery loop that
+turns injected hardware faults from run-killers into handled conditions:
+
+1. run the CSA (non-strict, so faulty rounds complete mechanically) and
+   verify the result end to end;
+2. on verification failure, hand the failing communications to the
+   :class:`~repro.recovery.detector.FaultDetector`, which localises the
+   corrupting switch with probe circuits;
+3. quarantine the switch
+   (:func:`~repro.recovery.quarantine.plan_quarantine`), drop the blocked
+   communications, wait a deterministic backoff (``2^(a-1)`` idle
+   committed rounds before retry ``a`` — gives transients a chance to
+   clear, and keeps the round/power accounting honest about the cost of
+   recovery), and reschedule the routable remainder;
+4. after the attempt budget, report what was and was not delivered.
+
+The loop **returns** a :class:`DegradedSchedule` instead of raising: the
+``delivered`` and ``undelivered`` tuples exactly partition the input set,
+so callers always learn the fate of every communication.  On a healthy
+network the first attempt verifies clean and the result wraps a schedule
+bit-identical to a plain :class:`~repro.core.csa.PADRScheduler` run — the
+recovery machinery only ever engages on failure evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.verifier import verify_schedule
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.wellnested import require_well_nested
+from repro.core.csa import PADRScheduler
+from repro.core.schedule import Schedule
+from repro.cst.network import CSTNetwork
+from repro.cst.power import PowerPolicy
+from repro.exceptions import ReproError, SchedulingError
+from repro.obs.instrument import Instrumentation
+from repro.recovery.detector import FaultDetector
+from repro.recovery.quarantine import plan_quarantine
+
+__all__ = ["AttemptRecord", "DegradedSchedule", "ResilientScheduler"]
+
+
+@dataclass(frozen=True, slots=True)
+class AttemptRecord:
+    """One iteration of the recovery loop."""
+
+    index: int
+    scheduled: int
+    verified_ok: bool
+    n_failures: int
+    detected: tuple[int, ...]
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedSchedule:
+    """Outcome of a resilient run: every input communication accounted for.
+
+    ``delivered`` and ``undelivered`` are disjoint and their union is
+    exactly the input set.  ``schedule`` is the verified schedule of the
+    final (routable) subset, or ``None`` when nothing could be delivered.
+    """
+
+    schedule: Schedule | None
+    delivered: tuple[Communication, ...]
+    undelivered: tuple[Communication, ...]
+    quarantined: tuple[int, ...]
+    attempts: tuple[AttemptRecord, ...]
+    probe_rounds: int
+    backoff_rounds: int
+
+    @property
+    def degraded(self) -> bool:
+        """True when recovery had to engage (quarantine or loss)."""
+        return bool(self.undelivered) or bool(self.quarantined)
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def delivery_rate(self) -> float:
+        total = len(self.delivered) + len(self.undelivered)
+        return len(self.delivered) / total if total else 1.0
+
+    def partitions(self, cset: CommunicationSet) -> bool:
+        """Check the delivered/undelivered split against the input set."""
+        got = set(self.delivered) | set(self.undelivered)
+        disjoint = not (set(self.delivered) & set(self.undelivered))
+        complete = len(self.delivered) + len(self.undelivered) == len(cset)
+        return disjoint and complete and got == set(cset)
+
+    def summary(self) -> str:
+        q = ",".join(str(v) for v in self.quarantined) or "-"
+        return (
+            f"resilient: {len(self.delivered)}/"
+            f"{len(self.delivered) + len(self.undelivered)} delivered, "
+            f"quarantined [{q}], {self.n_attempts} attempt(s), "
+            f"{self.probe_rounds} probe round(s)"
+        )
+
+
+class ResilientScheduler:
+    """PADR scheduling with fault detection, quarantine and retry.
+
+    Parameters
+    ----------
+    max_attempts:
+        schedule attempts before giving up on whatever still fails.
+    detector:
+        fault localiser; defaults to a fresh
+        :class:`~repro.recovery.detector.FaultDetector`.
+    obs:
+        optional :class:`~repro.obs.Instrumentation`; the wrapped CSA
+        emits its usual metrics and the loop adds ``recovery.*`` counters
+        and histograms.
+    """
+
+    name = "padr-resilient"
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 4,
+        detector: FaultDetector | None = None,
+        obs: "Instrumentation | None" = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise SchedulingError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.obs = obs
+        self.detector = detector if detector is not None else FaultDetector(obs=obs)
+
+    def schedule(
+        self,
+        cset: CommunicationSet,
+        n_leaves: int | None = None,
+        *,
+        policy: PowerPolicy | None = None,
+        network: CSTNetwork | None = None,
+    ) -> DegradedSchedule:
+        """Route ``cset``, recovering from hardware faults along the way.
+
+        Invalid *input* (non-well-nested sets, size conflicts) still
+        raises — resilience is about the substrate misbehaving, not about
+        accepting workloads the algorithm cannot express.
+        """
+        require_well_nested(cset)
+        if network is None:
+            n = n_leaves if n_leaves is not None else cset.min_leaves()
+            network = CSTNetwork.of_size(n, policy=policy)
+        elif n_leaves is not None and n_leaves != network.topology.n_leaves:
+            raise SchedulingError(
+                f"n_leaves={n_leaves} conflicts with the supplied "
+                f"network of {network.topology.n_leaves} leaves"
+            )
+        topo = network.topology
+        inner = PADRScheduler(
+            validate_input=False,
+            strict=False,
+            check_postconditions=False,
+            obs=self.obs,
+        )
+
+        remaining = cset
+        blocked: list[Communication] = []
+        quarantined: dict[int, None] = {}
+        attempts: list[AttemptRecord] = []
+        schedule: Schedule | None = None
+        delivered: tuple[Communication, ...] = ()
+        probe_rounds = 0
+        backoff_rounds = 0
+        finished = False
+
+        for attempt in range(self.max_attempts):
+            if not remaining:
+                finished = True
+                break
+            if attempt:
+                # deterministic exponential backoff, paid in idle rounds.
+                wait = 1 << (attempt - 1)
+                for _ in range(wait):
+                    network.commit_round()
+                backoff_rounds += wait
+
+            error: str | None = None
+            report = None
+            sched: Schedule | None = None
+            try:
+                sched = inner.schedule(remaining, network=network)
+                report = verify_schedule(sched, remaining)
+            except ReproError as exc:
+                error = str(exc)
+
+            if report is not None and report.ok:
+                schedule = sched
+                delivered = tuple(remaining)
+                attempts.append(
+                    AttemptRecord(attempt, len(remaining), True, 0, ())
+                )
+                if self.obs is not None:
+                    self.obs.recovery_attempt(
+                        index=attempt, scheduled=len(remaining), verified_ok=True
+                    )
+                finished = True
+                break
+
+            evidence = report.failed_comms if report is not None else ()
+            if not evidence:
+                # no delivery evidence (raised mid-run, or only round-level
+                # violations): every remaining circuit is suspect.
+                evidence = tuple(remaining)
+            detection = self.detector.detect(network, evidence)
+            probe_rounds += detection.probe_rounds
+            new_faults = tuple(
+                v for v in sorted(detection.fault_switches) if v not in quarantined
+            )
+            attempts.append(
+                AttemptRecord(
+                    index=attempt,
+                    scheduled=len(remaining),
+                    verified_ok=False,
+                    n_failures=len(report.failures) if report is not None else 0,
+                    detected=new_faults,
+                    error=error,
+                )
+            )
+            if self.obs is not None:
+                self.obs.recovery_attempt(
+                    index=attempt, scheduled=len(remaining), verified_ok=False
+                )
+
+            if new_faults:
+                for v in new_faults:
+                    quarantined[v] = None
+                plan = plan_quarantine(remaining, quarantined, topo)
+                blocked.extend(plan.blocked)
+                remaining = plan.routable
+            else:
+                # unlocalisable damage: give up on the provably failing
+                # communications so the loop always makes progress.
+                failing = set(evidence)
+                blocked.extend(c for c in remaining if c in failing)
+                remaining = CommunicationSet(
+                    c for c in remaining if c not in failing
+                )
+
+        if not finished:
+            # attempt budget exhausted with the tail still unverified.
+            blocked.extend(remaining)
+            remaining = CommunicationSet(())
+
+        result = DegradedSchedule(
+            schedule=schedule,
+            delivered=delivered,
+            undelivered=tuple(blocked),
+            quarantined=tuple(sorted(quarantined)),
+            attempts=tuple(attempts),
+            probe_rounds=probe_rounds,
+            backoff_rounds=backoff_rounds,
+        )
+        if self.obs is not None:
+            self.obs.recovery_result(
+                delivered=len(result.delivered),
+                undelivered=len(result.undelivered),
+                quarantined=len(result.quarantined),
+                attempts=result.n_attempts,
+                backoff_rounds=backoff_rounds,
+            )
+        return result

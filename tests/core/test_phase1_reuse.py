@@ -59,6 +59,34 @@ class TestPhase1Reuse:
         delivered = {c for r in s.rounds for c in r.performed}
         assert delivered == set(cset)
 
+    def test_fault_state_change_invalidates_cache(self):
+        """A mid-stream inject() changes the network's fault signature, so
+        the cached Phase-1 counters must not be served for it; clearing the
+        faults restores the original signature and the cache hit returns."""
+        from repro.cst.faults import DeadSwitchFault, clear_faults, inject
+
+        cset = crossing_chain(4, N)
+        reuse = PADRScheduler(
+            reuse_phase1=True, strict=False, check_postconditions=False
+        )
+        net = CSTNetwork.of_size(N)
+        first = reuse.schedule(cset, network=net)
+        saving = 2 * N - 2  # the upward wave a cache hit skips
+
+        inject(net, 1, DeadSwitchFault())
+        faulted = reuse.schedule(cset, network=net)
+        # signature changed: full Phase 1 re-run, no stale-cache saving
+        assert faulted.control_messages == first.control_messages
+
+        clear_faults(net)
+        healed = reuse.schedule(cset, network=net)
+        # signature changed again (fault cleared): another full run, which
+        # re-primes the single-entry cache under the healthy signature...
+        assert healed.control_messages == first.control_messages
+        again = reuse.schedule(cset, network=net)
+        # ...so only now does the reuse saving reappear.
+        assert again.control_messages == first.control_messages - saving
+
     def test_stream_scheduler_reuse_matches_fresh(self):
         """End to end: the stream's reuse path and the fresh-network control
         condition perform the same communications each step."""

@@ -71,6 +71,41 @@ class TestCrossSetReuse:
         assert result.steps[1].power_units <= fresh.steps[1].power_units
 
 
+class TestStreamPowerGauge:
+    """`stream.power_units.total` must be the stream-wide bill in BOTH
+    modes — under fresh_network_per_step the meter resets with the network,
+    and the gauge used to reset (and go backwards) with it."""
+
+    @staticmethod
+    def _total_gauge(obs):
+        gauges = obs.metrics.snapshot()["gauges"]
+        [value] = [
+            v for k, v in gauges.items() if k.startswith("stream.power_units.total")
+        ]
+        return value
+
+    def _run(self, fresh):
+        from repro.obs import Instrumentation, MetricsRegistry
+
+        obs = Instrumentation(MetricsRegistry(), run="s")
+        cset = segmentable_bus([0, 8, 16, 24, 32])
+        result = StreamScheduler(
+            fresh_network_per_step=fresh, obs=obs
+        ).run([cset] * 3, 32)
+        return obs, result
+
+    def test_fresh_mode_gauge_accumulates(self):
+        obs, result = self._run(fresh=True)
+        # every step pays full price, so the stream total is 3 steps' worth
+        assert result.total_power == 3 * result.steps[0].power_units
+        assert self._total_gauge(obs) == result.total_power
+        assert self._total_gauge(obs) > result.steps[-1].power_units
+
+    def test_persistent_mode_gauge_matches_meter(self):
+        obs, result = self._run(fresh=False)
+        assert self._total_gauge(obs) == result.total_power
+
+
 class TestStreamCorrectnessUnderReuse:
     def test_stale_configurations_never_misroute(self):
         """Leftover connections from earlier sets must not corrupt later

@@ -1,0 +1,63 @@
+"""Chaos campaigns: determinism, gates and table plumbing."""
+
+import pytest
+
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.recovery import run_campaign
+
+
+class TestCampaign:
+    def test_small_campaign_meets_gates(self):
+        res = run_campaign(n_leaves=16, widths=(2, 4), trials=2, seed=5)
+        assert res.all_partitions_ok
+        assert res.all_controls_ok
+        assert res.detection_accuracy("dead") == 1.0
+        assert res.detection_accuracy("stuck") == 1.0
+        assert res.detection_accuracy("misroute") >= 0.9
+
+    def test_deterministic_for_a_seed(self):
+        a = run_campaign(n_leaves=16, widths=(2,), trials=2, seed=9)
+        b = run_campaign(n_leaves=16, widths=(2,), trials=2, seed=9)
+        assert a.trials == b.trials
+        assert a.control_parity == b.control_parity
+
+    def test_different_seeds_differ(self):
+        a = run_campaign(n_leaves=32, widths=(4,), trials=3, seed=1)
+        b = run_campaign(n_leaves=32, widths=(4,), trials=3, seed=2)
+        assert [t.fault_switch for t in a.trials] != [
+            t.fault_switch for t in b.trials
+        ]
+
+    def test_injected_fault_is_always_reachable(self):
+        """Eligibility filter: every trial's fault could corrupt something,
+        so a missed detection would be a real detector failure."""
+        res = run_campaign(n_leaves=16, widths=(2, 4), trials=2, seed=5)
+        for t in res.trials:
+            assert t.detected  # reachable single faults are always found
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            run_campaign(models=("gamma-ray",), n_leaves=16)
+
+    def test_rows_cover_every_cell(self):
+        res = run_campaign(
+            n_leaves=16, widths=(2, 4), models=("dead", "misroute"), trials=1, seed=0
+        )
+        rows = res.rows()
+        assert len(rows) == 4  # 2 widths x 2 models
+        assert {r["model"] for r in rows} == {"dead", "misroute"}
+        for row in rows:
+            assert set(row) == {
+                "model", "width", "trials", "detected",
+                "accuracy", "delivery", "probe_rounds",
+            }
+
+    def test_metrics_labelled_per_cell(self):
+        obs = Instrumentation(MetricsRegistry(), run="unused")
+        run_campaign(n_leaves=16, widths=(2,), models=("dead",), trials=1,
+                     seed=0, obs=obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert any(
+            k.startswith("recovery.attempts") and "chaos-dead-w2" in k
+            for k in counters
+        )

@@ -1,0 +1,133 @@
+"""Probe-circuit fault localisation: the detector must name the switch."""
+
+import pytest
+
+from repro.comms.communication import Communication
+from repro.cst.faults import DeadSwitchFault, MisrouteFault, StuckSwitchFault, inject
+from repro.cst.network import CSTNetwork
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.recovery import FaultDetector
+from repro.types import OutPort
+
+N = 16
+COMM = Communication(2, 13)  # crosses the root: long up and down arms
+
+
+def _path(n, comm):
+    topo = CSTNetwork.of_size(n).topology
+    return list(topo.path_connections(comm.src, comm.dst))
+
+
+class TestLocaliseDead:
+    @pytest.mark.parametrize("switch_id", _path(N, COMM))
+    def test_every_circuit_switch_localised_exactly(self, switch_id):
+        net = CSTNetwork.of_size(N)
+        inject(net, switch_id, DeadSwitchFault())
+        loc = FaultDetector().localise(net, COMM)
+        assert loc.suspect == switch_id
+
+    @pytest.mark.parametrize("switch_id", _path(N, COMM))
+    def test_stuck_on_fresh_network_localised_exactly(self, switch_id):
+        net = CSTNetwork.of_size(N)
+        inject(net, switch_id, StuckSwitchFault())
+        loc = FaultDetector().localise(net, COMM)
+        assert loc.suspect == switch_id
+
+    def test_probe_budget_logarithmic(self):
+        """Binary search: well under one probe per circuit switch."""
+        net = CSTNetwork.of_size(64)
+        comm = Communication(0, 63)
+        k = len(_path(64, comm))
+        inject(net, 1, DeadSwitchFault())
+        loc = FaultDetector().localise(net, comm)
+        assert loc.suspect == 1
+        # 1 full-circuit probe + ceil(log2(k+1)) bisection probes (+1 slack
+        # for the LCA/arm-child disambiguation)
+        assert loc.n_probes <= 2 + (k + 1).bit_length()
+
+
+class TestLocaliseMisroute:
+    def test_misroute_at_lca(self):
+        net = CSTNetwork.of_size(N)
+        topo = net.topology
+        lca = topo.lca_of_pes(COMM.src, COMM.dst)
+        inject(net, lca, MisrouteFault())
+        loc = FaultDetector().localise(net, COMM)
+        assert loc.suspect == lca
+
+    def test_misroute_at_arm_child_disambiguated(self):
+        """The LCA's turn and its arm child can only be exercised together;
+        the sibling-cross follow-up must still split them."""
+        net = CSTNetwork.of_size(N)
+        topo = net.topology
+        conns = topo.path_connections(COMM.src, COMM.dst)
+        path = list(conns)
+        q = next(i for i, v in enumerate(path) if conns[v].out_port is not OutPort.P)
+        arm_child = path[q + 1]
+        inject(net, arm_child, MisrouteFault())
+        loc = FaultDetector().localise(net, COMM)
+        assert loc.suspect == arm_child
+
+    def test_misroute_on_down_path(self):
+        net = CSTNetwork.of_size(N)
+        down = net.topology.leaf_heap_id(COMM.dst) >> 1
+        inject(net, down, MisrouteFault())
+        loc = FaultDetector().localise(net, COMM)
+        assert loc.suspect == down
+
+
+class TestLocaliseNegative:
+    def test_healthy_network_yields_no_suspect(self):
+        net = CSTNetwork.of_size(N)
+        loc = FaultDetector().localise(net, COMM)
+        assert loc.suspect is None
+        assert loc.n_probes == 1  # the passing full-circuit probe only
+
+    def test_fault_off_the_circuit_yields_no_suspect(self):
+        net = CSTNetwork.of_size(N)
+        inject(net, 7, DeadSwitchFault())  # right subtree; COMM's arm is 6's
+        loc = FaultDetector().localise(net, Communication(0, 3))
+        assert loc.suspect is None
+
+
+class TestDetect:
+    def test_detect_returns_the_faulty_switch(self):
+        net = CSTNetwork.of_size(N)
+        inject(net, 1, DeadSwitchFault())
+        result = FaultDetector().detect(net, [COMM])
+        assert result.found
+        assert result.fault_switches == frozenset({1})
+        assert result.probe_rounds >= 1
+
+    def test_duplicate_and_explained_evidence_not_reprobed(self):
+        net = CSTNetwork.of_size(N)
+        inject(net, 1, DeadSwitchFault())
+        # both evidence comms cross the root; the second is explained by
+        # the first localisation and must cost zero probes.
+        a, b = Communication(0, 15), Communication(1, 14)
+        solo = FaultDetector().detect(net, [a])
+        both = FaultDetector().detect(net, [a, a, b])
+        assert both.fault_switches == frozenset({1})
+        assert both.probe_rounds == solo.probe_rounds
+        assert len(both.localisations) == 1
+
+    def test_max_evidence_caps_probing(self):
+        net = CSTNetwork.of_size(N)
+        inject(net, 4, DeadSwitchFault())  # under leaves 0,1 only
+        detector = FaultDetector(max_evidence=1)
+        # first evidence comm does not cross the fault: its full probe
+        # passes, no suspect; the cap stops before the second.
+        result = detector.detect(net, [Communication(8, 15), Communication(0, 15)])
+        assert len(result.localisations) == 1
+        assert not result.found
+
+    def test_metrics_emitted(self):
+        obs = Instrumentation(MetricsRegistry(), run="t")
+        net = CSTNetwork.of_size(N)
+        inject(net, 1, DeadSwitchFault())
+        FaultDetector(obs=obs).detect(net, [COMM])
+        counters = obs.metrics.snapshot()["counters"]
+        probe = [v for k, v in counters.items() if k.startswith("recovery.probe_rounds")]
+        dets = [v for k, v in counters.items() if k.startswith("recovery.detections")]
+        assert probe and probe[0] >= 1
+        assert dets == [1]

@@ -1,0 +1,116 @@
+"""Quarantine planning: routable/blocked split and fault reachability."""
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import crossing_chain, disjoint_pairs, paper_figure2_set
+from repro.comms.wellnested import require_well_nested
+from repro.cst.faults import DeadSwitchFault, MisrouteFault, StuckSwitchFault
+from repro.cst.topology import CSTTopology
+from repro.recovery import (
+    circuit_crosses,
+    degraded_leaves,
+    fault_reachable,
+    plan_quarantine,
+)
+
+
+class TestCircuitCrosses:
+    def test_root_crossing(self):
+        topo = CSTTopology.of(8)
+        comm = Communication(0, 7)
+        assert circuit_crosses(comm, 1, topo)
+        # both spines are on the circuit, the off-path subtrees are not
+        assert circuit_crosses(comm, 4, topo)  # leaf 0's parent
+        assert not circuit_crosses(comm, 5, topo)  # leaves 2,3's parent
+
+    def test_local_pair_stays_local(self):
+        topo = CSTTopology.of(8)
+        comm = Communication(0, 1)
+        assert circuit_crosses(comm, 4, topo)
+        assert not circuit_crosses(comm, 1, topo)
+        assert not circuit_crosses(comm, 2, topo)
+
+    def test_lca_is_on_the_circuit(self):
+        topo = CSTTopology.of(16)
+        comm = Communication(2, 5)
+        lca = topo.lca_of_pes(2, 5)
+        assert circuit_crosses(comm, lca, topo)
+
+
+class TestPlanQuarantine:
+    def test_partition_is_exact(self):
+        topo = CSTTopology.of(16)
+        cset = paper_figure2_set()
+        plan = plan_quarantine(cset, {2}, topo)
+        assert set(plan.routable) | set(plan.blocked) == set(cset)
+        assert not set(plan.routable) & set(plan.blocked)
+
+    def test_routable_subset_is_well_nested(self):
+        topo = CSTTopology.of(16)
+        cset = paper_figure2_set()
+        for v in range(1, 16):
+            plan = plan_quarantine(cset, {v}, topo)
+            require_well_nested(plan.routable)  # raises if the claim breaks
+
+    def test_quarantined_root_blocks_crossers_only(self):
+        topo = CSTTopology.of(8)
+        cset = CommunicationSet(
+            [Communication(0, 7), Communication(1, 2)]
+        )
+        plan = plan_quarantine(cset, {1}, topo)
+        assert plan.blocked == (Communication(0, 7),)
+        assert list(plan.routable) == [Communication(1, 2)]
+        assert not plan.fully_routable
+
+    def test_empty_quarantine_blocks_nothing(self):
+        topo = CSTTopology.of(8)
+        cset = crossing_chain(4, 8)
+        plan = plan_quarantine(cset, (), topo)
+        assert plan.fully_routable
+        assert list(plan.routable) == list(cset)
+
+
+class TestDegradedLeaves:
+    def test_subtree_under_quarantine(self):
+        topo = CSTTopology.of(8)
+        assert degraded_leaves({2}, topo) == {0, 1, 2, 3}
+        assert degraded_leaves({1}, topo) == set(range(8))
+        assert degraded_leaves((), topo) == set()
+
+
+class TestFaultReachable:
+    def test_dead_reachable_iff_crossed(self):
+        topo = CSTTopology.of(8)
+        cset = CommunicationSet([Communication(0, 1)])
+        assert fault_reachable(DeadSwitchFault(), 4, cset, topo)
+        assert not fault_reachable(DeadSwitchFault(), 1, cset, topo)
+        assert not fault_reachable(DeadSwitchFault(), 6, cset, topo)
+
+    def test_stuck_behaves_like_dead_for_reachability(self):
+        topo = CSTTopology.of(8)
+        cset = crossing_chain(2, 8)
+        for v in range(1, 8):
+            assert fault_reachable(StuckSwitchFault(), v, cset, topo) == any(
+                circuit_crosses(c, v, topo) for c in cset
+            )
+
+    def test_misroute_harmless_on_pure_up_path(self):
+        """A misroute swaps child outputs only; a switch the circuit merely
+        climbs through (child -> p_o) cannot corrupt it."""
+        topo = CSTTopology.of(16)
+        cset = CommunicationSet([Communication(0, 15)])
+        up_switch = topo.leaf_heap_id(0) >> 1  # leaf 0's parent: pure climb
+        assert fault_reachable(DeadSwitchFault(), up_switch, cset, topo)
+        assert not fault_reachable(MisrouteFault(), up_switch, cset, topo)
+        # the root turns the payload: reachable for every model
+        assert fault_reachable(MisrouteFault(), 1, cset, topo)
+
+    def test_misroute_reachable_on_down_path(self):
+        topo = CSTTopology.of(16)
+        cset = CommunicationSet([Communication(0, 15)])
+        down_switch = topo.leaf_heap_id(15) >> 1
+        assert fault_reachable(MisrouteFault(), down_switch, cset, topo)
+
+    def test_disjoint_workload_leaves_far_switches_unreachable(self):
+        topo = CSTTopology.of(16)
+        cset = disjoint_pairs(2)  # PEs 0..3
+        assert not fault_reachable(DeadSwitchFault(), 3, cset, topo)

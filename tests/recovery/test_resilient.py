@@ -1,0 +1,154 @@
+"""The resilient scheduler: never raise on faults, account for every comm."""
+
+import pytest
+
+from repro.analysis.verifier import verify_schedule
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import crossing_chain, paper_figure2_set
+from repro.core.csa import PADRScheduler
+from repro.cst.faults import (
+    DeadSwitchFault,
+    MisrouteFault,
+    StuckSwitchFault,
+    inject,
+)
+from repro.cst.network import CSTNetwork
+from repro.exceptions import CommunicationError, ReproError, SchedulingError
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.recovery import ResilientScheduler
+
+ALL_FAULTS = [DeadSwitchFault(), StuckSwitchFault(), MisrouteFault()]
+
+
+def _fingerprint(schedule):
+    return (
+        schedule.n_rounds,
+        [tuple(r.performed) for r in schedule.rounds],
+        [tuple(r.writers) for r in schedule.rounds],
+        schedule.power.total_units,
+    )
+
+
+class TestHealthyPath:
+    def test_bit_identical_to_plain_csa(self):
+        cset = paper_figure2_set()
+        plain = PADRScheduler().schedule(cset, 16)
+        res = ResilientScheduler().schedule(cset, 16)
+        assert not res.degraded
+        assert res.quarantined == ()
+        assert res.undelivered == ()
+        assert set(res.delivered) == set(cset)
+        assert res.n_attempts == 1
+        assert res.probe_rounds == 0
+        assert res.backoff_rounds == 0
+        assert _fingerprint(res.schedule) == _fingerprint(plain)
+
+    def test_empty_set(self):
+        res = ResilientScheduler().schedule(CommunicationSet(()), 8)
+        assert res.delivered == () and res.undelivered == ()
+        assert res.partitions(CommunicationSet(()))
+
+    def test_invalid_input_still_raises(self):
+        crossing = CommunicationSet(
+            [Communication(0, 2), Communication(1, 3)]
+        )
+        with pytest.raises((CommunicationError, ReproError)):
+            ResilientScheduler().schedule(crossing, 8)
+
+    def test_size_conflict_still_raises(self):
+        with pytest.raises(SchedulingError, match="conflicts"):
+            ResilientScheduler().schedule(
+                crossing_chain(2, 8), n_leaves=16, network=CSTNetwork.of_size(8)
+            )
+
+
+class TestFaultedRuns:
+    @pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("switch_id", [1, 2, 5, 8, 15])
+    def test_never_raises_and_partitions(self, fault, switch_id):
+        cset = paper_figure2_set()
+        net = CSTNetwork.of_size(16)
+        inject(net, switch_id, fault)
+        res = ResilientScheduler().schedule(cset, network=net)
+        assert res.partitions(cset)
+
+    def test_dead_root_blocks_crossers_delivers_the_rest(self):
+        cset = CommunicationSet(
+            [Communication(0, 15), Communication(1, 2), Communication(12, 13)]
+        )
+        net = CSTNetwork.of_size(16)
+        inject(net, 1, DeadSwitchFault())
+        res = ResilientScheduler().schedule(cset, network=net)
+        assert res.quarantined == (1,)
+        assert set(res.undelivered) == {Communication(0, 15)}
+        assert set(res.delivered) == {Communication(1, 2), Communication(12, 13)}
+        # the surviving schedule passes full verification on its subset
+        verify_schedule(
+            res.schedule, CommunicationSet(res.delivered)
+        ).raise_if_failed()
+
+    def test_all_blocked_when_every_circuit_crosses_the_fault(self):
+        cset = crossing_chain(4, 16)
+        net = CSTNetwork.of_size(16)
+        inject(net, 1, DeadSwitchFault())
+        res = ResilientScheduler().schedule(cset, network=net)
+        assert res.delivered == ()
+        assert set(res.undelivered) == set(cset)
+        assert res.schedule is None
+        assert res.partitions(cset)
+
+    def test_backoff_is_deterministic_and_paid_in_rounds(self):
+        # root fault blocks the crosser; (8, 9) survives into a retry that
+        # pays exactly one idle backoff round.
+        cset = CommunicationSet([Communication(0, 15), Communication(8, 9)])
+        net = CSTNetwork.of_size(16)
+        inject(net, 1, DeadSwitchFault())
+        res = ResilientScheduler().schedule(cset, network=net)
+        assert res.n_attempts == 2
+        assert res.backoff_rounds == 1
+        assert res.attempts[0].verified_ok is False
+        assert res.attempts[1].verified_ok is True
+        assert set(res.delivered) == {Communication(8, 9)}
+
+    def test_attempt_budget_bounds_the_loop(self):
+        cset = crossing_chain(2, 16)
+        net = CSTNetwork.of_size(16)
+        inject(net, 1, DeadSwitchFault())
+        res = ResilientScheduler(max_attempts=1).schedule(cset, network=net)
+        assert res.n_attempts == 1
+        assert res.partitions(cset)
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(SchedulingError):
+            ResilientScheduler(max_attempts=0)
+
+
+class TestRecoveryMetrics:
+    def test_counters_and_gauge(self):
+        obs = Instrumentation(MetricsRegistry(), run="r")
+        cset = crossing_chain(2, 16)
+        net = CSTNetwork.of_size(16)
+        inject(net, 1, DeadSwitchFault())
+        res = ResilientScheduler(obs=obs).schedule(cset, network=net)
+        snap = obs.metrics.snapshot()
+
+        def counter(name):
+            return sum(
+                v for k, v in snap["counters"].items() if k.startswith(name)
+            )
+
+        assert counter("recovery.attempts") == res.n_attempts
+        assert counter("recovery.probe_rounds") == res.probe_rounds
+        assert counter("recovery.undelivered") == len(res.undelivered)
+        [quarantined] = [
+            v
+            for k, v in snap["gauges"].items()
+            if k.startswith("recovery.quarantined")
+        ]
+        assert quarantined == len(res.quarantined)
+        [rate] = [
+            h
+            for k, h in snap["histograms"].items()
+            if k.startswith("recovery.delivery_rate")
+        ]
+        assert rate["count"] == 1

@@ -56,3 +56,21 @@ class TestTraceCommand:
         main(["trace", "--width", "3", "--changed-only"])
         filtered = capsys.readouterr().out
         assert len(filtered) < len(full)
+
+
+class TestChaosCommand:
+    def test_chaos_runs_and_reports(self, capsys):
+        assert main([
+            "chaos", "--leaves", "16", "--widths", "2", "--models", "dead",
+            "--trials", "1", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign" in out
+        assert "accuracy" in out
+        assert "healthy-control parity" in out
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.leaves == 64
+        assert args.widths == [2, 4, 8]
+        assert args.models == ["dead", "stuck", "misroute"]
