@@ -32,6 +32,8 @@ Package map
                      export, scheduler instrumentation.
 ``repro.recovery``   fault detection (probe circuits), quarantine planning
                      and the resilient schedule/verify/retry loop.
+``repro.service``    batch serving: submit/drain service, canonical
+                     schedule cache, worker pool, admission control.
 ``repro.viz``        ASCII figures.
 """
 
@@ -48,7 +50,8 @@ from repro.comms.generators import (
 )
 from repro.comms.wellnested import is_well_nested, parenthesis_profile
 from repro.comms.width import edge_loads, width
-from repro.core.base import Scheduler
+from repro.core.base import ScheduleContext, Scheduler
+from repro.core.config import SchedulerConfig
 from repro.core.csa import PADRScheduler
 from repro.core.left import LeftPADRScheduler
 from repro.core.schedule import Schedule
@@ -96,6 +99,18 @@ from repro.recovery import (
     plan_quarantine,
     run_campaign,
 )
+from repro.service import (
+    BatchReport,
+    CanonicalKey,
+    RequestResult,
+    RequestStatus,
+    ScheduleCache,
+    SchedulerService,
+    ServiceParityError,
+    Ticket,
+    canonical_signature,
+    mixed_workloads,
+)
 
 __version__ = "1.0.0"
 
@@ -115,6 +130,8 @@ __all__ = [
     "edge_loads",
     "width",
     "Scheduler",
+    "ScheduleContext",
+    "SchedulerConfig",
     "PADRScheduler",
     "LeftPADRScheduler",
     "Schedule",
@@ -150,5 +167,15 @@ __all__ = [
     "ResilientScheduler",
     "plan_quarantine",
     "run_campaign",
+    "BatchReport",
+    "CanonicalKey",
+    "RequestResult",
+    "RequestStatus",
+    "ScheduleCache",
+    "SchedulerService",
+    "ServiceParityError",
+    "Ticket",
+    "canonical_signature",
+    "mixed_workloads",
     "__version__",
 ]

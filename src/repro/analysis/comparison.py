@@ -71,7 +71,7 @@ def compare_schedulers(
     w = width(cset, topo)
     schedules: list[Schedule] = []
     for scheduler in schedulers:
-        s = scheduler.schedule(cset, n, policy=policy)
+        s = scheduler.schedule(cset, n_leaves=n, policy=policy)
         if verify:
             verify_schedule(s, cset).raise_if_failed()
             check_round_optimality(s, cset)

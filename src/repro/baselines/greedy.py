@@ -26,9 +26,8 @@ from __future__ import annotations
 from typing import Callable, Literal
 
 from repro.comms.communication import Communication, CommunicationSet
-from repro.core.base import Scheduler, execute_round_plan
+from repro.core.base import ScheduleContext, Scheduler, execute_round_plan
 from repro.core.schedule import Schedule
-from repro.cst.power import PowerPolicy
 from repro.cst.topology import CSTTopology, DirectedEdge
 
 __all__ = ["GreedyScheduler"]
@@ -75,13 +74,9 @@ class GreedyScheduler(Scheduler):
             remaining = deferred
         return rounds
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-    ) -> Schedule:
-        n = n_leaves if n_leaves is not None else cset.min_leaves()
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
+        n = ctx.n_leaves
         plan = self.plan(cset, CSTTopology.of(n))
-        return execute_round_plan(cset, n, plan, self.name, policy=policy)
+        return execute_round_plan(
+            cset, n, plan, self.name, policy=ctx.policy, network=ctx.network
+        )

@@ -33,9 +33,8 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.comms.communication import Communication, CommunicationSet
-from repro.core.base import Scheduler, execute_round_plan
+from repro.core.base import ScheduleContext, Scheduler, execute_round_plan
 from repro.core.schedule import Schedule
-from repro.cst.power import PowerPolicy
 from repro.cst.topology import CSTTopology
 
 __all__ = ["assign_ids", "RoyIDScheduler"]
@@ -83,13 +82,9 @@ class RoyIDScheduler(Scheduler):
             rnd.sort()
         return rounds
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-    ) -> Schedule:
-        n = n_leaves if n_leaves is not None else cset.min_leaves()
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
+        n = ctx.n_leaves
         plan = self.plan(cset, CSTTopology.of(n))
-        return execute_round_plan(cset, n, plan, self.name, policy=policy)
+        return execute_round_plan(
+            cset, n, plan, self.name, policy=ctx.policy, network=ctx.network
+        )

@@ -10,9 +10,8 @@ with the sum of path lengths.
 from __future__ import annotations
 
 from repro.comms.communication import CommunicationSet
-from repro.core.base import Scheduler, execute_round_plan
+from repro.core.base import ScheduleContext, Scheduler, execute_round_plan
 from repro.core.schedule import Schedule
-from repro.cst.power import PowerPolicy
 
 __all__ = ["SequentialScheduler"]
 
@@ -22,13 +21,9 @@ class SequentialScheduler(Scheduler):
 
     name = "sequential"
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-    ) -> Schedule:
-        n = n_leaves if n_leaves is not None else cset.min_leaves()
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
         plan = [[c] for c in cset]
-        return execute_round_plan(cset, n, plan, self.name, policy=policy)
+        return execute_round_plan(
+            cset, ctx.n_leaves, plan, self.name,
+            policy=ctx.policy, network=ctx.network,
+        )

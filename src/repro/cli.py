@@ -13,6 +13,7 @@ Usage (installed as ``cst-padr``, also ``python -m repro``):
     cst-padr trace --width 8 --jsonl run.jsonl   # JSON-lines trace, CSA + Roy
     cst-padr metrics --width 8    # metrics-registry snapshot of a run
     cst-padr chaos --leaves 64    # seeded fault-injection campaign
+    cst-padr batch --count 64 --leaves 256 --workers 2   # service-layer batch
 
 All output is plain text; the same tables the benchmarks assert on.
 ``trace --jsonl`` and ``metrics`` are the observability layer's entry
@@ -65,7 +66,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print("The paper's Figure 2 well-nested set on a 16-leaf CST")
     print(render_leaf_roles(cset, n))
     print()
-    schedule = PADRScheduler().schedule(cset, n)
+    schedule = PADRScheduler().schedule(cset, n_leaves=n)
     print(f"CSA: width={width(cset)}, rounds={schedule.n_rounds}, "
           f"{schedule.power.summary()}")
     print()
@@ -262,6 +263,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Schedule a batch of mixed workloads through the service layer,
+    twice — the resubmission shows the canonical cache doing its job —
+    with parity against the direct scheduler asserted throughout."""
+    from repro.obs import Instrumentation, MetricsRegistry
+    from repro.service import SchedulerService, mixed_workloads
+
+    obs = Instrumentation(MetricsRegistry(), run="service")
+    batch = mixed_workloads(args.leaves, args.count, seed=args.seed)
+    with SchedulerService(
+        workers=args.workers,
+        cache_size=args.cache_size,
+        parity_check=not args.no_parity,
+        obs=obs,
+    ) as service:
+        first = service(batch, n_leaves=args.leaves)
+        second = service(batch, n_leaves=args.leaves)
+    print(
+        f"service batch: {args.count} mixed workloads on {args.leaves} leaves, "
+        f"workers={args.workers}, parity={'off' if args.no_parity else 'on'}"
+    )
+    print(f"  first submission:  {first.summary()}")
+    print(f"  resubmission:      {second.summary()}")
+    print(
+        f"  cache: {service.cache.hits} hits / {service.cache.misses} misses "
+        f"({service.cache.hit_rate:.0%}), {service.cache.evictions} evictions, "
+        f"resubmission hit-rate {second.hit_rate:.0%}"
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(obs.metrics.snapshot(), indent=2, sort_keys=True))
+    ok = (
+        first.n_done == args.count
+        and second.n_done == args.count
+        and second.hit_rate >= 0.5
+    )
+    return 0 if ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY, run_experiment
 
@@ -344,6 +385,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="also dump the recovery metrics snapshot"
     )
 
+    p = sub.add_parser(
+        "batch", help="batch-schedule mixed workloads through the service layer"
+    )
+    p.add_argument("--count", type=int, default=64)
+    p.add_argument("--leaves", type=int, default=256)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the per-request parity check against the direct scheduler",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="also dump the service metrics snapshot"
+    )
+
     return parser
 
 
@@ -367,6 +425,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
+        "batch": _cmd_batch,
     }
     return handlers[args.command](args)
 

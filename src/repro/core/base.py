@@ -12,12 +12,33 @@ distributed control waves instead.
 Using one executor for all baselines keeps the power comparison fair: the
 meter, the teardown policy and the tracing are identical — only the round
 decomposition differs.
+
+The unified calling convention
+------------------------------
+
+Every scheduler is invoked the same way::
+
+    scheduler.schedule(cset, n_leaves=None, policy=None, network=None, obs=None)
+
+``schedule`` itself is a template method implemented once on
+:class:`Scheduler`: it resolves the tree size, checks ``network``/``policy``
+consistency, and hands a fully-resolved :class:`ScheduleContext` to the
+subclass hook ``_schedule``.  Schedulers that drive their own
+instrumentation (the CSA) consume ``ctx.obs`` live; for every other
+scheduler the base class folds the finished schedule into the registry and
+trace after the fact, so ``obs=`` works uniformly across the whole surface.
+
+Passing ``n_leaves`` positionally (``schedule(cset, 64)``) is deprecated —
+it still works for one release through a shim that emits a single
+:class:`DeprecationWarning` per scheduler class.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Sequence
 
 from repro.comms.communication import Communication, CommunicationSet
 from repro.core.schedule import RoundRecord, Schedule
@@ -26,29 +47,140 @@ from repro.cst.power import PowerPolicy
 from repro.exceptions import SchedulingError
 from repro.types import Connection
 
-__all__ = ["Scheduler", "execute_round_plan"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrumentation
+
+__all__ = ["ScheduleContext", "Scheduler", "execute_round_plan"]
+
+
+@dataclass(slots=True)
+class ScheduleContext:
+    """Everything a scheduler run needs, resolved once by the base class.
+
+    ``n_leaves`` is always a concrete power of two here (defaulting rules
+    already applied); ``network`` is the caller-supplied pre-built network
+    or ``None`` when the scheduler should build its own; ``obs`` is the
+    per-call instrumentation (``None`` keeps the uninstrumented hot path).
+    """
+
+    n_leaves: int
+    policy: PowerPolicy | None = None
+    network: CSTNetwork | None = None
+    obs: "Instrumentation | None" = None
 
 
 class Scheduler(abc.ABC):
-    """Common interface of all CST schedulers."""
+    """Common interface of all CST schedulers.
+
+    Subclasses implement :meth:`_schedule`; the public :meth:`schedule`
+    template method is shared and gives every scheduler the same signature.
+    """
 
     #: short identifier used in reports and benchmark tables.
     name: str = "abstract"
 
-    @abc.abstractmethod
+    #: whether :meth:`schedule` accepts a caller-supplied pre-built
+    #: ``network=``.  Composite schedulers that internally reflect or
+    #: decompose the workload run on derived networks and reject one.
+    supports_network: ClassVar[bool] = True
+
+    #: set by subclasses that consume ``ctx.obs`` live during the run (the
+    #: CSA); for everyone else the base class folds the finished schedule
+    #: into the registry/trace after ``_schedule`` returns.
+    native_obs: ClassVar[bool] = False
+
+    #: scheduler classes that already emitted the positional-``n_leaves``
+    #: deprecation warning (one warning per class per process).
+    _positional_warned: ClassVar[set[type]] = set()
+
     def schedule(
         self,
         cset: CommunicationSet,
+        *args,
         n_leaves: int | None = None,
-        *,
         policy: PowerPolicy | None = None,
+        network: CSTNetwork | None = None,
+        obs: "Instrumentation | None" = None,
     ) -> Schedule:
-        """Route ``cset`` on a CST with ``n_leaves`` leaves.
+        """Route ``cset`` on a CST.
 
         ``n_leaves`` defaults to the smallest power-of-two tree hosting the
-        set; ``policy`` selects the power-accounting discipline (the paper's
-        lazy model by default).
+        set; ``policy`` selects the power-accounting discipline (the
+        paper's lazy model by default).  ``network`` supplies a pre-built
+        (possibly pre-configured, possibly faulty) network to run on — used
+        by fault-injection tests and by the stream scheduler; when given,
+        ``n_leaves`` and ``policy`` must not conflict with it.  ``obs``
+        attaches an :class:`~repro.obs.Instrumentation` for this call only.
         """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"{type(self).__name__}.schedule takes at most one "
+                    f"positional argument besides the communication set"
+                )
+            if n_leaves is not None:
+                raise TypeError("n_leaves passed both positionally and by keyword")
+            self._warn_positional_n_leaves()
+            n_leaves = args[0]
+
+        if network is not None:
+            if not self.supports_network:
+                raise SchedulingError(
+                    f"{type(self).__name__} schedules on internally derived "
+                    "networks and does not accept a pre-built network"
+                )
+            if n_leaves is not None and n_leaves != network.topology.n_leaves:
+                raise SchedulingError(
+                    f"n_leaves={n_leaves} conflicts with the supplied "
+                    f"network of {network.topology.n_leaves} leaves"
+                )
+            if policy is not None and policy != network.meter.policy:
+                raise SchedulingError(
+                    "policy conflicts with the supplied network's meter policy"
+                )
+            n = network.topology.n_leaves
+        else:
+            n = n_leaves if n_leaves is not None else cset.min_leaves()
+
+        ctx = ScheduleContext(n_leaves=n, policy=policy, network=network, obs=obs)
+        schedule = self._schedule(cset, ctx)
+        if obs is not None and not self.native_obs:
+            self._fold_obs(obs, schedule)
+        return schedule
+
+    @abc.abstractmethod
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
+        """Produce the schedule for an already-resolved request."""
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _warn_positional_n_leaves(cls) -> None:
+        if cls in Scheduler._positional_warned:
+            return
+        Scheduler._positional_warned.add(cls)
+        warnings.warn(
+            f"passing n_leaves positionally to {cls.__name__}.schedule is "
+            "deprecated and will be removed in the next release; use "
+            "schedule(cset, n_leaves=...)",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+
+    @classmethod
+    def _reset_deprecation_warnings(cls) -> None:
+        """Re-arm the one-shot shims (test hook)."""
+        Scheduler._positional_warned.clear()
+
+    @staticmethod
+    def _fold_obs(obs: "Instrumentation", schedule: Schedule) -> None:
+        """After-the-fact observability for non-native schedulers."""
+        from repro.obs.instrument import observe_schedule
+        from repro.obs.trace import export_schedule
+
+        observe_schedule(obs.metrics, schedule, run=obs.run)
+        if obs.trace is not None:
+            export_schedule(obs.trace, schedule, run=obs.run)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -61,13 +193,15 @@ def execute_round_plan(
     scheduler_name: str,
     *,
     policy: PowerPolicy | None = None,
+    network: CSTNetwork | None = None,
 ) -> Schedule:
     """Replay a per-round plan through a real network and record everything.
 
     Each round's communications are routed along their unique tree paths;
     the required crossbar connections are staged, the round committed
     (power charged per newly-established connection), payloads transferred
-    and completions observed by tracing.  Raises
+    and completions observed by tracing.  ``network`` replays the plan on a
+    caller-supplied network instead of a fresh one.  Raises
     :class:`~repro.exceptions.SchedulingError` when the plan's rounds are
     internally inconsistent (two communications claiming the same switch
     port — the symptom of an incompatible round).
@@ -79,7 +213,8 @@ def execute_round_plan(
             f"set has {len(cset)} (or contents differ)"
         )
 
-    network = CSTNetwork.of_size(n_leaves, policy=policy)
+    if network is None:
+        network = CSTNetwork.of_size(n_leaves, policy=policy)
     network.assign_roles(cset.roles())
     topo = network.topology
 

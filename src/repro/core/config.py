@@ -1,0 +1,126 @@
+"""One config object for every scheduler knob that used to be scattered.
+
+Constructor flags grew organically across PRs: the fast-path engine toggle
+lives on :class:`~repro.core.csa.PADRScheduler` (``engine_factory``),
+stream behaviour on :class:`~repro.extensions.stream.StreamScheduler`
+(``fresh_network_per_step``, ``verify``), and the per-wave trace cap on
+:class:`~repro.cst.engine.EngineTrace`.  :class:`SchedulerConfig`
+consolidates them into a single frozen dataclass that
+
+* both constructors accept (``PADRScheduler(config=...)``,
+  ``StreamScheduler(config=...)``) — explicit keyword arguments still win,
+  so existing call sites are untouched;
+* round-trips through plain dicts (:meth:`to_dict` / :meth:`from_dict`),
+  which is how the service layer ships it to multiprocessing workers;
+* exposes a :meth:`cache_signature` that the service layer's schedule
+  cache folds into its keys, so results computed under one configuration
+  are never served to a request made under another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Callable, Mapping
+
+from repro.cst.engine import CSTEngine, EngineTrace, ReferenceWaveEngine
+from repro.cst.network import CSTNetwork
+from repro.exceptions import SchedulingError
+
+__all__ = ["SchedulerConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerConfig:
+    """Consolidated scheduler configuration.
+
+    ``fast_path``
+        run the frontier-pruned :class:`~repro.cst.engine.CSTEngine`
+        (default) or the naive :class:`~repro.cst.engine.ReferenceWaveEngine`
+        differential oracle.  Schedules are bit-identical either way
+        (property-tested); only physical-plane traffic differs.
+    ``validate_input`` / ``check_postconditions`` / ``strict``
+        the CSA's safety rails (see :class:`~repro.core.csa.PADRScheduler`).
+    ``reuse_phase1``
+        skip Phase 1's upward wave when roles repeat on the same network.
+    ``fresh_network_per_step`` / ``verify_steps``
+        stream scheduling: the PADR-unaware control condition, and per-step
+        end-to-end verification.
+    ``trace_wave_cap``
+        per-wave sample retention cap on
+        :class:`~repro.cst.engine.EngineTrace` (bounds memory on long
+        streams; totals are always exact).
+    """
+
+    validate_input: bool = True
+    check_postconditions: bool = True
+    strict: bool = True
+    fast_path: bool = True
+    reuse_phase1: bool = False
+    fresh_network_per_step: bool = False
+    verify_steps: bool = True
+    trace_wave_cap: int = EngineTrace.PER_WAVE_CAP
+
+    def __post_init__(self) -> None:
+        if self.trace_wave_cap < 0:
+            raise SchedulingError(
+                f"trace_wave_cap must be >= 0, got {self.trace_wave_cap}"
+            )
+
+    # -- engine wiring -------------------------------------------------------
+
+    def engine_factory(self) -> Callable[[CSTNetwork], CSTEngine]:
+        """The engine constructor this configuration selects.
+
+        The default configuration returns the bare :class:`CSTEngine`
+        class object, so the hot path is exactly the PR-1 fast path with no
+        wrapper in between.
+        """
+        engine_cls = CSTEngine if self.fast_path else ReferenceWaveEngine
+        if self.trace_wave_cap == EngineTrace.PER_WAVE_CAP:
+            return engine_cls
+
+        cap = self.trace_wave_cap
+
+        def factory(network: CSTNetwork) -> CSTEngine:
+            engine = engine_cls(network)
+            engine.trace.PER_WAVE_CAP = cap  # instance override of the ClassVar
+            return engine
+
+        return factory
+
+    # -- scheduler builders --------------------------------------------------
+
+    def build(self, *, obs: Any = None) -> Any:
+        """A :class:`~repro.core.csa.PADRScheduler` under this config."""
+        from repro.core.csa import PADRScheduler
+
+        return PADRScheduler(config=self, obs=obs)
+
+    def build_stream(self, *, policy: Any = None, obs: Any = None) -> Any:
+        """A :class:`~repro.extensions.stream.StreamScheduler` under this config."""
+        from repro.extensions.stream import StreamScheduler
+
+        return StreamScheduler(config=self, policy=policy, obs=obs)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (picklable, JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SchedulingError(
+                f"unknown SchedulerConfig fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def cache_signature(self) -> str:
+        """Canonical string folded into schedule-cache keys."""
+        return ",".join(
+            f"{f.name}={getattr(self, f.name)}" for f in fields(self)
+        )

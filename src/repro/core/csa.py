@@ -27,14 +27,14 @@ from typing import Callable, Mapping
 
 from repro.comms.communication import Communication, CommunicationSet
 from repro.comms.wellnested import require_well_nested
-from repro.core.base import Scheduler
+from repro.core.base import ScheduleContext, Scheduler
+from repro.core.config import SchedulerConfig
 from repro.core.control import DownKind, DownWord, StoredState
 from repro.core.phase1 import pending_matched, run_phase1, run_phase1_vectorized
 from repro.core.phase2 import configure
 from repro.core.schedule import RoundRecord, Schedule
 from repro.cst.engine import CSTEngine
 from repro.cst.network import CSTNetwork
-from repro.cst.power import PowerPolicy
 from repro.exceptions import ProtocolError, SchedulingError
 from repro.obs.instrument import Instrumentation
 from repro.types import Connection, Role
@@ -60,38 +60,52 @@ class PADRScheduler(Scheduler):
         the engine trace and power meter, round/phase deltas, run
         summaries).  ``None`` (default) keeps the uninstrumented hot path:
         the only residual cost is a handful of ``is not None`` checks.
+        ``schedule(..., obs=...)`` overrides this per call.
+    config:
+        a :class:`~repro.core.config.SchedulerConfig` supplying defaults
+        for every flag above (explicit keyword arguments win).
     """
 
     name = "padr-csa"
+    native_obs = True
 
     def __init__(
         self,
         *,
-        validate_input: bool = True,
-        check_postconditions: bool = True,
-        strict: bool = True,
+        validate_input: bool | None = None,
+        check_postconditions: bool | None = None,
+        strict: bool | None = None,
         engine_factory: Callable[[CSTNetwork], CSTEngine] | None = None,
-        reuse_phase1: bool = False,
+        reuse_phase1: bool | None = None,
         obs: "Instrumentation | None" = None,
+        config: SchedulerConfig | None = None,
     ) -> None:
-        self.validate_input = validate_input
-        self.check_postconditions = check_postconditions
+        cfg = config if config is not None else SchedulerConfig()
+        self.config = cfg
+        self.validate_input = (
+            cfg.validate_input if validate_input is None else validate_input
+        )
+        self.check_postconditions = (
+            cfg.check_postconditions
+            if check_postconditions is None
+            else check_postconditions
+        )
         #: with ``strict`` the scheduler raises the moment a round's data
         #: transfer contradicts its control decisions (the healthy-hardware
         #: invariant).  Fault-injection experiments set ``strict=False`` so
         #: the schedule completes mechanically and the damage is surfaced
         #: by the verifier instead.
-        self.strict = strict
+        self.strict = cfg.strict if strict is None else strict
         #: wave engine to run on; the differential tests swap in
         #: :class:`~repro.cst.engine.ReferenceWaveEngine` here.
-        self.engine_factory = engine_factory or CSTEngine
+        self.engine_factory = engine_factory or cfg.engine_factory()
         #: skip re-running Phase 1's upward wave when a consecutive set on
         #: the same tree has identical role assignments — the stored
         #: counters depend only on roles, so the cached pristine states are
         #: restored instead.  Off by default because skipping a wave also
         #: skips its (logical) control traffic; the stream scheduler opts
         #: in, single-set accounting stays untouched.
-        self.reuse_phase1 = reuse_phase1
+        self.reuse_phase1 = cfg.reuse_phase1 if reuse_phase1 is None else reuse_phase1
         self.obs = obs
         self._phase1_key: tuple | None = None
         self._phase1_states: dict[int, StoredState] | None = None
@@ -100,62 +114,35 @@ class PADRScheduler(Scheduler):
         self.last_network: CSTNetwork | None = None
         self.last_states: dict[int, StoredState] | None = None
 
-    def schedule(
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
+        obs = ctx.obs if ctx.obs is not None else self.obs
+        if obs is None:
+            return self._run(cset, ctx, None)
+        with obs.metrics.span("csa.schedule", run=obs.run):
+            return self._run(cset, ctx, obs)
+
+    def _run(
         self,
         cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-        network: CSTNetwork | None = None,
-    ) -> Schedule:
-        """Route ``cset``; see :class:`~repro.core.base.Scheduler`.
-
-        ``network`` supplies a pre-built (possibly pre-configured, possibly
-        faulty) network to run on — used by fault-injection tests and by
-        the stream scheduler, which reuses one network across sets so that
-        configurations persist between them.  When given, ``n_leaves`` and
-        ``policy`` must not conflict with it.
-        """
-        if self.obs is None:
-            return self._schedule(cset, n_leaves, policy=policy, network=network)
-        with self.obs.metrics.span("csa.schedule", run=self.obs.run):
-            return self._schedule(cset, n_leaves, policy=policy, network=network)
-
-    def _schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-        network: CSTNetwork | None = None,
+        ctx: ScheduleContext,
+        obs: "Instrumentation | None",
     ) -> Schedule:
         if self.validate_input:
             require_well_nested(cset)
-        if network is not None:
-            if n_leaves is not None and n_leaves != network.topology.n_leaves:
-                raise SchedulingError(
-                    f"n_leaves={n_leaves} conflicts with the supplied "
-                    f"network of {network.topology.n_leaves} leaves"
-                )
-            if policy is not None and policy != network.meter.policy:
-                raise SchedulingError(
-                    "policy conflicts with the supplied network's meter policy"
-                )
-            n = network.topology.n_leaves
-        else:
-            n = n_leaves if n_leaves is not None else cset.min_leaves()
-            network = CSTNetwork.of_size(n, policy=policy)
+        n = ctx.n_leaves
+        network = ctx.network
+        if network is None:
+            network = CSTNetwork.of_size(n, policy=ctx.policy)
         roles = cset.roles()
         network.assign_roles(roles)
         engine = self.engine_factory(network)
 
-        obs = self.obs
         if obs is not None:
             obs.run_start(scheduler=self.name, n_leaves=n, n_comms=len(cset))
             engine.trace.on_wave = obs.wave_hook()
             obs.attach(network)
 
-        states, pending = self._phase1(engine, n, roles)
+        states, pending = self._phase1(engine, n, roles, obs)
         self.last_network = network
         self.last_states = states
 
@@ -170,7 +157,9 @@ class PADRScheduler(Scheduler):
                     f"CSA exceeded {max_rounds} rounds — algorithm failed to make "
                     "progress (this indicates a bug or invalid input)"
                 )
-            rounds.append(self._run_round(engine, states, pending, len(rounds)))
+            rounds.append(
+                self._run_round(engine, states, pending, len(rounds), obs)
+            )
 
         if self.check_postconditions:
             leftovers = {
@@ -201,7 +190,11 @@ class PADRScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     def _phase1(
-        self, engine: CSTEngine, n: int, roles: Mapping[int, Role]
+        self,
+        engine: CSTEngine,
+        n: int,
+        roles: Mapping[int, Role],
+        obs: "Instrumentation | None",
     ) -> tuple[dict[int, StoredState], list[int]]:
         """Run Phase 1, or restore it from cache when roles are unchanged.
 
@@ -210,7 +203,6 @@ class PADRScheduler(Scheduler):
         fresh upward wave rather than silently restoring state recorded
         under different hardware conditions.
         """
-        obs = self.obs
         key = (n, dict(roles), engine.network.fault_signature())
         if self.reuse_phase1 and key == self._phase1_key:
             assert self._phase1_states is not None and self._phase1_pending is not None
@@ -260,12 +252,12 @@ class PADRScheduler(Scheduler):
         states: dict[int, StoredState],
         pending: list[int],
         round_no: int,
+        obs: "Instrumentation | None",
     ) -> RoundRecord:
         """One Phase-2 round: down-wave, commit, transfer, record."""
         network = engine.network
         staged: dict[int, tuple[Connection, ...]] = {}
 
-        obs = self.obs
         pruned_subtrees = 0
         if obs is not None:
             meter = network.meter

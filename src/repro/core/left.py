@@ -28,13 +28,12 @@ from typing import Final
 
 from repro.comms.communication import Communication, CommunicationSet
 from repro.comms.wellnested import require_well_nested
-from repro.core.base import Scheduler
+from repro.core.base import ScheduleContext, Scheduler
 from repro.core.control import DownKind, DownWord, StoredState, UpWord
 from repro.core.phase2 import configure
 from repro.core.schedule import RoundRecord, Schedule
 from repro.cst.engine import CSTEngine
 from repro.cst.network import CSTNetwork
-from repro.cst.power import PowerPolicy
 from repro.exceptions import OrientationError, ProtocolError, SchedulingError
 from repro.types import (
     CONN_DOWN_L,
@@ -68,31 +67,18 @@ class LeftPADRScheduler(Scheduler):
     def __init__(self, *, validate_input: bool = True) -> None:
         self.validate_input = validate_input
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-        network: CSTNetwork | None = None,
-    ) -> Schedule:
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
         if not cset.is_left_oriented:
             raise OrientationError(
                 "LeftPADRScheduler expects a left-oriented communication set"
             )
-        if network is not None:
-            if n_leaves is not None and n_leaves != network.topology.n_leaves:
-                raise SchedulingError(
-                    f"n_leaves={n_leaves} conflicts with the supplied network"
-                )
-            n = network.topology.n_leaves
-        else:
-            n = n_leaves if n_leaves is not None else cset.min_leaves()
+        n = ctx.n_leaves
         if self.validate_input:
             require_well_nested(cset.mirrored(n))
 
+        network = ctx.network
         if network is None:
-            network = CSTNetwork.of_size(n, policy=policy)
+            network = CSTNetwork.of_size(n, policy=ctx.policy)
         network.assign_roles(cset.roles())
         engine = CSTEngine(network)
 

@@ -18,7 +18,7 @@ def control_constants(
     rows: list[dict] = []
     for n in tree_sizes:
         cset = disjoint_pairs(2)
-        s = PADRScheduler().schedule(cset, n)
+        s = PADRScheduler().schedule(cset, n_leaves=n)
         links = 2 * n - 2
         waves = 1 + s.n_rounds
         rows.append(
@@ -42,7 +42,7 @@ def traffic_vs_width(
     rows: list[dict] = []
     for w in widths:
         cset = crossing_chain(w, n_leaves)
-        s = PADRScheduler().schedule(cset, n_leaves)
+        s = PADRScheduler().schedule(cset, n_leaves=n_leaves)
         rows.append(
             {
                 "width": w,

@@ -53,7 +53,7 @@ def rounds_vs_width_random(
     for n_pairs in pair_counts:
         cset = random_well_nested(n_pairs, n_leaves, rng)
         w = width(cset, topo)
-        s = PADRScheduler().schedule(cset, n_leaves)
+        s = PADRScheduler().schedule(cset, n_leaves=n_leaves)
         check_round_optimality(s, cset, require_optimal=require_optimal)
         rows.append(
             {

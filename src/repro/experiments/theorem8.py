@@ -55,9 +55,9 @@ def power_sweep_random(
     for n_pairs in pair_counts:
         cset = random_well_nested(n_pairs, n_leaves, rng)
         w = width(cset, topo)
-        csa = PADRScheduler().schedule(cset, n_leaves)
+        csa = PADRScheduler().schedule(cset, n_leaves=n_leaves)
         roy = RoyIDScheduler().schedule(
-            cset, n_leaves, policy=PowerPolicy.rebuild()
+            cset, n_leaves=n_leaves, policy=PowerPolicy.rebuild()
         )
         rows.append(
             {

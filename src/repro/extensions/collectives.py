@@ -68,7 +68,7 @@ def _route_step(
     network.assign_roles(cset.roles())
     for c in cset:
         network.pes[c.src].payload = payloads[c.src]
-    schedule = scheduler.schedule(cset, network=network)  # type: ignore[call-arg]
+    schedule = scheduler.schedule(cset, network=network)
     received: dict[int, Any] = {}
     for c in cset:
         inbox = network.pes[c.dst].received

@@ -26,10 +26,9 @@ from dataclasses import dataclass
 
 from repro.comms.communication import Communication, CommunicationSet
 from repro.comms.wellnested import is_well_nested
-from repro.core.base import Scheduler
+from repro.core.base import ScheduleContext, Scheduler
 from repro.core.csa import PADRScheduler
 from repro.core.schedule import RoundRecord, Schedule
-from repro.cst.power import PowerPolicy
 from repro.extensions.oriented import MirroredScheduler, _merge_power
 
 __all__ = [
@@ -87,20 +86,16 @@ class GeneralSetScheduler(Scheduler):
     """
 
     name = "general-layered"
+    supports_network = False
 
     def __init__(self) -> None:
         self._right = PADRScheduler()
         self._left = MirroredScheduler(PADRScheduler())
         self.last_layering: LayeringReport | None = None
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-    ) -> Schedule:
-        n = n_leaves if n_leaves is not None else cset.min_leaves()
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
+        n = ctx.n_leaves
+        policy = ctx.policy
         right, left = cset.right_oriented_subset(), cset.left_oriented_subset()
 
         right_layers = wellnested_layers(right) if len(right) else []
@@ -113,9 +108,9 @@ class GeneralSetScheduler(Scheduler):
         parts: list[Schedule] = []
         for layer in right_layers:
             assert is_well_nested(layer)
-            parts.append(self._right.schedule(layer, n, policy=policy))
+            parts.append(self._right.schedule(layer, n_leaves=n, policy=policy))
         for layer in left_layers:
-            parts.append(self._left.schedule(layer, n, policy=policy))
+            parts.append(self._left.schedule(layer, n_leaves=n, policy=policy))
 
         rounds: list[RoundRecord] = []
         for part in parts:
@@ -158,26 +153,22 @@ class InterleavedGeneralScheduler(Scheduler):
     """
 
     name = "general-interleaved"
+    supports_network = False
 
     def __init__(self) -> None:
         self._sequential = GeneralSetScheduler()
         self.last_layering: LayeringReport | None = None
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-    ) -> Schedule:
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
         from repro.core.base import execute_round_plan
         from repro.cst.topology import CSTTopology
 
-        n = n_leaves if n_leaves is not None else cset.min_leaves()
+        n = ctx.n_leaves
+        policy = ctx.policy
         topo = CSTTopology.of(n)
 
         # plan via the sequential scheduler (its rounds are CSA rounds)
-        sequential = self._sequential.schedule(cset, n, policy=policy)
+        sequential = self._sequential.schedule(cset, n_leaves=n, policy=policy)
         self.last_layering = self._sequential.last_layering
 
         merged: list[list[Communication]] = []

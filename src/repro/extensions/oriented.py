@@ -18,10 +18,10 @@ orientation.  This module makes both concrete:
 from __future__ import annotations
 
 from repro.comms.communication import Communication, CommunicationSet
-from repro.core.base import Scheduler
+from repro.core.base import ScheduleContext, Scheduler
 from repro.core.csa import PADRScheduler
 from repro.core.schedule import RoundRecord, Schedule
-from repro.cst.power import PowerPolicy, PowerReport
+from repro.cst.power import PowerReport
 from repro.exceptions import OrientationError
 
 __all__ = [
@@ -65,22 +65,18 @@ def _mirror_schedule(schedule: Schedule, cset: CommunicationSet, n: int) -> Sche
 class MirroredScheduler(Scheduler):
     """Schedule a left-oriented well-nested set via reflection."""
 
+    supports_network = False
+
     def __init__(self, inner: Scheduler | None = None) -> None:
         self.inner = inner if inner is not None else PADRScheduler()
         self.name = f"mirrored({self.inner.name})"
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-    ) -> Schedule:
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
         if not cset.is_left_oriented:
             raise OrientationError("MirroredScheduler expects a left-oriented set")
-        n = n_leaves if n_leaves is not None else cset.min_leaves()
+        n = ctx.n_leaves
         mirrored = cset.mirrored(n)
-        inner_schedule = self.inner.schedule(mirrored, n, policy=policy)
+        inner_schedule = self.inner.schedule(mirrored, n_leaves=n, policy=ctx.policy)
         return _mirror_schedule(inner_schedule, cset, n)
 
 
@@ -94,6 +90,7 @@ class OrientedDecompositionScheduler(Scheduler):
     """
 
     name = "oriented-decomposition"
+    supports_network = False
 
     def __init__(self, *, native_left: bool = False) -> None:
         """``native_left`` schedules the left half with the mirror-lens
@@ -107,21 +104,16 @@ class OrientedDecompositionScheduler(Scheduler):
             LeftPADRScheduler() if native_left else MirroredScheduler(PADRScheduler())
         )
 
-    def schedule(
-        self,
-        cset: CommunicationSet,
-        n_leaves: int | None = None,
-        *,
-        policy: PowerPolicy | None = None,
-    ) -> Schedule:
-        n = n_leaves if n_leaves is not None else cset.min_leaves()
+    def _schedule(self, cset: CommunicationSet, ctx: ScheduleContext) -> Schedule:
+        n = ctx.n_leaves
+        policy = ctx.policy
         right, left = decompose_by_orientation(cset)
 
         parts: list[Schedule] = []
         if len(right):
-            parts.append(self._right.schedule(right, n, policy=policy))
+            parts.append(self._right.schedule(right, n_leaves=n, policy=policy))
         if len(left):
-            parts.append(self._left.schedule(left, n, policy=policy))
+            parts.append(self._left.schedule(left, n_leaves=n, policy=policy))
 
         rounds: list[RoundRecord] = []
         for part in parts:

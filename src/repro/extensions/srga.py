@@ -111,11 +111,11 @@ class SRGA:
         for r, cset in row_sets.items():
             self._check_index(r, self.rows, "row")
             self._check_fits(cset, self.cols, f"row {r}")
-            row_out[r] = PADRScheduler().schedule(cset, self.cols, policy=policy)
+            row_out[r] = PADRScheduler().schedule(cset, n_leaves=self.cols, policy=policy)
         for c, cset in col_sets.items():
             self._check_index(c, self.cols, "column")
             self._check_fits(cset, self.rows, f"column {c}")
-            col_out[c] = PADRScheduler().schedule(cset, self.rows, policy=policy)
+            col_out[c] = PADRScheduler().schedule(cset, n_leaves=self.rows, policy=policy)
         return SRGAScheduleResult(row_schedules=row_out, col_schedules=col_out)
 
     @staticmethod

@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.analysis.verifier import verify_schedule
 from repro.comms.communication import CommunicationSet
+from repro.core.config import SchedulerConfig
 from repro.core.csa import PADRScheduler
 from repro.core.schedule import Schedule
 from repro.cst.network import CSTNetwork
@@ -77,13 +78,20 @@ class StreamScheduler:
         self,
         *,
         policy: PowerPolicy | None = None,
-        fresh_network_per_step: bool = False,
-        verify: bool = True,
+        fresh_network_per_step: bool | None = None,
+        verify: bool | None = None,
         obs: "Instrumentation | None" = None,
+        config: SchedulerConfig | None = None,
     ) -> None:
+        cfg = config if config is not None else SchedulerConfig()
+        self.config = cfg
         self.policy = policy or PowerPolicy.paper()
-        self.fresh_network_per_step = fresh_network_per_step
-        self.verify = verify
+        self.fresh_network_per_step = (
+            cfg.fresh_network_per_step
+            if fresh_network_per_step is None
+            else fresh_network_per_step
+        )
+        self.verify = cfg.verify_steps if verify is None else verify
         #: optional :class:`~repro.obs.Instrumentation`; forwarded to the
         #: underlying :class:`PADRScheduler` (per-round/engine metrics) and
         #: extended here with per-step stream counters and histograms.
@@ -100,7 +108,9 @@ class StreamScheduler:
         # full price every step.
         obs = self.obs
         scheduler = PADRScheduler(
-            reuse_phase1=not self.fresh_network_per_step, obs=obs
+            reuse_phase1=not self.fresh_network_per_step,
+            obs=obs,
+            config=self.config,
         )
         steps: list[StreamStep] = []
         spent_before = 0

@@ -7,12 +7,24 @@ plain:
 
 .. code-block:: json
 
-    {"format": "cst-padr/communication-set", "version": 1,
+    {"format": "cst-padr/communication-set", "version": 1, "schema": 2,
      "comms": [[0, 7], [1, 2]]}
 
 Schedules export everything the verifier needs (observed per-round
 deliveries) plus the power report; they are re-verifiable after a
 round-trip without re-running the scheduler.
+
+Schema evolution
+----------------
+
+Payloads carry an explicit ``"schema"`` integer.  Schema 1 (the original
+release) predates the field, so a payload without one *is* schema 1; the
+current writers emit :data:`SCHEDULE_SCHEMA` (= 2).  Loaders accept the
+current schema and the previous one — exactly the window the service
+layer's schedule cache and batch results need to round-trip safely across
+one release boundary — and reject anything newer with a clear error
+instead of misreading it.  The legacy ``"version"`` field is still written
+for schema-1 readers, which ignore ``"schema"``.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from repro.cst.power import PowerReport
 from repro.exceptions import ReproError
 
 __all__ = [
+    "SCHEDULE_SCHEMA",
     "SerializationError",
     "cset_to_dict",
     "cset_from_dict",
@@ -40,6 +53,10 @@ _CSET_FORMAT = "cst-padr/communication-set"
 _SCHEDULE_FORMAT = "cst-padr/schedule"
 _SUITE_FORMAT = "cst-padr/workload-suite"
 _VERSION = 1
+
+#: current schema generation; loaders also accept ``SCHEDULE_SCHEMA - 1``.
+SCHEDULE_SCHEMA = 2
+_ACCEPTED_SCHEMAS = (SCHEDULE_SCHEMA - 1, SCHEDULE_SCHEMA)
 
 
 class SerializationError(ReproError):
@@ -55,6 +72,7 @@ def cset_to_dict(cset: CommunicationSet) -> dict[str, Any]:
     return {
         "format": _CSET_FORMAT,
         "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
         "comms": [[c.src, c.dst] for c in cset],
     }
 
@@ -77,6 +95,7 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
     return {
         "format": _SCHEDULE_FORMAT,
         "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
         "scheduler": schedule.scheduler_name,
         "n_leaves": schedule.n_leaves,
         "cset": cset_to_dict(schedule.cset),
@@ -161,6 +180,7 @@ def save_workloads(path: str | Path, workloads: Mapping[str, CommunicationSet]) 
     payload = {
         "format": _SUITE_FORMAT,
         "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
         "workloads": {name: cset_to_dict(cs) for name, cs in workloads.items()},
     }
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -184,3 +204,10 @@ def _expect(data: Mapping[str, Any], fmt: str) -> None:
     version = data.get("version")
     if version != _VERSION:
         raise SerializationError(f"unsupported {fmt} version: {version!r}")
+    # schema-1 payloads predate the field entirely.
+    schema = data.get("schema", 1)
+    if schema not in _ACCEPTED_SCHEMAS:
+        raise SerializationError(
+            f"unsupported {fmt} schema {schema!r}; this release reads "
+            f"schemas {list(_ACCEPTED_SCHEMAS)}"
+        )

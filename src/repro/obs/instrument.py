@@ -33,8 +33,19 @@ Metric name map (logical plane unless noted):
 ``recovery.undelivered``       communications given up as blocked/unverified
 ``recovery.quarantined``       quarantined switches at run end (gauge)
 ``recovery.delivery_rate``     per-run delivered fraction (histogram)
+``service.submitted``          batch requests admitted past the queue bound
+``service.rejected``           batch requests refused at admission
+``service.done``               batch requests settled with a schedule
+``service.expired``            batch requests that out-waited their deadline
+``service.failed``             batch requests out of retry budget / permanent
+``service.retries``            transient worker failures retried with backoff
+``service.cache.hits``         schedule-cache lookups served from memory
+``service.cache.misses``       schedule-cache lookups that missed
+``service.cache.evictions``    LRU entries evicted at capacity
+``service.cache.size``         live cache entries (gauge)
 ``csa.schedule`` (span)        wall-clock of one ``schedule()`` call
 ``csa.phase1`` (span)          wall-clock of Phase 1
+``service.drain`` (span)       wall-clock of one service drain
 =============================  ===============================================
 """
 

@@ -195,7 +195,7 @@ def run_campaign(
     for width in widths:
         # healthy control: the wrapper must be invisible when nothing fails.
         cset = crossing_chain(width, n_leaves)
-        plain = PADRScheduler().schedule(cset, n_leaves)
+        plain = PADRScheduler().schedule(cset, n_leaves=n_leaves)
         degraded = ResilientScheduler(max_attempts=max_attempts).schedule(
             cset, n_leaves
         )

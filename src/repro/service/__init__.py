@@ -1,0 +1,46 @@
+"""The scheduling service layer: batch scheduling as a serving problem.
+
+The paper's algorithm schedules one well-nested set; the ROADMAP's
+north-star serves heavy traffic of many such sets.  This package closes
+that gap with three orthogonal pieces:
+
+* :mod:`repro.service.cache` — a canonical-signature LRU cache, so a
+  workload that repeats (the common case for phase-structured algorithms
+  on the SRGA) pays for scheduling once;
+* :mod:`repro.service.worker` — the multiprocessing side: a worker-pool
+  initializer that rebuilds a :class:`~repro.core.config.SchedulerConfig`
+  in each worker, and a request function whose inputs and outputs are
+  plain JSON-able payloads (via :mod:`repro.io`);
+* :mod:`repro.service.service` — :class:`SchedulerService`, the
+  submit/drain façade with admission control, per-request deadlines and
+  deterministic retry backoff.
+
+Everything a service path returns is bit-identical (at the serialized
+level of :func:`repro.io.schedule_to_dict`) to a direct
+``PADRScheduler().schedule(cset)`` call — asserted by the parity machinery,
+not assumed.
+"""
+
+from repro.service.cache import CanonicalKey, ScheduleCache, canonical_signature
+from repro.service.service import (
+    BatchReport,
+    RequestResult,
+    RequestStatus,
+    SchedulerService,
+    ServiceParityError,
+    Ticket,
+)
+from repro.service.workloads import mixed_workloads
+
+__all__ = [
+    "BatchReport",
+    "CanonicalKey",
+    "RequestResult",
+    "RequestStatus",
+    "ScheduleCache",
+    "SchedulerService",
+    "ServiceParityError",
+    "Ticket",
+    "canonical_signature",
+    "mixed_workloads",
+]

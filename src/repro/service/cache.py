@@ -1,0 +1,152 @@
+"""Canonical schedule signatures and the LRU schedule cache.
+
+A well-nested communication set is, structurally, a Dyck word
+(:mod:`repro.comms.wellnested`): erase the idle leaves from its
+parenthesis profile and two sets that are relabellings of each other
+collapse to the same word.  That Dyck word is the *canonical signature*
+the service reports and groups by.
+
+The *cache key* is stricter than the Dyck word on purpose.  Power and
+round structure depend on where the communications actually sit in the
+tree — relabelling a set moves its circuits onto different switches — so
+serving a cached schedule across a relabelling would break the service's
+bit-identical-parity guarantee.  The key therefore pins the full placed
+profile (Dyck word *with* the idle-leaf gaps), the tree size and the
+:meth:`~repro.core.config.SchedulerConfig.cache_signature` it was computed
+under.  Repeats of the *same placed workload* hit; everything else misses.
+
+The cache stores serialized schedule payloads
+(:func:`repro.io.schedule_to_dict`), the same representation that crosses
+the worker-pool boundary — so a hit and a pool round-trip are literally
+the same bytes, and parity checks compare one canonical form.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.comms.communication import CommunicationSet
+from repro.comms.wellnested import parenthesis_profile
+from repro.core.config import SchedulerConfig
+from repro.exceptions import OrientationError, SchedulingError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
+__all__ = ["CanonicalKey", "ScheduleCache", "canonical_signature"]
+
+
+@dataclass(frozen=True, slots=True)
+class CanonicalKey:
+    """A communication set canonicalised for caching and grouping.
+
+    ``dyck`` is the relabelling-invariant Dyck word (structure only);
+    ``placed`` is the full parenthesis profile over the leaves (structure
+    *and* geometry).  Cache lookups use ``(n_leaves, placed, config)``;
+    ``dyck`` is the coarser equivalence class reported in metrics and
+    batch summaries.
+    """
+
+    n_leaves: int
+    dyck: str
+    placed: str
+    config: str
+
+    @property
+    def cache_key(self) -> tuple[int, str, str]:
+        return (self.n_leaves, self.placed, self.config)
+
+
+def canonical_signature(
+    cset: CommunicationSet,
+    n_leaves: int | None = None,
+    *,
+    config: SchedulerConfig | None = None,
+) -> CanonicalKey:
+    """Canonicalise ``cset`` into a :class:`CanonicalKey`.
+
+    Requires a right-oriented set (the PADR input class); left-oriented or
+    mixed sets raise :class:`~repro.exceptions.OrientationError` — the
+    service only caches what its scheduler accepts.
+    """
+    n = n_leaves if n_leaves is not None else cset.min_leaves()
+    try:
+        placed = parenthesis_profile(cset, n)
+    except IndexError as exc:  # a PE beyond the declared tree
+        raise SchedulingError(
+            f"communication set does not fit on {n} leaves"
+        ) from exc
+    cfg = config if config is not None else SchedulerConfig()
+    return CanonicalKey(
+        n_leaves=n,
+        dyck=placed.replace(".", ""),
+        placed=placed,
+        config=cfg.cache_signature(),
+    )
+
+
+class ScheduleCache:
+    """Bounded LRU map: canonical key → serialized schedule payload.
+
+    Hit/miss/eviction counts are emitted into a
+    :class:`~repro.obs.registry.MetricsRegistry` as ``service.cache.*``
+    counters and the live size as a ``service.cache.size`` gauge; pass no
+    registry and the interned null registry keeps the hot path free.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        metrics: MetricsRegistry | None = None,
+        run: str = "service",
+    ) -> None:
+        if capacity < 1:
+            raise SchedulingError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.run = run
+        self._entries: OrderedDict[tuple[int, str, str], dict[str, Any]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CanonicalKey) -> dict[str, Any] | None:
+        """The cached payload for ``key``, or ``None`` (counted as a miss)."""
+        entry = self._entries.get(key.cache_key)
+        if entry is None:
+            self.misses += 1
+            self.metrics.inc("service.cache.misses", run=self.run)
+            return entry
+        self._entries.move_to_end(key.cache_key)
+        self.hits += 1
+        self.metrics.inc("service.cache.hits", run=self.run)
+        return entry
+
+    def put(self, key: CanonicalKey, payload: dict[str, Any]) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU entry when full."""
+        ck = key.cache_key
+        if ck in self._entries:
+            self._entries.move_to_end(ck)
+            self._entries[ck] = payload
+        else:
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self.metrics.inc("service.cache.evictions", run=self.run)
+            self._entries[ck] = payload
+        self.metrics.set("service.cache.size", len(self._entries), run=self.run)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.metrics.set("service.cache.size", 0, run=self.run)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,504 @@
+""":class:`SchedulerService` — submit/drain batch scheduling with admission
+control, a canonical schedule cache and a worker pool.
+
+The service turns the one-shot scheduler into a serving component:
+
+* **submit** applies admission control.  The queue is bounded; a submit
+  against a full queue is *rejected at the door* (a ticket that says so,
+  not an exception) — overload sheds load instead of growing without
+  bound.  Each accepted request carries a deadline in logical ticks.
+* **drain** settles every accepted request.  Repeats are served from the
+  :class:`~repro.service.cache.ScheduleCache`; misses fan out over a
+  multiprocessing pool (or run inline for ``workers <= 1`` — same code
+  path, see :mod:`repro.service.worker`).  Transient failures retry under
+  the recovery subsystem's deterministic exponential backoff (``2^(a-1)``
+  idle ticks before attempt ``a``); requests that outlive their deadline
+  expire.  Every submitted request is accounted for in the
+  :class:`BatchReport` — the service degrades, it does not crash.
+
+Time is a *logical tick clock* advanced by the drain loop, so backoff and
+deadlines are deterministic and testable — the same discipline the
+recovery loop uses with idle committed rounds.
+
+Parity is a first-class mode: with ``parity_check=True`` every settled
+schedule — cache hit or pool result — is compared, at the serialized
+level, against a direct ``PADRScheduler`` run in this process, and a
+mismatch raises :class:`ServiceParityError`.  The CI smoke gate runs the
+whole batch this way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.comms.communication import CommunicationSet
+from repro.core.config import SchedulerConfig
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError, SchedulingError
+from repro.io import cset_to_dict, schedule_from_dict, schedule_to_dict
+from repro.obs.instrument import Instrumentation
+from repro.service.cache import CanonicalKey, ScheduleCache, canonical_signature
+from repro.service.worker import (
+    WorkRequest,
+    WorkResponse,
+    init_worker,
+    schedule_request,
+)
+
+__all__ = [
+    "BatchReport",
+    "RequestResult",
+    "RequestStatus",
+    "SchedulerService",
+    "ServiceParityError",
+    "Ticket",
+]
+
+
+class ServiceParityError(ReproError):
+    """A service-path schedule diverged from the direct scheduler."""
+
+
+class RequestStatus(enum.Enum):
+    DONE = "done"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True, slots=True)
+class Ticket:
+    """The receipt a submit returns; rejection is a ticket, not an error."""
+
+    id: int
+    accepted: bool
+    reason: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class RequestResult:
+    """The settled fate of one submitted request."""
+
+    ticket_id: int
+    status: RequestStatus
+    from_cache: bool = False
+    attempts: int = 0
+    wait_ticks: int = 0
+    payload: dict[str, Any] | None = None
+    error: str | None = None
+    signature: str | None = None  # relabelling-invariant Dyck word
+
+    @property
+    def schedule(self) -> Schedule | None:
+        """The schedule, rebuilt from its canonical serialized form."""
+        return schedule_from_dict(self.payload) if self.payload else None
+
+
+@dataclass(frozen=True, slots=True)
+class BatchReport:
+    """One drain's complete accounting: every ticket settles exactly once."""
+
+    results: dict[int, RequestResult]
+    ticks: int
+    waves: int
+
+    def _count(self, status: RequestStatus) -> int:
+        return sum(1 for r in self.results.values() if r.status is status)
+
+    @property
+    def n_done(self) -> int:
+        return self._count(RequestStatus.DONE)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.results.values() if r.from_cache)
+
+    @property
+    def n_rejected(self) -> int:
+        return self._count(RequestStatus.REJECTED)
+
+    @property
+    def n_expired(self) -> int:
+        return self._count(RequestStatus.EXPIRED)
+
+    @property
+    def n_failed(self) -> int:
+        return self._count(RequestStatus.FAILED)
+
+    @property
+    def hit_rate(self) -> float:
+        done = self.n_done
+        return self.n_cached / done if done else 0.0
+
+    def schedules(self) -> dict[int, Schedule]:
+        """Ticket id → rebuilt schedule, for every DONE request."""
+        return {
+            tid: r.schedule  # type: ignore[misc]
+            for tid, r in self.results.items()
+            if r.status is RequestStatus.DONE and r.payload is not None
+        }
+
+    def summary(self) -> str:
+        return (
+            f"batch: {self.n_done} done ({self.n_cached} cached), "
+            f"{self.n_rejected} rejected, {self.n_expired} expired, "
+            f"{self.n_failed} failed, {self.waves} wave(s), {self.ticks} tick(s)"
+        )
+
+
+@dataclass(slots=True)
+class _Pending:
+    ticket_id: int
+    cset: CommunicationSet
+    key: CanonicalKey
+    payload: dict[str, Any] = field(default_factory=dict)
+    submit_tick: int = 0
+    deadline_ticks: int = 0
+    attempts: int = 0
+    eligible_tick: int = 0
+    last_error: str | None = None
+
+
+class SchedulerService:
+    """Batched PADR scheduling behind admission control and a cache.
+
+    Parameters
+    ----------
+    config:
+        the :class:`~repro.core.config.SchedulerConfig` every schedule —
+        local, cached or pooled — is computed under.
+    workers:
+        fan-out width.  ``<= 1`` schedules inline (no processes spawned);
+        ``> 1`` lazily starts a multiprocessing pool whose workers are
+        initialised from ``config``.
+    cache_size / max_queue:
+        LRU capacity and the admission-control bound.
+    default_deadline:
+        per-request deadline in logical ticks (overridable per submit).
+    max_retries:
+        transient-failure retries before a request is FAILED.
+    parity_check:
+        re-run every settled request through a direct in-process
+        ``PADRScheduler`` and require serialized equality.
+    obs:
+        optional :class:`~repro.obs.Instrumentation`; the service emits
+        ``service.*`` counters/gauges and a ``service.drain`` span, and
+        the cache emits ``service.cache.*``.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: SchedulerConfig | None = None,
+        workers: int = 1,
+        cache_size: int = 256,
+        max_queue: int = 1024,
+        default_deadline: int = 64,
+        max_retries: int = 3,
+        parity_check: bool = False,
+        obs: "Instrumentation | None" = None,
+    ) -> None:
+        if workers < 0:
+            raise SchedulingError(f"workers must be >= 0, got {workers}")
+        if max_queue < 1:
+            raise SchedulingError(f"max_queue must be >= 1, got {max_queue}")
+        if default_deadline < 1:
+            raise SchedulingError(
+                f"default_deadline must be >= 1, got {default_deadline}"
+            )
+        if max_retries < 0:
+            raise SchedulingError(f"max_retries must be >= 0, got {max_retries}")
+        self.config = config if config is not None else SchedulerConfig()
+        self.workers = workers
+        self.max_queue = max_queue
+        self.default_deadline = default_deadline
+        self.max_retries = max_retries
+        self.parity_check = parity_check
+        self.obs = obs
+        metrics = obs.metrics if obs is not None else None
+        run = obs.run if obs is not None else "service"
+        self.cache = ScheduleCache(cache_size, metrics=metrics, run=run)
+        self._queue: list[_Pending] = []
+        self._rejected: list[RequestResult] = []
+        self._next_id = 0
+        self._tick = 0
+        self._pool = None
+        self._direct = None  # lazy parity scheduler
+        self._inline_ready = False
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        cset: CommunicationSet,
+        *,
+        n_leaves: int | None = None,
+        deadline: int | None = None,
+    ) -> Ticket:
+        """Admit (or reject) one communication set for the next drain."""
+        ticket_id = self._next_id
+        self._next_id += 1
+        self._inc("service.submitted")
+        if len(self._queue) >= self.max_queue:
+            self._inc("service.rejected")
+            self._rejected.append(
+                RequestResult(
+                    ticket_id=ticket_id,
+                    status=RequestStatus.REJECTED,
+                    error=f"queue full ({self.max_queue})",
+                )
+            )
+            return Ticket(
+                id=ticket_id,
+                accepted=False,
+                reason=f"queue full ({self.max_queue})",
+            )
+        # canonicalisation doubles as admission validation: oversized or
+        # wrongly-oriented sets are turned away here, not in a worker.
+        try:
+            key = canonical_signature(cset, n_leaves, config=self.config)
+        except ReproError as exc:
+            self._inc("service.rejected")
+            self._rejected.append(
+                RequestResult(
+                    ticket_id=ticket_id,
+                    status=RequestStatus.REJECTED,
+                    error=str(exc),
+                )
+            )
+            return Ticket(id=ticket_id, accepted=False, reason=str(exc))
+        self._queue.append(
+            _Pending(
+                ticket_id=ticket_id,
+                cset=cset,
+                key=key,
+                payload=cset_to_dict(cset),
+                submit_tick=self._tick,
+                deadline_ticks=(
+                    deadline if deadline is not None else self.default_deadline
+                ),
+                eligible_tick=self._tick,
+            )
+        )
+        self._gauge("service.queue.depth", len(self._queue))
+        return Ticket(id=ticket_id, accepted=True)
+
+    def submit_many(
+        self, csets: Iterable[CommunicationSet], *, n_leaves: int | None = None
+    ) -> list[Ticket]:
+        return [self.submit(cs, n_leaves=n_leaves) for cs in csets]
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- draining ------------------------------------------------------------
+
+    def drain(self) -> BatchReport:
+        """Settle every queued request and return the full accounting."""
+        obs = self.obs
+        if obs is None:
+            return self._drain()
+        with obs.metrics.span("service.drain", run=obs.run):
+            return self._drain()
+
+    def _drain(self) -> BatchReport:
+        results: dict[int, RequestResult] = {
+            r.ticket_id: r for r in self._rejected
+        }
+        self._rejected = []
+        active = self._queue
+        self._queue = []
+        self._gauge("service.queue.depth", 0)
+        start_tick = self._tick
+        waves = 0
+
+        while active:
+            # one wave per tick; idle forward when everything is backing off.
+            next_eligible = min(p.eligible_tick for p in active)
+            self._tick = max(self._tick + 1, next_eligible)
+            waves += 1
+
+            wave = [p for p in active if p.eligible_tick <= self._tick]
+            later = [p for p in active if p.eligible_tick > self._tick]
+
+            expired = [
+                p for p in wave if self._tick - p.submit_tick > p.deadline_ticks
+            ]
+            wave = [
+                p for p in wave if self._tick - p.submit_tick <= p.deadline_ticks
+            ]
+            for p in expired:
+                self._inc("service.expired")
+                results[p.ticket_id] = RequestResult(
+                    ticket_id=p.ticket_id,
+                    status=RequestStatus.EXPIRED,
+                    attempts=p.attempts,
+                    wait_ticks=self._tick - p.submit_tick,
+                    error=p.last_error or "deadline exceeded",
+                    signature=p.key.dyck,
+                )
+
+            # de-duplicate within the wave: one leader per canonical key
+            # executes, its followers are served from the fresh cache entry.
+            leaders: dict[tuple[int, str, str], _Pending] = {}
+            followers: dict[tuple[int, str, str], list[_Pending]] = {}
+            for p in wave:
+                cached = self.cache.get(p.key)
+                if cached is not None:
+                    results[p.ticket_id] = self._settle(p, cached, from_cache=True)
+                elif p.key.cache_key in leaders:
+                    followers.setdefault(p.key.cache_key, []).append(p)
+                else:
+                    leaders[p.key.cache_key] = p
+
+            retry: list[_Pending] = []
+            if leaders:
+                by_id = {p.ticket_id: p for p in leaders.values()}
+                for ticket_id, status, payload in self._execute(
+                    list(leaders.values())
+                ):
+                    p = by_id[ticket_id]
+                    p.attempts += 1
+                    tail = followers.get(p.key.cache_key, [])
+                    if status == "ok":
+                        self.cache.put(p.key, payload)
+                        results[p.ticket_id] = self._settle(
+                            p, payload, from_cache=False
+                        )
+                        for f in tail:
+                            hit = self.cache.get(f.key)
+                            assert hit is not None
+                            results[f.ticket_id] = self._settle(
+                                f, hit, from_cache=True
+                            )
+                    elif status == "permanent":
+                        # deterministic input error: every duplicate shares it.
+                        for q in (p, *tail):
+                            self._inc("service.failed")
+                            results[q.ticket_id] = RequestResult(
+                                ticket_id=q.ticket_id,
+                                status=RequestStatus.FAILED,
+                                attempts=q.attempts,
+                                wait_ticks=self._tick - q.submit_tick,
+                                error=str(payload),
+                                signature=q.key.dyck,
+                            )
+                    elif p.attempts > self.max_retries:
+                        self._inc("service.failed")
+                        results[p.ticket_id] = RequestResult(
+                            ticket_id=p.ticket_id,
+                            status=RequestStatus.FAILED,
+                            attempts=p.attempts,
+                            wait_ticks=self._tick - p.submit_tick,
+                            error=str(payload),
+                            signature=p.key.dyck,
+                        )
+                        retry.extend(tail)  # followers retry on their own budget
+                    else:
+                        # the recovery loop's discipline: 2^(a-1) idle ticks
+                        # before attempt a+1.
+                        self._inc("service.retries")
+                        p.last_error = str(payload)
+                        p.eligible_tick = self._tick + (1 << (p.attempts - 1))
+                        retry.append(p)
+                        retry.extend(tail)
+
+            active = later + retry
+
+        report = BatchReport(
+            results=results, ticks=self._tick - start_tick, waves=waves
+        )
+        self._inc("service.done", report.n_done)
+        return report
+
+    def __call__(
+        self, csets: Iterable[CommunicationSet], *, n_leaves: int | None = None
+    ) -> BatchReport:
+        """Submit a batch and drain it — the one-line service call."""
+        self.submit_many(csets, n_leaves=n_leaves)
+        return self.drain()
+
+    # -- execution backends --------------------------------------------------
+
+    def _execute(self, pending: list[_Pending]) -> list[WorkResponse]:
+        requests: list[WorkRequest] = [
+            (p.ticket_id, p.payload, p.key.n_leaves) for p in pending
+        ]
+        if self.workers <= 1:
+            if not self._inline_ready:
+                init_worker(self.config.to_dict())
+                self._inline_ready = True
+            return [schedule_request(r) for r in requests]
+        pool = self._ensure_pool()
+        chunk = max(1, len(requests) // (self.workers * 4))
+        return pool.map(schedule_request, requests, chunksize=chunk)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing as mp
+
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                ctx = mp.get_context()
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=init_worker,
+                initargs=(self.config.to_dict(),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SchedulerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- settlement ----------------------------------------------------------
+
+    def _settle(
+        self, p: _Pending, payload: dict[str, Any], *, from_cache: bool
+    ) -> RequestResult:
+        if self.parity_check:
+            self._assert_parity(p, payload)
+        return RequestResult(
+            ticket_id=p.ticket_id,
+            status=RequestStatus.DONE,
+            from_cache=from_cache,
+            attempts=p.attempts,
+            wait_ticks=self._tick - p.submit_tick,
+            payload=payload,
+            signature=p.key.dyck,
+        )
+
+    def _assert_parity(self, p: _Pending, payload: dict[str, Any]) -> None:
+        if self._direct is None:
+            self._direct = self.config.build()
+        direct = schedule_to_dict(
+            self._direct.schedule(p.cset, n_leaves=p.key.n_leaves)
+        )
+        if direct != payload:
+            raise ServiceParityError(
+                f"ticket {p.ticket_id}: service schedule diverged from the "
+                f"direct scheduler (signature {p.key.dyck!r})"
+            )
+
+    # -- metrics helpers -----------------------------------------------------
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        if self.obs is not None and amount:
+            self.obs.metrics.inc(name, amount, run=self.obs.run)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.obs is not None:
+            self.obs.metrics.set(name, value, run=self.obs.run)

@@ -1,0 +1,61 @@
+"""The multiprocessing side of the service: pure-payload workers.
+
+Nothing rich crosses the process boundary.  A request ships as
+``(ticket_id, cset payload, n_leaves)`` where the payload is
+:func:`repro.io.cset_to_dict` output; the response comes back as
+``(ticket_id, status, payload)`` where the payload is
+:func:`repro.io.schedule_to_dict` output on success or an error string
+otherwise.  Workers rebuild their scheduler once, in the pool
+initializer, from a :class:`~repro.core.config.SchedulerConfig` dict —
+the single config object the service forwards — so every worker schedules
+under exactly the configuration the caller selected.
+
+Status discrimination mirrors the recovery subsystem's split: a
+:class:`~repro.exceptions.ReproError` means the *request* is bad
+(non-well-nested, oversized — retrying cannot help, status
+``"permanent"``), any other exception is treated as transient
+infrastructure trouble and left to the service's retry/backoff loop
+(status ``"transient"``).
+
+The same function doubles as the in-process executor when the service
+runs with ``workers <= 1``, so the sequential path and the pooled path
+are one code path with one behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import SchedulerConfig
+from repro.exceptions import ReproError
+from repro.io import cset_from_dict, schedule_to_dict
+
+__all__ = ["WorkRequest", "WorkResponse", "init_worker", "schedule_request"]
+
+#: (ticket_id, serialized communication set, n_leaves)
+WorkRequest = tuple[int, dict[str, Any], int]
+#: (ticket_id, "ok" | "transient" | "permanent", schedule payload | error)
+WorkResponse = tuple[int, str, Any]
+
+_worker_scheduler = None
+
+
+def init_worker(config_data: dict[str, Any]) -> None:
+    """Pool initializer: build this worker's scheduler once."""
+    global _worker_scheduler
+    _worker_scheduler = SchedulerConfig.from_dict(config_data).build()
+
+
+def schedule_request(request: WorkRequest) -> WorkResponse:
+    """Schedule one serialized request; never raises across the boundary."""
+    ticket_id, cset_data, n_leaves = request
+    if _worker_scheduler is None:  # pragma: no cover - misuse guard
+        return (ticket_id, "transient", "worker not initialised")
+    try:
+        cset = cset_from_dict(cset_data)
+        schedule = _worker_scheduler.schedule(cset, n_leaves=n_leaves)
+        return (ticket_id, "ok", schedule_to_dict(schedule))
+    except ReproError as exc:
+        return (ticket_id, "permanent", str(exc))
+    except Exception as exc:  # infrastructure trouble: retryable
+        return (ticket_id, "transient", f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,60 @@
+"""Mixed workload batches for benchmarks, smoke gates and tests.
+
+One deterministic helper shared by ``scripts/run_service_bench.py``, the
+``cst-padr batch`` demo mode and the service tests, so "a batch of mixed
+workloads" means the same thing everywhere.  The mix cycles through the
+repo's canonical well-nested families — nested chains (depth stress),
+disjoint pairs (width-1), staircases (many shallow chains), segmentable
+buses and uniformly random Dyck sets — all right-oriented, all sized to
+the requested tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comms.communication import CommunicationSet
+from repro.comms.generators import (
+    disjoint_pairs,
+    nested_chain,
+    random_well_nested,
+    segmentable_bus,
+    staircase,
+)
+from repro.exceptions import SchedulingError
+
+__all__ = ["mixed_workloads"]
+
+
+def mixed_workloads(
+    n_leaves: int, count: int, *, seed: int = 0
+) -> list[CommunicationSet]:
+    """``count`` deterministic well-nested sets on an ``n_leaves`` tree.
+
+    With ``count > 5`` the batch necessarily repeats shapes *and* exact
+    placements (the deterministic families depend only on ``n_leaves``),
+    which is what gives the service cache something honest to hit.
+    """
+    if n_leaves < 8:
+        raise SchedulingError(f"n_leaves must be >= 8, got {n_leaves}")
+    if count < 1:
+        raise SchedulingError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    depth = n_leaves // 4
+    batch: list[CommunicationSet] = []
+    for i in range(count):
+        family = i % 5
+        if family == 0:
+            batch.append(nested_chain(depth, n_leaves))
+        elif family == 1:
+            batch.append(disjoint_pairs(n_leaves // 2))
+        elif family == 2:
+            batch.append(staircase(max(2, n_leaves // 8), 2))
+        elif family == 3:
+            batch.append(
+                segmentable_bus(list(range(0, n_leaves + 1, n_leaves // 4)))
+            )
+        else:
+            # the only randomised family — a fresh draw each cycle.
+            batch.append(random_well_nested(n_leaves // 4, n_leaves, rng))
+    return batch

@@ -1,0 +1,89 @@
+"""SchedulerConfig: the one config object behind every scheduler knob."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.config import SchedulerConfig
+from repro.core.csa import PADRScheduler
+from repro.cst.engine import CSTEngine, EngineTrace, ReferenceWaveEngine
+from repro.cst.network import CSTNetwork
+from repro.exceptions import SchedulingError
+
+
+def cs(*pairs):
+    return CommunicationSet([Communication(s, d) for s, d in pairs])
+
+
+class TestDefaults:
+    def test_default_matches_constructor_defaults(self):
+        cfg = SchedulerConfig()
+        sched = PADRScheduler()
+        assert sched.validate_input == cfg.validate_input
+        assert sched.check_postconditions == cfg.check_postconditions
+        assert sched.strict == cfg.strict
+        assert sched.reuse_phase1 == cfg.reuse_phase1
+
+    def test_explicit_kwargs_beat_config(self):
+        cfg = SchedulerConfig(strict=True, validate_input=True)
+        sched = PADRScheduler(strict=False, config=cfg)
+        assert sched.strict is False
+        assert sched.validate_input is True
+
+
+class TestEngineSelection:
+    def test_fast_path_selects_cst_engine(self):
+        factory = SchedulerConfig(fast_path=True).engine_factory()
+        assert factory is CSTEngine  # no wrapper on the hot path
+
+    def test_reference_engine(self):
+        factory = SchedulerConfig(fast_path=False).engine_factory()
+        assert factory is ReferenceWaveEngine
+
+    def test_trace_cap_applied_per_instance(self):
+        cfg = SchedulerConfig(trace_wave_cap=2)
+        engine = cfg.engine_factory()(CSTNetwork.of_size(8))
+        assert engine.trace.PER_WAVE_CAP == 2
+        # the ClassVar itself is untouched
+        assert EngineTrace.PER_WAVE_CAP != 2
+
+    def test_engines_produce_identical_schedules(self):
+        workload = cs((0, 7), (1, 2), (3, 6))
+        fast = SchedulerConfig(fast_path=True).build().schedule(workload)
+        ref = SchedulerConfig(fast_path=False).build().schedule(workload)
+        assert fast.rounds == ref.rounds
+        assert fast.power.total_units == ref.power.total_units
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        cfg = SchedulerConfig(fast_path=False, trace_wave_cap=16, strict=False)
+        assert SchedulerConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown"):
+            SchedulerConfig.from_dict({"not_a_field": 1})
+
+    def test_negative_trace_cap_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(trace_wave_cap=-1)
+
+    def test_cache_signature_distinguishes_configs(self):
+        assert (
+            SchedulerConfig().cache_signature()
+            != SchedulerConfig(fast_path=False).cache_signature()
+        )
+        assert (
+            SchedulerConfig().cache_signature()
+            == SchedulerConfig().cache_signature()
+        )
+
+
+class TestBuilders:
+    def test_build_stream_forwards_config(self):
+        cfg = SchedulerConfig(fresh_network_per_step=True, verify_steps=False)
+        stream = cfg.build_stream()
+        assert stream.fresh_network_per_step is True
+        assert stream.verify is False
+        assert stream.config is cfg

@@ -1,0 +1,87 @@
+"""Canonical signatures and the LRU schedule cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.config import SchedulerConfig
+from repro.exceptions import OrientationError, SchedulingError
+from repro.obs import MetricsRegistry
+from repro.service.cache import ScheduleCache, canonical_signature
+
+
+def cs(*pairs):
+    return CommunicationSet([Communication(s, d) for s, d in pairs])
+
+
+class TestCanonicalSignature:
+    def test_dyck_is_relabelling_invariant(self):
+        a = canonical_signature(cs((0, 3), (1, 2)), 8)
+        b = canonical_signature(cs((2, 7), (4, 5)), 8)
+        assert a.dyck == b.dyck == "(())"
+        # ...but the placed profiles (and hence cache keys) differ
+        assert a.placed != b.placed
+        assert a.cache_key != b.cache_key
+
+    def test_placed_profile_pins_geometry(self):
+        a = canonical_signature(cs((0, 3)), 8)
+        assert a.placed == "(..)...."
+        assert a.n_leaves == 8
+
+    def test_config_is_part_of_the_key(self):
+        fast = canonical_signature(cs((0, 1)), 8)
+        ref = canonical_signature(
+            cs((0, 1)), 8, config=SchedulerConfig(fast_path=False)
+        )
+        assert fast.cache_key != ref.cache_key
+
+    def test_left_oriented_rejected(self):
+        with pytest.raises(OrientationError):
+            canonical_signature(cs((3, 0)), 8)
+
+    def test_oversized_set_rejected(self):
+        with pytest.raises(SchedulingError, match="does not fit"):
+            canonical_signature(cs((0, 12)), 8)
+
+
+class TestScheduleCache:
+    def test_lru_eviction_order(self):
+        cache = ScheduleCache(capacity=2)
+        k1 = canonical_signature(cs((0, 1)), 8)
+        k2 = canonical_signature(cs((2, 3)), 8)
+        k3 = canonical_signature(cs((4, 5)), 8)
+        cache.put(k1, {"v": 1})
+        cache.put(k2, {"v": 2})
+        assert cache.get(k1) == {"v": 1}  # k1 now most-recent
+        cache.put(k3, {"v": 3})  # evicts k2, the LRU
+        assert cache.get(k2) is None
+        assert cache.get(k1) == {"v": 1}
+        assert cache.get(k3) == {"v": 3}
+        assert cache.evictions == 1
+
+    def test_metrics_emitted(self):
+        registry = MetricsRegistry()
+        cache = ScheduleCache(capacity=1, metrics=registry, run="t")
+        key = canonical_signature(cs((0, 1)), 8)
+        other = canonical_signature(cs((2, 3)), 8)
+        cache.get(key)
+        cache.put(key, {})
+        cache.get(key)
+        cache.put(other, {})  # evicts
+        counters = registry.snapshot()["counters"]
+        assert counters["service.cache.hits{run=t}"] == 1
+        assert counters["service.cache.misses{run=t}"] == 1
+        assert counters["service.cache.evictions{run=t}"] == 1
+
+    def test_hit_rate(self):
+        cache = ScheduleCache(capacity=4)
+        key = canonical_signature(cs((0, 1)), 8)
+        cache.get(key)
+        cache.put(key, {})
+        cache.get(key)
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_validated(self):
+        with pytest.raises(SchedulingError):
+            ScheduleCache(capacity=0)

@@ -8,6 +8,7 @@ from repro.comms.communication import Communication, CommunicationSet
 from repro.comms.generators import crossing_chain, paper_figure2_set
 from repro.core.csa import PADRScheduler
 from repro.io import (
+    SCHEDULE_SCHEMA,
     SerializationError,
     cset_from_dict,
     cset_to_dict,
@@ -117,6 +118,51 @@ class TestWorkloadSuites:
         cset = load_workloads(path)["w"]
         s = PADRScheduler().schedule(cset)
         verify_schedule(s, cset).raise_if_failed()
+
+
+class TestSchemaVersioning:
+    """Explicit ``"schema"`` field: writers stamp it, loaders window it."""
+
+    def test_writers_stamp_current_schema(self, tmp_path, fig2_set):
+        assert SCHEDULE_SCHEMA == 2
+        assert cset_to_dict(fig2_set)["schema"] == SCHEDULE_SCHEMA
+        schedule = PADRScheduler().schedule(fig2_set, n_leaves=16)
+        assert schedule_to_dict(schedule)["schema"] == SCHEDULE_SCHEMA
+        path = tmp_path / "suite.json"
+        save_workloads(path, {"fig2": fig2_set})
+        assert json.loads(path.read_text())["schema"] == SCHEDULE_SCHEMA
+
+    def test_schema_1_payload_without_field_still_loads(self, fig2_set):
+        data = cset_to_dict(fig2_set)
+        del data["schema"]  # pre-versioning payloads have no schema field
+        assert cset_from_dict(data) == fig2_set
+
+    def test_schema_1_schedule_still_loads(self):
+        cset = crossing_chain(3)
+        data = schedule_to_dict(PADRScheduler().schedule(cset))
+        del data["schema"]
+        restored = schedule_from_dict(data)
+        verify_schedule(restored, cset).raise_if_failed()
+
+    def test_schema_1_suite_still_loads(self, tmp_path, fig2_set):
+        path = tmp_path / "legacy.json"
+        save_workloads(path, {"fig2": fig2_set})
+        data = json.loads(path.read_text())
+        del data["schema"]
+        path.write_text(json.dumps(data))
+        assert load_workloads(path) == {"fig2": fig2_set}
+
+    def test_future_schema_rejected_with_window(self, fig2_set):
+        data = cset_to_dict(fig2_set)
+        data["schema"] = SCHEDULE_SCHEMA + 1
+        with pytest.raises(SerializationError, match=r"schemas \[1, 2\]"):
+            cset_from_dict(data)
+
+    def test_future_schedule_schema_rejected(self):
+        data = schedule_to_dict(PADRScheduler().schedule(crossing_chain(2)))
+        data["schema"] = 99
+        with pytest.raises(SerializationError, match="schema"):
+            schedule_from_dict(data)
 
 
 class TestIOProperties:
