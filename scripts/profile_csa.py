@@ -10,6 +10,7 @@ Usage::
 
     PYTHONPATH=src python scripts/profile_csa.py
     PYTHONPATH=src python scripts/profile_csa.py --n 16384 --width 64
+    PYTHONPATH=src python scripts/profile_csa.py --engine columnar
     PYTHONPATH=src python scripts/profile_csa.py --sort tottime
 """
 
@@ -23,6 +24,7 @@ import sys
 import numpy as np
 
 from repro.comms.generators import random_well_nested
+from repro.core.config import SchedulerConfig
 from repro.core.csa import PADRScheduler
 from repro.cst.network import CSTNetwork
 
@@ -39,6 +41,12 @@ def main() -> int:
         help="communication pairs to route (default 24; width ≤ pairs)",
     )
     parser.add_argument(
+        "--engine",
+        default="fast",
+        choices=["reference", "fast", "columnar"],
+        help="wave engine backend to profile (default fast)",
+    )
+    parser.add_argument(
         "--sort",
         default="cumulative",
         choices=sorted(pstats.Stats.sort_arg_dict_default),
@@ -51,7 +59,9 @@ def main() -> int:
 
     rng = np.random.default_rng(7)
     cset = random_well_nested(args.width, args.n, rng)
-    sched = PADRScheduler(validate_input=False)
+    sched = PADRScheduler(
+        config=SchedulerConfig(validate_input=False, engine=args.engine)
+    )
     networks = [CSTNetwork.of_size(args.n) for _ in range(args.reps)]
 
     def workload() -> None:

@@ -20,6 +20,16 @@ Usage::
     PYTHONPATH=src python scripts/run_perf_suite.py --smoke    # CI subset
     PYTHONPATH=src python scripts/run_perf_suite.py --smoke \
         --baseline results/BENCH_scaling.json                  # regression gate
+    PYTHONPATH=src python scripts/run_perf_suite.py \
+        --columnar-smoke                                       # columnar CI gate
+
+The full sweep also records a ``"columnar"`` trajectory — fast vs
+columnar single-schedule times plus same-shape batched throughput — next
+to the per-size ``"rows"``; existing trajectories written by other suites
+(e.g. the service layer's ``"service"`` key) are preserved in place.
+``--columnar-smoke`` is the CI gate: schedules must be bit-identical
+between the fast and columnar engines on mixed workloads, and the
+columnar path must clear a hardware-tolerant speedup floor.
 
 With ``--baseline`` each measured size is compared against the checked-in
 baseline row; a wall-time regression worse than ``--tolerance`` (default
@@ -39,6 +49,7 @@ import numpy as np
 
 from repro.comms.generators import random_well_nested
 from repro.comms.width import width
+from repro.core.config import SchedulerConfig
 from repro.core.csa import PADRScheduler
 from repro.cst.network import CSTNetwork
 from repro.cst.topology import CSTTopology
@@ -50,6 +61,14 @@ SMOKE_SIZES = [2**6, 2**8, 2**10]
 #: sparse workload — fixed pair count keeps w ≪ n across the sweep.
 PAIRS = 24
 SEED = 7
+
+#: same-shape batch width for the batched-throughput trajectory.
+BATCH_B = 16
+
+#: columnar smoke gate: parity size, perf size, required speedup.
+SMOKE_PARITY_N = 256
+SMOKE_PERF_N = 4096
+SMOKE_MIN_SPEEDUP = 1.5
 
 
 def registry_snapshot(cset, n: int) -> dict:
@@ -83,11 +102,16 @@ def registry_snapshot(cset, n: int) -> dict:
     return {"counters": counters, "gauges": gauges}
 
 
-def measure(n: int, reps: int) -> dict:
+def workload(n: int):
     rng = np.random.default_rng(SEED)
-    cset = random_well_nested(PAIRS, n, rng)
+    return random_well_nested(PAIRS, n, rng)
+
+
+def measure(n: int, reps: int) -> dict:
+    cset = workload(n)
     w = width(cset, CSTTopology.of(n))
-    sched = PADRScheduler(validate_input=False)
+    cfg = SchedulerConfig(validate_input=False)
+    sched = PADRScheduler(config=cfg)
     best = float("inf")
     schedule = None
     for _ in range(reps):
@@ -99,11 +123,117 @@ def measure(n: int, reps: int) -> dict:
     return {
         "n": n,
         "w": w,
+        "engine": cfg.engine_cls(n).__name__,
         "wall_s": round(best, 6),
         "physical_messages": schedule.physical_messages,
         "logical_messages": schedule.control_messages,
         "metrics": registry_snapshot(cset, n),
     }
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_columnar(n: int, reps: int) -> dict:
+    """One row of the ``"columnar"`` trajectory: fast vs columnar on the
+    same workload, single-schedule (with and without a simulated network)
+    and batched throughput over ``BATCH_B`` same-shape sets."""
+    from repro.core.columnar import schedule_batch
+
+    cset = workload(n)
+    fast_cfg = SchedulerConfig(validate_input=False, engine="fast")
+    col_cfg = SchedulerConfig(validate_input=False, engine="columnar")
+    fast = PADRScheduler(config=fast_cfg)
+    col = PADRScheduler(config=col_cfg)
+
+    fast_s = _best_of(lambda: fast.schedule(cset, n_leaves=n), reps)
+    col_s = _best_of(lambda: col.schedule(cset, n_leaves=n), reps)
+
+    def timed_net(sched):
+        net = CSTNetwork.of_size(n)
+        t0 = time.perf_counter()
+        sched.schedule(cset, network=net)
+        return time.perf_counter() - t0
+
+    net_fast_s = min(timed_net(fast) for _ in range(reps))
+    net_col_s = min(timed_net(col) for _ in range(reps))
+
+    csets = [cset] * BATCH_B
+    solo_s = _best_of(
+        lambda: [fast.schedule(c, n_leaves=n) for c in csets], max(1, reps - 1)
+    )
+    batch_s = _best_of(
+        lambda: schedule_batch(csets, n_leaves=n, config=col_cfg), max(1, reps - 1)
+    )
+    return {
+        "n": n,
+        "single": {
+            "fast_s": round(fast_s, 6),
+            "columnar_s": round(col_s, 6),
+            "speedup": round(fast_s / col_s, 3),
+        },
+        "single_with_network": {
+            "fast_s": round(net_fast_s, 6),
+            "columnar_s": round(net_col_s, 6),
+            "speedup": round(net_fast_s / net_col_s, 3),
+        },
+        "batched": {
+            "batch_size": BATCH_B,
+            "solo_fast_s_per_schedule": round(solo_s / BATCH_B, 6),
+            "batched_s_per_schedule": round(batch_s / BATCH_B, 6),
+            "throughput_speedup": round(solo_s / batch_s, 3),
+        },
+    }
+
+
+def columnar_smoke() -> int:
+    """CI gate for the columnar kernel: exact parity + a perf floor.
+
+    Parity: at ``SMOKE_PARITY_N`` leaves every mixed workload must
+    serialize bit-identically under the fast and columnar engines.
+    Perf: at ``SMOKE_PERF_N`` the columnar single-schedule path must be
+    at least ``SMOKE_MIN_SPEEDUP``× the fast path — well under the ~2.9×
+    measured on a quiet dev box, so shared CI hardware passes while a
+    real kernel regression still trips the gate.
+    """
+    from repro.io import schedule_to_dict
+    from repro.service import mixed_workloads
+
+    failures = 0
+    n = SMOKE_PARITY_N
+    fast = PADRScheduler(config=SchedulerConfig(validate_input=False, engine="fast"))
+    col = PADRScheduler(
+        config=SchedulerConfig(validate_input=False, engine="columnar")
+    )
+    for i, cset in enumerate(mixed_workloads(n, 12, seed=SEED)):
+        a = schedule_to_dict(fast.schedule(cset, n_leaves=n))
+        b = schedule_to_dict(col.schedule(cset, n_leaves=n))
+        if a != b:
+            print(f"PARITY MISMATCH: workload {i} at n={n}", file=sys.stderr)
+            failures += 1
+    print(f"parity: 12 mixed workloads at n={n} bit-identical"
+          if not failures else f"parity: {failures} mismatches")
+
+    n = SMOKE_PERF_N
+    cset = workload(n)
+    fast_s = _best_of(lambda: fast.schedule(cset, n_leaves=n), 3)
+    col_s = _best_of(lambda: col.schedule(cset, n_leaves=n), 3)
+    speedup = fast_s / col_s
+    status = "ok" if speedup >= SMOKE_MIN_SPEEDUP else "TOO SLOW"
+    print(
+        f"perf:   n={n}  fast {fast_s * 1e3:.2f} ms  columnar "
+        f"{col_s * 1e3:.2f} ms  speedup {speedup:.2f}x "
+        f"(floor {SMOKE_MIN_SPEEDUP}x)  {status}"
+    )
+    if speedup < SMOKE_MIN_SPEEDUP:
+        failures += 1
+    return 1 if failures else 0
 
 
 def check_baseline(rows: list[dict], baseline_path: Path, tolerance: float) -> int:
@@ -163,7 +293,17 @@ def main() -> int:
         default=Path("results/BENCH_scaling.json"),
         help="where to write the measurement rows (ignored with --baseline)",
     )
+    parser.add_argument(
+        "--columnar-smoke",
+        action="store_true",
+        help="run only the columnar CI gate: bit-identical parity at "
+        f"n={SMOKE_PARITY_N} and >= {SMOKE_MIN_SPEEDUP}x vs the fast path "
+        f"at n={SMOKE_PERF_N}; exit 1 on failure",
+    )
     args = parser.parse_args()
+
+    if args.columnar_smoke:
+        return columnar_smoke()
 
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
     reps = 3 if args.smoke else 5
@@ -172,7 +312,8 @@ def main() -> int:
         row = measure(n, reps)
         rows.append(row)
         print(
-            f"n={n:>6}  w={row['w']:>3}  wall {row['wall_s'] * 1e3:8.2f} ms  "
+            f"n={n:>6}  w={row['w']:>3}  engine {row['engine']:<18}  "
+            f"wall {row['wall_s'] * 1e3:8.2f} ms  "
             f"physical {row['physical_messages']:>8}  "
             f"logical {row['logical_messages']:>8}"
         )
@@ -180,13 +321,51 @@ def main() -> int:
     if args.baseline is not None:
         return check_baseline(rows, args.baseline, args.tolerance)
 
+    # the columnar trajectory rides only on the full sweep; smoke runs
+    # keep CI fast (the gate has its own --columnar-smoke entry point).
+    columnar_rows = []
+    if not args.smoke:
+        for n in sizes:
+            crow = measure_columnar(n, reps)
+            columnar_rows.append(crow)
+            print(
+                f"n={n:>6}  columnar single {crow['single']['speedup']:5.2f}x  "
+                f"w/net {crow['single_with_network']['speedup']:5.2f}x  "
+                f"batched x{crow['batched']['batch_size']} "
+                f"{crow['batched']['throughput_speedup']:5.2f}x"
+            )
+
+    # update in place: trajectories written by other suites (the service
+    # layer's "service" key) must survive a perf re-run.
+    payload = {}
+    if args.output.exists():
+        try:
+            payload = json.loads(args.output.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload.update(
+        {
+            "format": "cst-padr/perf-scaling",
+            "version": 2,
+            "workload": {
+                "pairs": PAIRS,
+                "seed": SEED,
+                "generator": "random_well_nested",
+            },
+            "rows": rows,
+        }
+    )
+    if columnar_rows:
+        payload["columnar"] = {
+            "workload": {
+                "pairs": PAIRS,
+                "seed": SEED,
+                "generator": "random_well_nested",
+                "batch_size": BATCH_B,
+            },
+            "rows": columnar_rows,
+        }
     args.output.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "format": "cst-padr/perf-scaling",
-        "version": 2,
-        "workload": {"pairs": PAIRS, "seed": SEED, "generator": "random_well_nested"},
-        "rows": rows,
-    }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {len(rows)} rows to {args.output}")
     return 0

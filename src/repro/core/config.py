@@ -22,11 +22,18 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Callable, Mapping
 
-from repro.cst.engine import CSTEngine, EngineTrace, ReferenceWaveEngine
+from repro.cst.engine import (
+    ColumnarWaveEngine,
+    CSTEngine,
+    EngineTrace,
+    ReferenceWaveEngine,
+)
 from repro.cst.network import CSTNetwork
 from repro.exceptions import SchedulingError
 
 __all__ = ["SchedulerConfig"]
+
+_ENGINES = ("auto", "reference", "fast", "columnar")
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +56,20 @@ class SchedulerConfig:
         per-wave sample retention cap on
         :class:`~repro.cst.engine.EngineTrace` (bounds memory on long
         streams; totals are always exact).
+    ``engine``
+        explicit backend selection: ``"auto"`` (default — the columnar
+        struct-of-arrays kernel for trees of at least
+        ``columnar_threshold`` leaves, the frontier-pruned fast path
+        below), ``"fast"``, ``"columnar"`` or ``"reference"``.  Schedules
+        are bit-identical across all four (property-tested).
+    ``columnar_threshold``
+        the ``"auto"`` crossover: smallest ``n_leaves`` for which the
+        columnar kernel beats the per-switch fast path (measured by
+        ``scripts/run_perf_suite.py``; see DESIGN.md).
+    ``trace_compat``
+        force the per-switch slow path even where the columnar kernel
+        would apply, preserving exact physical trace detail (event logs,
+        per-switch object state, ``last_states`` introspection).
     """
 
     validate_input: bool = True
@@ -59,33 +80,94 @@ class SchedulerConfig:
     fresh_network_per_step: bool = False
     verify_steps: bool = True
     trace_wave_cap: int = EngineTrace.PER_WAVE_CAP
+    engine: str = "auto"
+    columnar_threshold: int = 4096
+    trace_compat: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_wave_cap < 0:
             raise SchedulingError(
                 f"trace_wave_cap must be >= 0, got {self.trace_wave_cap}"
             )
+        if self.engine not in _ENGINES:
+            raise SchedulingError(
+                f"unknown engine {self.engine!r}; expected one of {_ENGINES}"
+            )
+        if self.engine in ("fast", "columnar") and not self.fast_path:
+            raise SchedulingError(
+                f"engine={self.engine!r} contradicts fast_path=False"
+            )
+        if self.columnar_threshold < 1:
+            raise SchedulingError(
+                f"columnar_threshold must be >= 1, got {self.columnar_threshold}"
+            )
 
     # -- engine wiring -------------------------------------------------------
+
+    def engine_cls(self, n_leaves: int) -> type[CSTEngine]:
+        """The engine class for a tree of ``n_leaves`` leaves.
+
+        Resolvable without instantiating a network, which is what lets the
+        scheduler skip building one entirely on the columnar path.
+        """
+        if not self.fast_path or self.engine == "reference":
+            return ReferenceWaveEngine
+        if self.engine == "fast":
+            return CSTEngine
+        if self.engine == "columnar":
+            return ColumnarWaveEngine
+        # "auto": columnar above the measured crossover, fast path below.
+        if n_leaves >= self.columnar_threshold:
+            return ColumnarWaveEngine
+        return CSTEngine
+
+    def selects_columnar(self, n_leaves: int) -> bool:
+        """Whether a schedule on ``n_leaves`` leaves takes the columnar kernel
+        (guards the network cannot veto — policy/fault state still can).
+
+        The service layer uses this to decide same-shape batch grouping, so
+        it must agree with the scheduler's own dispatch.
+        """
+        if self.trace_compat or not self.fast_path:
+            return False
+        if self.engine == "columnar":
+            return True
+        return self.engine == "auto" and n_leaves >= self.columnar_threshold
 
     def engine_factory(self) -> Callable[[CSTNetwork], CSTEngine]:
         """The engine constructor this configuration selects.
 
-        The default configuration returns the bare :class:`CSTEngine`
-        class object, so the hot path is exactly the PR-1 fast path with no
-        wrapper in between.
+        Size-independent selections (``engine="fast"`` / ``"reference"`` /
+        ``fast_path=False``) return the bare engine class object, so the
+        hot path keeps no wrapper in between.  Size-dependent selections
+        (``"auto"``, and ``"columnar"`` with a non-default trace cap)
+        return a factory that resolves the class per network; it carries
+        ``resolve_engine_cls`` so the scheduler can make the same decision
+        before any network exists.
         """
-        engine_cls = CSTEngine if self.fast_path else ReferenceWaveEngine
-        if self.trace_wave_cap == EngineTrace.PER_WAVE_CAP:
-            return engine_cls
-
         cap = self.trace_wave_cap
+        default_cap = cap == EngineTrace.PER_WAVE_CAP
+        if not self.fast_path or self.engine in ("fast", "reference"):
+            engine_cls = self.engine_cls(0)
+            if default_cap:
+                return engine_cls
+
+            def capped(network: CSTNetwork) -> CSTEngine:
+                engine = engine_cls(network)
+                engine.trace.PER_WAVE_CAP = cap  # instance override
+                return engine
+
+            return capped
+        if self.engine == "columnar" and default_cap:
+            return ColumnarWaveEngine
 
         def factory(network: CSTNetwork) -> CSTEngine:
-            engine = engine_cls(network)
-            engine.trace.PER_WAVE_CAP = cap  # instance override of the ClassVar
+            engine = self.engine_cls(network.topology.n_leaves)(network)
+            if not default_cap:
+                engine.trace.PER_WAVE_CAP = cap  # instance override
             return engine
 
+        factory.resolve_engine_cls = self.engine_cls
         return factory
 
     # -- scheduler builders --------------------------------------------------

@@ -110,6 +110,10 @@ class PADRScheduler(Scheduler):
         self._phase1_key: tuple | None = None
         self._phase1_states: dict[int, StoredState] | None = None
         self._phase1_pending: list[int] | None = None
+        #: columnar-path Phase-1 cache (pristine counter arrays); kept
+        #: separate from the dict cache so a run can bounce between paths.
+        self._phase1_cols_key: tuple | None = None
+        self._phase1_cols: tuple | None = None
         #: populated by :meth:`schedule` for introspection and tests.
         self.last_network: CSTNetwork | None = None
         self.last_states: dict[int, StoredState] | None = None
@@ -131,6 +135,10 @@ class PADRScheduler(Scheduler):
             require_well_nested(cset)
         n = ctx.n_leaves
         network = ctx.network
+        if self._columnar_applicable(n, network, ctx.policy):
+            from repro.core.columnar import run_columnar
+
+            return run_columnar(self, cset, n, network, ctx.policy, obs)
         if network is None:
             network = CSTNetwork.of_size(n, policy=ctx.policy)
         roles = cset.roles()
@@ -188,6 +196,44 @@ class PADRScheduler(Scheduler):
         return schedule
 
     # ------------------------------------------------------------------
+
+    def _columnar_applicable(
+        self, n: int, network: CSTNetwork | None, policy
+    ) -> bool:
+        """Whether this run may take the struct-of-arrays Phase-2 kernel.
+
+        The engine selection must ask for it (a
+        :class:`~repro.cst.engine.ColumnarWaveEngine`, possibly resolved
+        per-size by the config's ``"auto"`` factory), ``trace_compat`` must
+        be off, the teardown policy lazy, and any caller-supplied network
+        pristine and healthy — the kernel reproduces the scalar engines'
+        final network state by write-back, which is only bit-identical from
+        a clean start.  Outside these guards the scalar fast path runs;
+        schedules are identical either way.
+        """
+        factory = self.engine_factory
+        if isinstance(factory, type):
+            cls = factory
+        else:
+            resolve = getattr(factory, "resolve_engine_cls", None)
+            if resolve is None:
+                return False
+            cls = resolve(n)
+        if not getattr(cls, "supports_columnar_phase2", False):
+            return False
+        if self.config.trace_compat:
+            return False
+        if network is None:
+            return policy is None or not policy.eager_teardown
+        meter = network.meter
+        return (
+            network.event_log is None
+            and not network.fault_injected
+            and network.rounds_run == 0
+            and not meter.policy.eager_teardown
+            and meter.total_units == 0
+            and meter.total_changes == 0
+        )
 
     def _phase1(
         self,

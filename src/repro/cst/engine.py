@@ -41,7 +41,7 @@ from typing import Any, Callable, ClassVar, Mapping, TypeVar
 from repro.cst.events import ControlEvent
 from repro.cst.network import CSTNetwork
 
-__all__ = ["EngineTrace", "CSTEngine", "ReferenceWaveEngine"]
+__all__ = ["EngineTrace", "CSTEngine", "ReferenceWaveEngine", "ColumnarWaveEngine"]
 
 W = TypeVar("W")
 
@@ -126,6 +126,12 @@ class CSTEngine:
     #: numerically identical vectorised reduction when this engine runs it
     #: (see :func:`repro.core.phase1.run_phase1_vectorized`).
     prefers_vectorized_phase1 = True
+
+    #: schedulers may replace the whole per-switch Phase-2 walk with the
+    #: struct-of-arrays kernel (:mod:`repro.core.columnar`) when this engine
+    #: runs it.  Off for the per-switch engines; see
+    #: :class:`ColumnarWaveEngine`.
+    supports_columnar_phase2 = False
 
     def __init__(self, network: CSTNetwork) -> None:
         self.network = network
@@ -288,6 +294,26 @@ class CSTEngine:
             "physical_words": self.trace.physical_words,
             "mean_messages_per_wave": self.trace.mean_messages_per_wave,
         }
+
+
+class ColumnarWaveEngine(CSTEngine):
+    """Marker engine selecting the struct-of-arrays Phase-2 kernel.
+
+    When :class:`~repro.core.csa.PADRScheduler` sees this engine (directly,
+    or resolved through ``SchedulerConfig(engine="columnar"/"auto")``) and
+    the run fits the columnar guards — healthy network, pristine state,
+    lazy teardown, no event log, no ``trace_compat`` — it executes the
+    whole schedule through :mod:`repro.core.columnar` instead of walking
+    per-switch objects wave by wave.  Schedules, power bills and logical
+    traces are bit-identical (property-tested); only wall-clock time
+    differs.
+
+    Outside the guards the scheduler falls back to the inherited
+    frontier-pruned waves, so this class is always safe to select: it is
+    the fast path *plus* an optimisation, never a different algorithm.
+    """
+
+    supports_columnar_phase2 = True
 
 
 class ReferenceWaveEngine(CSTEngine):

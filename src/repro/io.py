@@ -41,6 +41,8 @@ from repro.exceptions import ReproError
 __all__ = [
     "SCHEDULE_SCHEMA",
     "SerializationError",
+    "config_to_dict",
+    "config_from_dict",
     "cset_to_dict",
     "cset_from_dict",
     "schedule_to_dict",
@@ -52,6 +54,7 @@ __all__ = [
 _CSET_FORMAT = "cst-padr/communication-set"
 _SCHEDULE_FORMAT = "cst-padr/schedule"
 _SUITE_FORMAT = "cst-padr/workload-suite"
+_CONFIG_FORMAT = "cst-padr/scheduler-config"
 _VERSION = 1
 
 #: current schema generation; loaders also accept ``SCHEDULE_SCHEMA - 1``.
@@ -84,6 +87,47 @@ def cset_from_dict(data: Mapping[str, Any]) -> CommunicationSet:
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed communication list: {exc}") from exc
     return CommunicationSet(comms)
+
+
+# ---------------------------------------------------------------------------
+# scheduler configuration
+# ---------------------------------------------------------------------------
+
+
+def config_to_dict(config: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.core.config.SchedulerConfig`.
+
+    This is the form the service layer ships to multiprocessing workers;
+    every field — including engine selection (``engine``,
+    ``columnar_threshold``, ``trace_compat``) — round-trips exactly, so a
+    worker schedules under precisely the backend the caller selected.
+    """
+    return {
+        "format": _CONFIG_FORMAT,
+        "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
+        "config": config.to_dict(),
+    }
+
+
+def config_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`config_to_dict`; also accepts a bare field dict."""
+    from repro.core.config import SchedulerConfig
+
+    if "format" in data:
+        _expect(data, _CONFIG_FORMAT)
+        try:
+            fields = data["config"]
+        except KeyError as exc:
+            raise SerializationError("missing 'config' payload") from exc
+    else:  # bare SchedulerConfig.to_dict() output
+        fields = data
+    try:
+        return SchedulerConfig.from_dict(fields)
+    except ReproError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed scheduler config: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------

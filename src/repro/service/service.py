@@ -44,6 +44,7 @@ from repro.service.worker import (
     WorkRequest,
     WorkResponse,
     init_worker,
+    schedule_batch_request,
     schedule_request,
 )
 
@@ -424,17 +425,58 @@ class SchedulerService:
     # -- execution backends --------------------------------------------------
 
     def _execute(self, pending: list[_Pending]) -> list[WorkResponse]:
-        requests: list[WorkRequest] = [
-            (p.ticket_id, p.payload, p.key.n_leaves) for p in pending
-        ]
+        singles, groups = self._shape_groups(pending)
         if self.workers <= 1:
             if not self._inline_ready:
                 init_worker(self.config.to_dict())
                 self._inline_ready = True
-            return [schedule_request(r) for r in requests]
+            out = [schedule_request(r) for r in singles]
+            for grp in groups:
+                out.extend(schedule_batch_request(grp))
+            return out
         pool = self._ensure_pool()
-        chunk = max(1, len(requests) // (self.workers * 4))
-        return pool.map(schedule_request, requests, chunksize=chunk)
+        out = []
+        if singles:
+            chunk = max(1, len(singles) // (self.workers * 4))
+            out.extend(pool.map(schedule_request, singles, chunksize=chunk))
+        if groups:
+            for responses in pool.map(schedule_batch_request, groups):
+                out.extend(responses)
+        return out
+
+    def _shape_groups(
+        self, pending: list[_Pending]
+    ) -> tuple[list[WorkRequest], list[list[WorkRequest]]]:
+        """Split a wave into solo requests and same-shape columnar batches.
+
+        The PR-4 dedup already collapsed identical placed keys, so what is
+        left differs at least in placement.  Requests whose configuration
+        selects the columnar kernel are grouped by *shape* — ``(n_leaves,
+        dyck word, config)``, the relabelling-invariant coarsening of the
+        cache key — and each multi-member group executes through one
+        batched kernel invocation.  Everything else stays a solo request.
+        """
+        config = self.config
+        solo: list[WorkRequest] = []
+        grouped: dict[tuple[int, str, str], list[WorkRequest]] = {}
+        for p in pending:
+            request: WorkRequest = (p.ticket_id, p.payload, p.key.n_leaves)
+            if config.selects_columnar(p.key.n_leaves):
+                shape = (p.key.n_leaves, p.key.dyck, p.key.config)
+                grouped.setdefault(shape, []).append(request)
+            else:
+                solo.append(request)
+        groups: list[list[WorkRequest]] = []
+        for members in grouped.values():
+            if len(members) == 1:
+                solo.append(members[0])
+            else:
+                groups.append(members)
+        if groups:
+            batched = sum(len(g) for g in groups)
+            self._inc("service.shape_batches", len(groups))
+            self._inc("service.shape_batched", batched)
+        return solo, groups
 
     def _ensure_pool(self):
         if self._pool is None:

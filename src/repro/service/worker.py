@@ -28,9 +28,15 @@ from typing import Any
 
 from repro.core.config import SchedulerConfig
 from repro.exceptions import ReproError
-from repro.io import cset_from_dict, schedule_to_dict
+from repro.io import config_from_dict, cset_from_dict, schedule_to_dict
 
-__all__ = ["WorkRequest", "WorkResponse", "init_worker", "schedule_request"]
+__all__ = [
+    "WorkRequest",
+    "WorkResponse",
+    "init_worker",
+    "schedule_batch_request",
+    "schedule_request",
+]
 
 #: (ticket_id, serialized communication set, n_leaves)
 WorkRequest = tuple[int, dict[str, Any], int]
@@ -38,12 +44,20 @@ WorkRequest = tuple[int, dict[str, Any], int]
 WorkResponse = tuple[int, str, Any]
 
 _worker_scheduler = None
+_worker_config: SchedulerConfig | None = None
 
 
 def init_worker(config_data: dict[str, Any]) -> None:
-    """Pool initializer: build this worker's scheduler once."""
-    global _worker_scheduler
-    _worker_scheduler = SchedulerConfig.from_dict(config_data).build()
+    """Pool initializer: build this worker's scheduler once.
+
+    The config round-trips the same ``io``-level dict form the service
+    ships across the process boundary, so engine selection (columnar /
+    fast / reference and the auto crossover) is honoured verbatim in
+    every worker — the pooled path never silently falls back.
+    """
+    global _worker_scheduler, _worker_config
+    _worker_config = config_from_dict(config_data)
+    _worker_scheduler = _worker_config.build()
 
 
 def schedule_request(request: WorkRequest) -> WorkResponse:
@@ -59,3 +73,29 @@ def schedule_request(request: WorkRequest) -> WorkResponse:
         return (ticket_id, "permanent", str(exc))
     except Exception as exc:  # infrastructure trouble: retryable
         return (ticket_id, "transient", f"{type(exc).__name__}: {exc}")
+
+
+def schedule_batch_request(requests: list[WorkRequest]) -> list[WorkResponse]:
+    """Schedule a same-shape group through one columnar kernel invocation.
+
+    Results are bit-identical to :func:`schedule_request` per request
+    (the batch kernel's parity contract), so the service may group freely.
+    Any failure inside the batched path — one bad set, a kernel guard, an
+    infrastructure error — falls back to per-request scheduling so each
+    ticket still settles with its own precise status.
+    """
+    if _worker_config is None:  # pragma: no cover - misuse guard
+        return [(tid, "transient", "worker not initialised") for tid, _, _ in requests]
+    try:
+        from repro.core.columnar import schedule_batch
+
+        csets = [cset_from_dict(data) for _, data, _ in requests]
+        schedules = schedule_batch(
+            csets, n_leaves=requests[0][2], config=_worker_config
+        )
+        return [
+            (tid, "ok", schedule_to_dict(s))
+            for (tid, _, _), s in zip(requests, schedules)
+        ]
+    except Exception:
+        return [schedule_request(r) for r in requests]

@@ -7,7 +7,12 @@ import pytest
 from repro.comms.communication import Communication, CommunicationSet
 from repro.core.config import SchedulerConfig
 from repro.core.csa import PADRScheduler
-from repro.cst.engine import CSTEngine, EngineTrace, ReferenceWaveEngine
+from repro.cst.engine import (
+    ColumnarWaveEngine,
+    CSTEngine,
+    EngineTrace,
+    ReferenceWaveEngine,
+)
 from repro.cst.network import CSTNetwork
 from repro.exceptions import SchedulingError
 
@@ -34,12 +39,49 @@ class TestDefaults:
 
 class TestEngineSelection:
     def test_fast_path_selects_cst_engine(self):
-        factory = SchedulerConfig(fast_path=True).engine_factory()
+        factory = SchedulerConfig(engine="fast").engine_factory()
         assert factory is CSTEngine  # no wrapper on the hot path
 
     def test_reference_engine(self):
         factory = SchedulerConfig(fast_path=False).engine_factory()
         assert factory is ReferenceWaveEngine
+
+    def test_explicit_columnar_is_bare_class(self):
+        factory = SchedulerConfig(engine="columnar").engine_factory()
+        assert factory is ColumnarWaveEngine
+
+    def test_auto_factory_resolves_by_size(self):
+        cfg = SchedulerConfig(columnar_threshold=256)
+        factory = cfg.engine_factory()
+        assert factory.resolve_engine_cls(64) is CSTEngine
+        assert factory.resolve_engine_cls(256) is ColumnarWaveEngine
+        assert isinstance(factory(CSTNetwork.of_size(8)), CSTEngine)
+
+    def test_engine_cls_matches_selects_columnar(self):
+        for engine in ("auto", "fast", "columnar", "reference"):
+            fast_path = engine != "reference"
+            cfg = SchedulerConfig(engine=engine, fast_path=fast_path,
+                                  columnar_threshold=128)
+            for n in (8, 128, 4096):
+                assert cfg.selects_columnar(n) == (
+                    cfg.engine_cls(n) is ColumnarWaveEngine
+                )
+
+    def test_trace_compat_vetoes_columnar(self):
+        cfg = SchedulerConfig(engine="columnar", trace_compat=True)
+        assert cfg.selects_columnar(4096) is False
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown engine"):
+            SchedulerConfig(engine="turbo")
+
+    def test_engine_contradicting_fast_path_rejected(self):
+        with pytest.raises(SchedulingError, match="contradicts"):
+            SchedulerConfig(engine="columnar", fast_path=False)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(SchedulingError, match="columnar_threshold"):
+            SchedulerConfig(columnar_threshold=0)
 
     def test_trace_cap_applied_per_instance(self):
         cfg = SchedulerConfig(trace_wave_cap=2)
@@ -60,6 +102,20 @@ class TestSerialization:
     def test_round_trip(self):
         cfg = SchedulerConfig(fast_path=False, trace_wave_cap=16, strict=False)
         assert SchedulerConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_round_trip_preserves_engine_selection(self):
+        cfg = SchedulerConfig(
+            engine="columnar", columnar_threshold=512, trace_compat=False
+        )
+        restored = SchedulerConfig.from_dict(cfg.to_dict())
+        assert restored == cfg
+        assert restored.selects_columnar(512) is True
+
+    def test_cache_signature_distinguishes_engines(self):
+        assert (
+            SchedulerConfig(engine="columnar").cache_signature()
+            != SchedulerConfig(engine="fast").cache_signature()
+        )
 
     def test_unknown_keys_rejected(self):
         with pytest.raises(SchedulingError, match="unknown"):

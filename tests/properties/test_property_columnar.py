@@ -1,0 +1,123 @@
+"""Columnar-kernel properties: batch parity and shape-key invariance.
+
+The struct-of-arrays kernel carries two contracts beyond the pairwise
+engine equality exercised in ``test_property_differential``:
+
+* ``schedule_batch`` over any mix of sets is bit-identical to scheduling
+  each set solo — batching is a pure throughput optimisation;
+* the service layer's same-shape grouping key ``(n_leaves, dyck,
+  config)`` is invariant under relabelling, i.e. it is exactly the
+  coarsening of PR-4's canonical cache key that forgets leaf geometry
+  but keeps structure.  Two placements of the same Dyck word always land
+  in the same batch group.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comms.generators import from_dyck_word
+from repro.core.columnar import ColumnarRun, schedule_batch
+from repro.core.config import SchedulerConfig
+from repro.core.csa import PADRScheduler
+from repro.cst.engine import ColumnarWaveEngine
+from repro.service.cache import canonical_signature
+
+from tests.conftest import dyck_word_st, wellnested_set_st
+
+N = 64
+
+
+def _solo(cset, config=None):
+    cfg = config or SchedulerConfig(validate_input=False, engine="columnar")
+    return PADRScheduler(config=cfg).schedule(cset, n_leaves=N)
+
+
+def _assert_schedules_equal(a, b):
+    assert [r.performed for r in a.rounds] == [r.performed for r in b.rounds]
+    assert [r.writers for r in a.rounds] == [r.writers for r in b.rounds]
+    assert [r.staged for r in a.rounds] == [r.staged for r in b.rounds]
+    assert a.power.total_units == b.power.total_units
+    assert a.power.per_switch_units == b.power.per_switch_units
+    assert a.power.per_switch_changes == b.power.per_switch_changes
+    assert a.control_messages == b.control_messages
+    assert a.control_words == b.control_words
+    assert a.physical_messages == b.physical_messages
+
+
+@given(csets=st.lists(wellnested_set_st(max_pairs=6), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_batch_matches_solo_schedules(csets):
+    """One kernel invocation over B sets == B independent runs, bit for bit.
+
+    The sets are *not* required to share a shape — grouping only improves
+    lockstep, never correctness.
+    """
+    cfg = SchedulerConfig(validate_input=False, engine="columnar")
+    batched = schedule_batch(csets, n_leaves=N, config=cfg)
+    assert len(batched) == len(csets)
+    for cset, got in zip(csets, batched):
+        _assert_schedules_equal(got, _solo(cset, cfg))
+
+
+@given(
+    word=dyck_word_st(max_pairs=8),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_shape_key_is_relabelling_invariant(word, data):
+    """Two placements of one Dyck word share the batch-group shape key.
+
+    The service groups on ``(n_leaves, dyck, config)`` — the canonical
+    signature with the leaf geometry (``placed``) forgotten.  Any
+    relabelling that preserves structure must therefore preserve the
+    group, and sets that agree on the full cache key trivially agree on
+    the shape key (the shape key is a coarsening, never a refinement).
+    """
+    k = len(word)
+    positions_st = st.sets(
+        st.integers(min_value=0, max_value=N - 1), min_size=k, max_size=k
+    )
+    a = from_dyck_word(word, sorted(data.draw(positions_st)))
+    b = from_dyck_word(word, sorted(data.draw(positions_st)))
+    cfg = SchedulerConfig(engine="columnar")
+    sig_a = canonical_signature(a, N, config=cfg)
+    sig_b = canonical_signature(b, N, config=cfg)
+    shape_a = (sig_a.n_leaves, sig_a.dyck, sig_a.config)
+    shape_b = (sig_b.n_leaves, sig_b.dyck, sig_b.config)
+    assert sig_a.dyck == word == sig_b.dyck
+    assert shape_a == shape_b
+    # coarsening: identical cache keys imply identical shape keys.
+    if sig_a.cache_key == sig_b.cache_key:
+        assert shape_a == shape_b
+
+
+@given(cset=wellnested_set_st(max_pairs=8))
+@settings(max_examples=40, deadline=None)
+def test_scalar_and_vector_paths_identical(cset):
+    """The per-level scalar/vector hybrid is invisible.
+
+    Forcing every level through the scalar path (cutoff = inf) or every
+    level through the vector path (cutoff = 0) yields the same schedule
+    as the default hybrid.
+    """
+    saved = ColumnarRun.SCALAR_CUTOFF
+    try:
+        results = []
+        for cutoff in (0, 10**9, saved):
+            ColumnarRun.SCALAR_CUTOFF = cutoff
+            results.append(_solo(cset))
+    finally:
+        ColumnarRun.SCALAR_CUTOFF = saved
+    _assert_schedules_equal(results[0], results[1])
+    _assert_schedules_equal(results[0], results[2])
+
+
+@given(cset=wellnested_set_st(max_pairs=6))
+@settings(max_examples=30, deadline=None)
+def test_engine_factory_and_config_dispatch_agree(cset):
+    """Selecting columnar by factory or by config string is the same run."""
+    by_config = _solo(cset)
+    by_factory = PADRScheduler(
+        validate_input=False, engine_factory=ColumnarWaveEngine
+    ).schedule(cset, n_leaves=N)
+    _assert_schedules_equal(by_config, by_factory)

@@ -7,11 +7,12 @@ logical control-traffic accounting and the same power bill as the naive
 reference walk — only ``physical_messages`` may shrink.
 """
 
+import pytest
 from hypothesis import given, settings
 
 from repro.core.csa import PADRScheduler
 from repro.core.phase1 import run_phase1, run_phase1_vectorized
-from repro.cst.engine import CSTEngine, ReferenceWaveEngine
+from repro.cst.engine import ColumnarWaveEngine, CSTEngine, ReferenceWaveEngine
 from repro.cst.network import CSTNetwork
 from repro.obs import Instrumentation, MetricsRegistry
 
@@ -25,10 +26,11 @@ def _schedule(cset, factory, obs=None):
     return sched.schedule(cset, network=CSTNetwork.of_size(N))
 
 
+@pytest.mark.parametrize("factory", [CSTEngine, ColumnarWaveEngine])
 @given(cset=wellnested_set_st(max_pairs=8))
 @settings(max_examples=80, deadline=None)
-def test_fast_and_reference_schedules_identical(cset):
-    fast = _schedule(cset, CSTEngine)
+def test_fast_and_reference_schedules_identical(factory, cset):
+    fast = _schedule(cset, factory)
     ref = _schedule(cset, ReferenceWaveEngine)
     assert [r.performed for r in fast.rounds] == [r.performed for r in ref.rounds]
     assert [r.writers for r in fast.rounds] == [r.writers for r in ref.rounds]
@@ -37,14 +39,15 @@ def test_fast_and_reference_schedules_identical(cset):
     assert fast.control_words == ref.control_words
     assert fast.power.total_units == ref.power.total_units
     assert fast.power.per_switch_units == ref.power.per_switch_units
-    # the reference walks every link; the fast path never walks more.
+    # the reference walks every link; the optimised engines never walk more.
     assert ref.physical_messages == ref.control_messages
     assert fast.physical_messages <= fast.control_messages
 
 
+@pytest.mark.parametrize("factory", [CSTEngine, ColumnarWaveEngine])
 @given(cset=wellnested_set_st(max_pairs=8))
 @settings(max_examples=60, deadline=None)
-def test_fast_and_reference_logical_metrics_identical(cset):
+def test_fast_and_reference_logical_metrics_identical(factory, cset):
     """Observability restates the invisibility property: every *logical*
     metric (paper-model counters — ``ctrl.*``, ``power.*``, ``config.*``,
     ``csa.*``) must be identical between engines.  Only the ``phys.``

@@ -237,3 +237,55 @@ class TestScheduleRoundTrip:
         for cset, tid in zip(batch, sorted(report.schedules())):
             schedule = report.results[tid].schedule
             assert verify_schedule(schedule, cset).ok
+
+
+class TestSameShapeBatching:
+    """Same-shape groups go through the columnar batch kernel — inline
+    and pooled — without changing a single bit of any result."""
+
+    @staticmethod
+    def _same_shape_batch(n_leaves=32, copies=6):
+        # shifted relabellings of one base set: same Dyck word, different
+        # leaf geometry, hence one shape group but distinct cache keys.
+        base = [(0, 3), (1, 2)]
+        return [
+            cs(*[(s + off, d + off) for s, d in base]) for off in range(copies)
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2], ids=["inline", "pooled"])
+    def test_columnar_batches_same_shape_groups(self, workers):
+        batch = self._same_shape_batch()
+        cfg = SchedulerConfig(engine="columnar")
+        obs = Instrumentation(MetricsRegistry(), run="shp")
+        with SchedulerService(
+            workers=workers, config=cfg, obs=obs, parity_check=True
+        ) as svc:
+            report = svc(batch, n_leaves=32)
+        assert report.n_done == len(batch)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["service.shape_batches{run=shp}"] == 1
+        assert counters["service.shape_batched{run=shp}"] == len(batch)
+        direct = PADRScheduler(config=cfg)
+        expected = [schedule_to_dict(direct.schedule(c, n_leaves=32)) for c in batch]
+        got = [report.results[t].payload for t in sorted(report.schedules())]
+        assert got == expected
+
+    def test_scalar_engine_never_shape_batches(self, batch):
+        obs = Instrumentation(MetricsRegistry(), run="shp")
+        cfg = SchedulerConfig(engine="fast")
+        with SchedulerService(workers=1, config=cfg, obs=obs) as svc:
+            svc(batch, n_leaves=32)
+        counters = obs.metrics.snapshot()["counters"]
+        assert "service.shape_batches{run=shp}" not in counters
+
+    def test_pooled_workers_honour_columnar_config(self):
+        """The config the pool initialiser receives round-trips engine
+        selection: worker results equal direct columnar scheduling."""
+        batch = self._same_shape_batch(copies=4)
+        cfg = SchedulerConfig(engine="columnar")
+        with SchedulerService(workers=2, config=cfg, parity_check=True) as svc:
+            report = svc(batch, n_leaves=32)
+        direct = PADRScheduler(config=cfg)
+        expected = [schedule_to_dict(direct.schedule(c, n_leaves=32)) for c in batch]
+        got = [report.results[t].payload for t in sorted(report.schedules())]
+        assert got == expected

@@ -10,6 +10,8 @@ from repro.core.csa import PADRScheduler
 from repro.io import (
     SCHEDULE_SCHEMA,
     SerializationError,
+    config_from_dict,
+    config_to_dict,
     cset_from_dict,
     cset_to_dict,
     load_workloads,
@@ -118,6 +120,59 @@ class TestWorkloadSuites:
         cset = load_workloads(path)["w"]
         s = PADRScheduler().schedule(cset)
         verify_schedule(s, cset).raise_if_failed()
+
+
+class TestConfigRoundTrip:
+    """Scheduler configs — including engine selection — survive the wire.
+
+    This is the payload the service ships to multiprocessing workers; a
+    lossy round-trip here is exactly the "pooled service silently falls
+    back to the scalar engine" bug class.
+    """
+
+    def test_wrapped_roundtrip_preserves_engine_selection(self):
+        from repro.core.config import SchedulerConfig
+
+        cfg = SchedulerConfig(
+            engine="columnar", columnar_threshold=512, trace_compat=False
+        )
+        restored = config_from_dict(config_to_dict(cfg))
+        assert restored == cfg
+        assert restored.engine == "columnar"
+        assert restored.columnar_threshold == 512
+
+    def test_bare_field_dict_accepted(self):
+        from repro.core.config import SchedulerConfig
+
+        cfg = SchedulerConfig(engine="auto", columnar_threshold=2048)
+        assert config_from_dict(cfg.to_dict()) == cfg
+
+    def test_json_serializable(self):
+        from repro.core.config import SchedulerConfig
+
+        cfg = SchedulerConfig(engine="columnar")
+        text = json.dumps(config_to_dict(cfg))
+        assert config_from_dict(json.loads(text)) == cfg
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            config_from_dict({"format": "cst-padr/schedule", "version": 1})
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(SerializationError, match="config"):
+            config_from_dict(
+                {"format": "cst-padr/scheduler-config", "version": 1,
+                 "schema": SCHEDULE_SCHEMA}
+            )
+
+    def test_invalid_engine_rejected(self):
+        from repro.core.config import SchedulerConfig
+        from repro.exceptions import ReproError
+
+        data = config_to_dict(SchedulerConfig())
+        data["config"]["engine"] = "quantum"
+        with pytest.raises(ReproError):
+            config_from_dict(data)
 
 
 class TestSchemaVersioning:
