@@ -27,7 +27,7 @@ def _mixed_set(n=32):
 def test_ext_mixed_orientation_decomposition(benchmark):
     mixed = _mixed_set()
 
-    s = benchmark(lambda: OrientedDecompositionScheduler().schedule(mixed, 32))
+    s = benchmark(lambda: OrientedDecompositionScheduler().schedule(mixed, n_leaves=32))
 
     verify_schedule(s, mixed).raise_if_failed()
     topo = CSTTopology.of(32)

@@ -37,7 +37,7 @@ def test_fig1_two_circuit_example(benchmark):
 
     # establish both at once and confirm delivery, as the figure depicts
     cset = CommunicationSet(comms)
-    schedule = PADRScheduler().schedule(cset, 8)
+    schedule = PADRScheduler().schedule(cset, n_leaves=8)
     assert schedule.n_rounds == 1
     print(render_round_configuration(schedule, 0))
 

@@ -20,7 +20,7 @@ def test_fig2_schedule_the_papers_example(benchmark):
     cset = paper_figure2_set()
     n = 16
 
-    schedule = benchmark(lambda: PADRScheduler().schedule(cset, n))
+    schedule = benchmark(lambda: PADRScheduler().schedule(cset, n_leaves=n))
 
     verify_schedule(schedule, cset).raise_if_failed()
     assert width(cset) == 2

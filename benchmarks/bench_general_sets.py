@@ -56,8 +56,8 @@ def test_gen_interleaving_opposite_orientations(benchmark):
     cset = CommunicationSet(right + left)
 
     def both():
-        seq = GeneralSetScheduler().schedule(cset, 16)
-        merged = InterleavedGeneralScheduler().schedule(cset, 16)
+        seq = GeneralSetScheduler().schedule(cset, n_leaves=16)
+        merged = InterleavedGeneralScheduler().schedule(cset, n_leaves=16)
         verify_schedule(merged, cset).raise_if_failed()
         return seq, merged
 
@@ -85,9 +85,9 @@ def test_gen_random_arbitrary_sets(benchmark):
                 for i in range(k)
             )
             sched = GeneralSetScheduler()
-            seq = sched.schedule(cset, 64)
+            seq = sched.schedule(cset, n_leaves=64)
             verify_schedule(seq, cset).raise_if_failed()
-            merged = InterleavedGeneralScheduler().schedule(cset, 64)
+            merged = InterleavedGeneralScheduler().schedule(cset, n_leaves=64)
             verify_schedule(merged, cset).raise_if_failed()
             rows.append(
                 {

@@ -53,7 +53,7 @@ def test_mono_idle_subtree_nuance(benchmark):
     cset = idle_subtree_inversion_set()
 
     def run():
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         return s, chain_service_analysis(s, cset)
 
     s, report = benchmark(run)

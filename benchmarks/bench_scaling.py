@@ -17,7 +17,7 @@ from repro.core.csa import PADRScheduler
 def test_scale_tree_size(benchmark, n):
     """Fixed width-8 workload, growing tree."""
     cset = crossing_chain(8, n)
-    benchmark(lambda: PADRScheduler(validate_input=False).schedule(cset, n))
+    benchmark(lambda: PADRScheduler(validate_input=False).schedule(cset, n_leaves=n))
 
 
 @pytest.mark.parametrize("pairs", [16, 64, 256])
@@ -25,7 +25,7 @@ def test_scale_set_size(benchmark, pairs):
     """Fixed 1024-leaf tree, growing random sets."""
     rng = np.random.default_rng(pairs)
     cset = random_well_nested(pairs, 1024, rng)
-    benchmark(lambda: PADRScheduler(validate_input=False).schedule(cset, 1024))
+    benchmark(lambda: PADRScheduler(validate_input=False).schedule(cset, n_leaves=1024))
 
 
 def test_scale_phase1_only(benchmark):

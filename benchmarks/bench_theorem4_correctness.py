@@ -21,7 +21,7 @@ def _run_batch(n_sets: int, n_pairs: int, n_leaves: int, seed: int):
     rounds = []
     for _ in range(n_sets):
         cset = random_well_nested(n_pairs, n_leaves, rng)
-        s = PADRScheduler().schedule(cset, n_leaves)
+        s = PADRScheduler().schedule(cset, n_leaves=n_leaves)
         report = verify_schedule(s, cset)
         ok += report.ok
         rounds.append(s.n_rounds)

@@ -20,9 +20,10 @@ untouched).
 
 Usage::
 
-    PYTHONPATH=src python scripts/run_service_bench.py             # full
-    PYTHONPATH=src python scripts/run_service_bench.py --smoke     # CI gate
-    PYTHONPATH=src python scripts/run_service_bench.py --enforce   # + 3x gate
+    PYTHONPATH=src python scripts/run_service_bench.py                 # full
+    PYTHONPATH=src python scripts/run_service_bench.py --smoke         # CI gate
+    PYTHONPATH=src python scripts/run_service_bench.py --stream-smoke  # CI gate
+    PYTHONPATH=src python scripts/run_service_bench.py --enforce       # + 3x gate
 
 The ``--smoke`` gate asserts the hardware-independent service contract:
 64 mixed workloads at n=256, every request settles DONE, resubmission
@@ -32,6 +33,15 @@ at n=1024 is hardware-dependent (it needs >= 4 real cores); it is
 asserted when ``os.cpu_count() >= 4`` or ``--enforce`` is given, and
 otherwise reported but not gated — the recorded row always includes the
 cpu count so readers can judge the number.
+
+The ``--stream-smoke`` gate drives the *streaming* service through an
+overload burst at n=256 with live parity checking and asserts the
+admission contract: the machine reaches SOFT_RED or RED, sheds only
+LOW-priority work (every NORMAL/HIGH request settles DONE), returns to
+GREEN once the burst drains, and p99 latency stays under the tick
+budget.  It records the p50/p99 trajectory under a ``"streaming"`` key
+in ``results/BENCH_scaling.json`` (the ``"service"`` / ``"columnar"`` /
+``"rows"`` keys are untouched).
 """
 
 from __future__ import annotations
@@ -219,9 +229,128 @@ def run_smoke(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+STREAM_LEAVES = 256
+STREAM_ARRIVALS = 120
+STREAM_DEADLINE = 96
+STREAM_P99_BUDGET = 64
+
+
+def run_stream_smoke(args: argparse.Namespace) -> int:
+    """The CI streaming gate: the overload-burst admission contract."""
+    from repro.service import (
+        AdmissionState,
+        Priority,
+        StreamRequest,
+        StreamStatus,
+        StreamingSchedulerService,
+        TenantQuota,
+    )
+
+    priorities = [Priority.LOW, Priority.NORMAL, Priority.HIGH]
+    csets = mixed_workloads(STREAM_LEAVES, 15, seed=7)
+    # the burst: released over a few ticks so late arrivals meet the
+    # pressure the early ones built — queue pressure, not quota, must
+    # drive the state machine, so quotas are deliberately generous.
+    arrivals = [
+        StreamRequest(
+            cset=csets[i % len(csets)],
+            n_leaves=STREAM_LEAVES,
+            release_time=i // 12,
+            deadline=STREAM_DEADLINE,
+            priority=priorities[i % 3],
+            tenant=f"tenant-{i % 2}",
+        )
+        for i in range(STREAM_ARRIVALS)
+    ]
+    service = StreamingSchedulerService(
+        max_queue=80,
+        max_inflight=4,
+        default_quota=TenantQuota(rate=64.0, burst=float(STREAM_ARRIVALS)),
+        parity_check=True,  # live bit-identical assertion on every settle
+    )
+    elapsed, report = _time(lambda: service.run(arrivals))
+
+    failures = []
+    if len(report.results) != STREAM_ARRIVALS:
+        failures.append(
+            f"accounting hole: {len(report.results)}/{STREAM_ARRIVALS} "
+            "requests settled"
+        )
+    if not (
+        service.admission.reached(AdmissionState.SOFT_RED)
+        or service.admission.reached(AdmissionState.RED)
+    ):
+        failures.append("burst never pushed admission past YELLOW")
+    if report.n_shed == 0:
+        failures.append("burst shed nothing — the drill is vacuous, retune it")
+    if service.state is not AdmissionState.GREEN:
+        failures.append(f"did not recover to GREEN (final {service.state.name})")
+    dropped_above_low = {
+        prio: n
+        for status in (StreamStatus.SHED, StreamStatus.EXPIRED, StreamStatus.REJECTED)
+        for prio, n in report.by_priority(status).items()
+        if prio != "LOW"
+    }
+    if dropped_above_low:
+        failures.append(f"non-LOW work dropped: {dropped_above_low}")
+    done = report.by_priority(StreamStatus.DONE)
+    for prio in ("NORMAL", "HIGH"):
+        expected = sum(1 for r in arrivals if r.priority.name == prio)
+        if done.get(prio, 0) != expected:
+            failures.append(
+                f"{prio}: {done.get(prio, 0)}/{expected} delivered"
+            )
+    if report.p99_ticks > STREAM_P99_BUDGET:
+        failures.append(
+            f"p99 {report.p99_ticks:.0f} ticks > budget {STREAM_P99_BUDGET}"
+        )
+
+    print(
+        f"stream smoke: {STREAM_ARRIVALS} burst arrivals, n={STREAM_LEAVES}, "
+        f"inflight=4, queue=80, parity=on ({elapsed:.2f}s wall)"
+    )
+    print(f"  {report.summary()}")
+    trajectory = [(0, "GREEN"), *report.trajectory]
+    print(
+        "  trajectory: "
+        + " -> ".join(f"{state}@t{tick}" for tick, state in trajectory)
+    )
+    print(f"  shed by priority: {report.by_priority(StreamStatus.SHED) or '{}'}")
+
+    payload = json.loads(RESULTS.read_text()) if RESULTS.exists() else {}
+    payload["streaming"] = {
+        "n": STREAM_LEAVES,
+        "arrivals": STREAM_ARRIVALS,
+        "max_inflight": 4,
+        "max_queue": 80,
+        "deadline_ticks": STREAM_DEADLINE,
+        "cpu_count": os.cpu_count(),
+        "wall_s": round(elapsed, 3),
+        "p50_ticks": report.p50_ticks,
+        "p99_ticks": report.p99_ticks,
+        "ticks": report.ticks,
+        "done": report.n_done,
+        "shed": report.n_shed,
+        "expired": report.n_expired,
+        "cached": report.n_cached,
+        "trajectory": [[tick, state] for tick, state in trajectory],
+    }
+    RESULTS.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote streaming trajectory to {RESULTS}")
+
+    for f in failures:
+        print(f"FAIL: {f}")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true", help="CI service gate")
+    parser.add_argument(
+        "--stream-smoke",
+        action="store_true",
+        help="CI streaming gate: overload-burst admission contract",
+    )
     parser.add_argument("--count", type=int, default=64, help="requests per batch")
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument(
@@ -231,6 +360,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--no-parity", action="store_true")
     args = parser.parse_args(argv)
+    if args.stream_smoke:
+        return run_stream_smoke(args)
     return run_smoke(args) if args.smoke else run_full(args)
 
 

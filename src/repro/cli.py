@@ -14,6 +14,7 @@ Usage (installed as ``cst-padr``, also ``python -m repro``):
     cst-padr metrics --width 8    # metrics-registry snapshot of a run
     cst-padr chaos --leaves 64    # seeded fault-injection campaign
     cst-padr batch --count 64 --leaves 256 --workers 2   # service-layer batch
+    cst-padr serve --count 96 --leaves 64 --burst        # streaming service demo
 
 All output is plain text; the same tables the benchmarks assert on.
 ``trace --jsonl`` and ``metrics`` are the observability layer's entry
@@ -303,6 +304,83 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _synthetic_arrivals(args: argparse.Namespace):
+    """The serve demo's arrival stream: mixed workloads cycled through
+    LOW/NORMAL/HIGH priorities across two tenants.  With ``--burst`` the
+    whole stream is front-loaded into the first few ticks (the overload
+    drill); otherwise arrivals pace out one per tick."""
+    from repro.service import Priority, StreamRequest, mixed_workloads
+
+    csets = mixed_workloads(args.leaves, min(args.count, 15), seed=args.seed)
+    priorities = [Priority.LOW, Priority.NORMAL, Priority.HIGH]
+    arrivals = []
+    for i in range(args.count):
+        release = (i // (args.count // 4 + 1)) if args.burst else i
+        arrivals.append(
+            StreamRequest(
+                cset=csets[i % len(csets)],
+                n_leaves=args.leaves,
+                release_time=release,
+                deadline=args.deadline,
+                priority=priorities[i % 3],
+                tenant=f"tenant-{i % 2}",
+            )
+        )
+    return arrivals
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming scheduler service over a continuous arrival
+    stream (synthetic, or replayed from a JSON file of stream-request
+    records) on an asyncio event loop, and report the admission story:
+    state trajectory, shed/defer accounting, p50/p99 latency."""
+    import asyncio
+    import json
+
+    from repro.io import stream_request_from_dict
+    from repro.obs import Instrumentation, MetricsRegistry
+    from repro.service import StreamStatus, StreamingSchedulerService, TenantQuota
+
+    if args.arrivals is not None:
+        with open(args.arrivals) as fh:
+            arrivals = [stream_request_from_dict(d) for d in json.load(fh)]
+    else:
+        arrivals = _synthetic_arrivals(args)
+
+    obs = Instrumentation(MetricsRegistry(), run="stream")
+    service = StreamingSchedulerService(
+        max_queue=args.max_queue,
+        max_inflight=args.max_inflight,
+        batch_window=args.batch_window,
+        default_quota=TenantQuota(rate=args.quota_rate, burst=args.quota_burst),
+        parity_check=not args.no_parity,
+        obs=obs,
+    )
+    report = asyncio.run(service.aserve(arrivals))
+
+    print(
+        f"streaming service: {len(arrivals)} arrivals on {args.leaves} leaves, "
+        f"inflight={args.max_inflight}, queue={args.max_queue}, "
+        f"parity={'off' if args.no_parity else 'on'}"
+    )
+    print(f"  {report.summary()}")
+    trajectory = " -> ".join(
+        f"{state}@t{tick}" for tick, state in report.trajectory
+    ) or "GREEN throughout"
+    print(f"  admission trajectory: {trajectory}")
+    for status in (StreamStatus.SHED, StreamStatus.EXPIRED, StreamStatus.REJECTED):
+        per_prio = report.by_priority(status)
+        if per_prio:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(per_prio.items()))
+            print(f"  {status.value} by priority: {detail}")
+    if args.json:
+        print(json.dumps(obs.metrics.snapshot(), indent=2, sort_keys=True))
+    shed_above_low = {
+        k: v for k, v in report.by_priority(StreamStatus.SHED).items() if k != "LOW"
+    }
+    return 0 if not shed_above_low else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY, run_experiment
 
@@ -402,6 +480,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="also dump the service metrics snapshot"
     )
 
+    p = sub.add_parser(
+        "serve", help="run the streaming service over a continuous arrival stream"
+    )
+    p.add_argument("--count", type=int, default=96)
+    p.add_argument("--leaves", type=int, default=64)
+    p.add_argument("--deadline", type=int, default=64)
+    p.add_argument("--max-queue", type=int, default=256)
+    p.add_argument("--max-inflight", type=int, default=8)
+    p.add_argument("--batch-window", type=int, default=0)
+    p.add_argument("--quota-rate", type=float, default=16.0)
+    p.add_argument("--quota-burst", type=float, default=64.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--burst",
+        action="store_true",
+        help="front-load all arrivals into a few ticks (overload drill)",
+    )
+    p.add_argument(
+        "--arrivals",
+        metavar="PATH",
+        default=None,
+        help="replay a JSON array of stream-request records instead of synthetic load",
+    )
+    p.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the per-request parity check against the direct scheduler",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="also dump the streaming metrics snapshot"
+    )
+
     return parser
 
 
@@ -426,6 +536,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

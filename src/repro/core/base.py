@@ -28,15 +28,14 @@ instrumentation (the CSA) consume ``ctx.obs`` live; for every other
 scheduler the base class folds the finished schedule into the registry and
 trace after the fact, so ``obs=`` works uniformly across the whole surface.
 
-Passing ``n_leaves`` positionally (``schedule(cset, 64)``) is deprecated —
-it still works for one release through a shim that emits a single
-:class:`DeprecationWarning` per scheduler class.
+All options are keyword-only.  Passing ``n_leaves`` positionally
+(``schedule(cset, 64)``) was deprecated for one release and now raises
+:class:`TypeError`.
 """
 
 from __future__ import annotations
 
 import abc
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, ClassVar, Sequence
 
@@ -89,14 +88,10 @@ class Scheduler(abc.ABC):
     #: into the registry/trace after ``_schedule`` returns.
     native_obs: ClassVar[bool] = False
 
-    #: scheduler classes that already emitted the positional-``n_leaves``
-    #: deprecation warning (one warning per class per process).
-    _positional_warned: ClassVar[set[type]] = set()
-
     def schedule(
         self,
         cset: CommunicationSet,
-        *args,
+        *,
         n_leaves: int | None = None,
         policy: PowerPolicy | None = None,
         network: CSTNetwork | None = None,
@@ -112,17 +107,6 @@ class Scheduler(abc.ABC):
         ``n_leaves`` and ``policy`` must not conflict with it.  ``obs``
         attaches an :class:`~repro.obs.Instrumentation` for this call only.
         """
-        if args:
-            if len(args) > 1:
-                raise TypeError(
-                    f"{type(self).__name__}.schedule takes at most one "
-                    f"positional argument besides the communication set"
-                )
-            if n_leaves is not None:
-                raise TypeError("n_leaves passed both positionally and by keyword")
-            self._warn_positional_n_leaves()
-            n_leaves = args[0]
-
         if network is not None:
             if not self.supports_network:
                 raise SchedulingError(
@@ -153,24 +137,6 @@ class Scheduler(abc.ABC):
         """Produce the schedule for an already-resolved request."""
 
     # ------------------------------------------------------------------
-
-    @classmethod
-    def _warn_positional_n_leaves(cls) -> None:
-        if cls in Scheduler._positional_warned:
-            return
-        Scheduler._positional_warned.add(cls)
-        warnings.warn(
-            f"passing n_leaves positionally to {cls.__name__}.schedule is "
-            "deprecated and will be removed in the next release; use "
-            "schedule(cset, n_leaves=...)",
-            DeprecationWarning,
-            stacklevel=4,
-        )
-
-    @classmethod
-    def _reset_deprecation_warnings(cls) -> None:
-        """Re-arm the one-shot shims (test hook)."""
-        Scheduler._positional_warned.clear()
 
     @staticmethod
     def _fold_obs(obs: "Instrumentation", schedule: Schedule) -> None:

@@ -47,6 +47,8 @@ __all__ = [
     "cset_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "stream_request_to_dict",
+    "stream_request_from_dict",
     "save_workloads",
     "load_workloads",
 ]
@@ -55,6 +57,7 @@ _CSET_FORMAT = "cst-padr/communication-set"
 _SCHEDULE_FORMAT = "cst-padr/schedule"
 _SUITE_FORMAT = "cst-padr/workload-suite"
 _CONFIG_FORMAT = "cst-padr/scheduler-config"
+_STREAM_REQUEST_FORMAT = "cst-padr/stream-request"
 _VERSION = 1
 
 #: current schema generation; loaders also accept ``SCHEDULE_SCHEMA - 1``.
@@ -212,6 +215,51 @@ def schedule_from_dict(data: Mapping[str, Any]) -> Schedule:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed schedule payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# streaming requests
+# ---------------------------------------------------------------------------
+
+
+def stream_request_to_dict(request: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.service.streaming.StreamRequest`.
+
+    The wire form a ``cst-padr serve`` arrival file holds: one record per
+    request with its release tick, deadline, priority name and tenant id,
+    wrapping the standard communication-set payload.
+    """
+    return {
+        "format": _STREAM_REQUEST_FORMAT,
+        "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
+        "cset": cset_to_dict(request.cset),
+        "n_leaves": request.n_leaves,
+        "release_time": request.release_time,
+        "deadline": request.deadline,
+        "priority": request.priority.name,
+        "tenant": request.tenant,
+    }
+
+
+def stream_request_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`stream_request_to_dict`."""
+    from repro.service.admission import Priority
+    from repro.service.streaming import StreamRequest
+
+    _expect(data, _STREAM_REQUEST_FORMAT)
+    try:
+        n_leaves = data.get("n_leaves")
+        return StreamRequest(
+            cset=cset_from_dict(data["cset"]),
+            n_leaves=int(n_leaves) if n_leaves is not None else None,
+            release_time=int(data.get("release_time", 0)),
+            deadline=int(data.get("deadline", 64)),
+            priority=Priority[str(data.get("priority", "NORMAL")).upper()],
+            tenant=str(data.get("tenant", "default")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed stream request: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------

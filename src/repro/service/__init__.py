@@ -15,12 +15,32 @@ that gap with three orthogonal pieces:
   submit/drain façade with admission control, per-request deadlines and
   deterministic retry backoff.
 
+On top of the batch layer, the *streaming* layer serves continuous
+arrival:
+
+* :mod:`repro.service.admission` — the GREEN/YELLOW/SOFT_RED/RED
+  load-aware admission machine (immediate escalation, earned stepwise
+  recovery) plus the priority policy table;
+* :mod:`repro.service.tenants` — per-tenant token-bucket quotas and
+  deficit-round-robin weighted-fair dequeue;
+* :mod:`repro.service.streaming` — :class:`StreamingSchedulerService`,
+  the long-running online service tying both to the same cache, dedup,
+  columnar batching and parity machinery the batch service uses.
+
 Everything a service path returns is bit-identical (at the serialized
 level of :func:`repro.io.schedule_to_dict`) to a direct
 ``PADRScheduler().schedule(cset)`` call — asserted by the parity machinery,
 not assumed.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionState,
+    AdmissionThresholds,
+    LoadSample,
+    Priority,
+)
 from repro.service.cache import CanonicalKey, ScheduleCache, canonical_signature
 from repro.service.service import (
     BatchReport,
@@ -30,16 +50,40 @@ from repro.service.service import (
     ServiceParityError,
     Ticket,
 )
+from repro.service.streaming import (
+    StreamReport,
+    StreamRequest,
+    StreamResult,
+    StreamStatus,
+    StreamTicket,
+    StreamingSchedulerService,
+)
+from repro.service.tenants import TenantQuota, TenantRegistry, TenantState
 from repro.service.workloads import mixed_workloads
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionState",
+    "AdmissionThresholds",
     "BatchReport",
     "CanonicalKey",
+    "LoadSample",
+    "Priority",
     "RequestResult",
     "RequestStatus",
     "ScheduleCache",
     "SchedulerService",
     "ServiceParityError",
+    "StreamReport",
+    "StreamRequest",
+    "StreamResult",
+    "StreamStatus",
+    "StreamTicket",
+    "StreamingSchedulerService",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantState",
     "Ticket",
     "canonical_signature",
     "mixed_workloads",

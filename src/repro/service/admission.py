@@ -1,0 +1,287 @@
+"""Load-aware admission control: the GREEN/YELLOW/SOFT_RED/RED machine.
+
+The batch service (PR 4) has exactly one admission rule: a bounded queue.
+Under continuous arrival that is too blunt — by the time the queue is
+full, every tenant is already hurting.  This module adds the graded
+congestion controller the ROADMAP asks for, shaped after the wanctl
+autorate controller's four-state machine: pressure is sampled every
+logical tick, escalation is immediate (load is an emergency), and
+de-escalation requires several consecutive calm samples (recovery must be
+earned, not flickered into).
+
+The controller is deliberately *passive*: it never touches the queue
+itself.  It consumes :class:`LoadSample`\\ s built from the signals the
+service already emits (queue depth against capacity, recent
+``service.expired`` / ``service.failed`` / ``service.retries`` deltas —
+the same counters the observability layer exports) and answers one
+question per request: **admit, defer, or shed**, given the request's
+priority and the current state.  The policy table lives in
+:data:`POLICY`; ``docs/streaming.md`` renders it for operators.
+
+Only LOW-priority work is ever shed.  NORMAL work is deferred at worst
+(left queued, not selected, so it runs when pressure clears or expires
+against its own deadline), and HIGH work is always admitted — so a burst
+degrades the cheapest traffic first and the system stays honest about
+what it dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchedulingError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionState",
+    "AdmissionThresholds",
+    "AdmissionController",
+    "LoadSample",
+    "POLICY",
+    "Priority",
+]
+
+
+class AdmissionState(enum.IntEnum):
+    """Congestion states, ordered by severity (comparable by int value)."""
+
+    GREEN = 0
+    YELLOW = 1
+    SOFT_RED = 2
+    RED = 3
+
+
+class Priority(enum.IntEnum):
+    """Request priority classes; higher values survive more pressure."""
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+class AdmissionDecision(enum.Enum):
+    """What the controller tells the service to do with one request."""
+
+    ADMIT = "admit"
+    DEFER = "defer"
+    SHED = "shed"
+
+
+#: state → priority → decision.  The shed column is LOW-only by design:
+#: the service's contract is that nothing above LOW is ever dropped by
+#: admission control (it may still EXPIRE against its own deadline).
+POLICY: dict[AdmissionState, dict[Priority, AdmissionDecision]] = {
+    AdmissionState.GREEN: {
+        Priority.LOW: AdmissionDecision.ADMIT,
+        Priority.NORMAL: AdmissionDecision.ADMIT,
+        Priority.HIGH: AdmissionDecision.ADMIT,
+    },
+    AdmissionState.YELLOW: {
+        Priority.LOW: AdmissionDecision.DEFER,
+        Priority.NORMAL: AdmissionDecision.ADMIT,
+        Priority.HIGH: AdmissionDecision.ADMIT,
+    },
+    AdmissionState.SOFT_RED: {
+        Priority.LOW: AdmissionDecision.SHED,
+        Priority.NORMAL: AdmissionDecision.ADMIT,
+        Priority.HIGH: AdmissionDecision.ADMIT,
+    },
+    AdmissionState.RED: {
+        Priority.LOW: AdmissionDecision.SHED,
+        Priority.NORMAL: AdmissionDecision.DEFER,
+        Priority.HIGH: AdmissionDecision.ADMIT,
+    },
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LoadSample:
+    """One tick's load signals, in the units the service already tracks.
+
+    ``queue_fraction`` is pending work against the admission bound
+    (the ``service.queue.depth`` gauge over ``max_queue``);
+    ``expired`` / ``failed`` / ``retries`` are per-tick *deltas* of the
+    corresponding ``service.*`` counters.  ``capacity`` normalises the
+    deltas — the service passes its per-tick execution budget.
+    """
+
+    queue_fraction: float
+    expired: int = 0
+    failed: int = 0
+    retries: int = 0
+    capacity: int = 16
+
+    def pressure(self) -> float:
+        """Scalar pressure in [0, 1]: queue backlog plus failure heat.
+
+        Backlog is the dominant term; deadline misses and retried/failed
+        executions add weight because they predict *future* backlog (a
+        retrying request occupies budget twice).
+        """
+        cap = max(1, self.capacity)
+        heat = (self.expired + self.failed + self.retries) / cap
+        return max(0.0, min(1.0, self.queue_fraction + 0.5 * heat))
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionThresholds:
+    """Entry thresholds per state plus the hysteresis margin and cooldown.
+
+    A state is *entered* when pressure reaches its ``*_enter`` bound, and
+    *left* (one step down) only after ``cooldown`` consecutive samples
+    with pressure below ``enter - hysteresis`` of the current state —
+    the wanctl discipline that keeps the controller from oscillating on
+    a noisy boundary.
+    """
+
+    yellow_enter: float = 0.50
+    soft_red_enter: float = 0.75
+    red_enter: float = 0.90
+    hysteresis: float = 0.10
+    cooldown: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.yellow_enter < self.soft_red_enter < self.red_enter <= 1.0:
+            raise SchedulingError(
+                "admission thresholds must satisfy "
+                "0 < yellow < soft_red < red <= 1, got "
+                f"{self.yellow_enter}/{self.soft_red_enter}/{self.red_enter}"
+            )
+        if self.hysteresis < 0:
+            raise SchedulingError(
+                f"hysteresis must be >= 0, got {self.hysteresis}"
+            )
+        if self.cooldown < 1:
+            raise SchedulingError(f"cooldown must be >= 1, got {self.cooldown}")
+
+    def target_state(self, pressure: float) -> AdmissionState:
+        """The state this pressure level maps to, ignoring hysteresis."""
+        if pressure >= self.red_enter:
+            return AdmissionState.RED
+        if pressure >= self.soft_red_enter:
+            return AdmissionState.SOFT_RED
+        if pressure >= self.yellow_enter:
+            return AdmissionState.YELLOW
+        return AdmissionState.GREEN
+
+    def exit_bound(self, state: AdmissionState) -> float:
+        """Pressure below which ``state`` may step down (after cooldown)."""
+        enter = {
+            AdmissionState.YELLOW: self.yellow_enter,
+            AdmissionState.SOFT_RED: self.soft_red_enter,
+            AdmissionState.RED: self.red_enter,
+        }[state]
+        return max(0.0, enter - self.hysteresis)
+
+
+@dataclass(slots=True)
+class _Transition:
+    tick: int
+    source: AdmissionState
+    target: AdmissionState
+    pressure: float
+
+
+class AdmissionController:
+    """The four-state congestion machine the streaming service consults.
+
+    Feed it one :class:`LoadSample` per logical tick via :meth:`observe`;
+    ask it what to do with a request via :meth:`decide`.  Escalation
+    jumps straight to the state the pressure maps to; de-escalation steps
+    down one state at a time, each step gated on ``cooldown`` consecutive
+    calm samples — so a spike is answered immediately and recovery is
+    deliberate.
+
+    Emits ``admission.state`` / ``admission.pressure`` gauges, an
+    ``admission.transitions{from=,to=}`` counter family and
+    ``admission.admitted`` / ``admission.deferred`` / ``admission.shed``
+    (labelled by priority) into the registry, under ``run``.
+    """
+
+    def __init__(
+        self,
+        thresholds: AdmissionThresholds | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        run: str = "stream",
+    ) -> None:
+        self.thresholds = (
+            thresholds if thresholds is not None else AdmissionThresholds()
+        )
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.run = run
+        self.state = AdmissionState.GREEN
+        self.pressure = 0.0
+        self._calm_samples = 0
+        self._tick = 0
+        self.transitions: list[_Transition] = []
+
+    # -- sampling ------------------------------------------------------------
+
+    def observe(self, sample: LoadSample) -> AdmissionState:
+        """Ingest one tick's load sample; returns the (possibly new) state."""
+        self._tick += 1
+        self.pressure = sample.pressure()
+        target = self.thresholds.target_state(self.pressure)
+
+        if target > self.state:
+            # escalate immediately, as far as the pressure says.
+            self._move(target)
+        elif self.state is not AdmissionState.GREEN:
+            if self.pressure < self.thresholds.exit_bound(self.state):
+                self._calm_samples += 1
+                if self._calm_samples >= self.thresholds.cooldown:
+                    # recovery is stepwise: one state per earned cooldown.
+                    self._move(AdmissionState(self.state - 1))
+            else:
+                self._calm_samples = 0
+
+        self.metrics.set("admission.state", int(self.state), run=self.run)
+        self.metrics.set("admission.pressure", self.pressure, run=self.run)
+        return self.state
+
+    def _move(self, target: AdmissionState) -> None:
+        self.transitions.append(
+            _Transition(self._tick, self.state, target, self.pressure)
+        )
+        self.metrics.inc(
+            "admission.transitions",
+            run=self.run,
+            source=self.state.name,
+            target=target.name,
+        )
+        self.state = target
+        self._calm_samples = 0
+
+    # -- decisions -----------------------------------------------------------
+
+    def decide(self, priority: Priority) -> AdmissionDecision:
+        """The policy-table decision for one request, in the current state."""
+        decision = POLICY[self.state][priority]
+        name = {
+            AdmissionDecision.ADMIT: "admission.admitted",
+            AdmissionDecision.DEFER: "admission.deferred",
+            AdmissionDecision.SHED: "admission.shed",
+        }[decision]
+        self.metrics.inc(name, run=self.run, priority=priority.name.lower())
+        return decision
+
+    def defers(self, priority: Priority) -> bool:
+        """Whether the *current* state holds this priority back from the
+        execution budget (consulted at dequeue time, without counting it
+        as a fresh admission decision)."""
+        return POLICY[self.state][priority] is not AdmissionDecision.ADMIT
+
+    # -- introspection -------------------------------------------------------
+
+    def state_trajectory(self) -> list[tuple[int, str]]:
+        """``(tick, state name)`` for every transition, oldest first."""
+        return [(t.tick, t.target.name) for t in self.transitions]
+
+    def reached(self, state: AdmissionState) -> bool:
+        """Whether the machine has ever entered ``state`` (or started in it)."""
+        if self.state is state:
+            return True
+        return any(t.target is state for t in self.transitions)

@@ -1,0 +1,745 @@
+""":class:`StreamingSchedulerService` — the batch service grown into a
+long-running online scheduler with adaptive admission control.
+
+The paper schedules one *fixed* well-nested set in w rounds; the batch
+``SchedulerService`` (PR 4) settles one submitted batch and stops.  This
+module serves **continuous arrival**: requests carry a ``release_time``,
+a latency ``deadline``, a ``priority`` and a ``tenant`` id, and the
+service runs tick after tick, draining what is eligible, deferring what
+pressure says must wait, and shedding only what the policy table allows
+it to shed (LOW priority, nothing else — see
+:mod:`repro.service.admission`).
+
+The moving parts, all on one deterministic logical tick clock:
+
+* **admission** — per-tenant token buckets throttle at the door, the
+  backlog bound rejects outright overflow, and the four-state
+  GREEN/YELLOW/SOFT_RED/RED controller (fed from the service's own
+  queue/expiry/failure signals every tick) decides admit/defer/shed per
+  priority class;
+* **fairness** — ready work queues per tenant; each tick's execution
+  budget is dealt by deficit round-robin weighted by tenant quota, so a
+  hog cannot starve anyone (:mod:`repro.service.tenants`);
+* **the drain path** — reuses PR 4's relabelling-invariant signature
+  cache and intra-tick dedup, and PR 5's same-shape columnar batching:
+  compatible misses accumulate into one ``schedule_batch`` invocation,
+  held back at most ``batch_window`` ticks and never past a request's
+  deadline slack (the latency budget);
+* **parity** — every delivered payload is, optionally live-asserted,
+  bit-identical at the serialized level to a direct ``PADRScheduler``
+  run; the streaming CI gate runs with it on.
+
+Every submitted request settles in **exactly one** terminal status —
+DONE, SHED, REJECTED, EXPIRED or FAILED — and the report accounts for
+all of them plus p50/p99 latency in ticks (property-tested: nothing is
+ever silently dropped).
+
+The service is synchronous at its core (``submit`` / ``step`` /
+``run``), which keeps every test deterministic; :meth:`aserve` wraps the
+same loop as an ``asyncio`` coroutine that yields control every tick, so
+it embeds in an event loop alongside real arrival sources.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.comms.communication import CommunicationSet
+from repro.core.config import SchedulerConfig
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError, SchedulingError
+from repro.io import cset_to_dict, schedule_from_dict, schedule_to_dict
+from repro.obs.instrument import Instrumentation
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionState,
+    AdmissionThresholds,
+    LoadSample,
+    Priority,
+)
+from repro.service.cache import CanonicalKey, ScheduleCache, canonical_signature
+from repro.service.service import ServiceParityError
+from repro.service.tenants import TenantQuota, TenantRegistry
+from repro.service.worker import (
+    WorkRequest,
+    init_worker,
+    schedule_batch_request,
+    schedule_request,
+)
+
+__all__ = [
+    "StreamReport",
+    "StreamRequest",
+    "StreamResult",
+    "StreamStatus",
+    "StreamTicket",
+    "StreamingSchedulerService",
+]
+
+
+class StreamStatus(enum.Enum):
+    """Terminal fates; every submitted request reaches exactly one."""
+
+    DONE = "done"
+    SHED = "shed"          # admission dropped it (LOW priority only)
+    REJECTED = "rejected"  # invalid, over backlog bound, or over quota
+    EXPIRED = "expired"    # out-waited its deadline in the queue
+    FAILED = "failed"      # permanent error or retry budget exhausted
+
+
+@dataclass(frozen=True, slots=True)
+class StreamRequest:
+    """One online scheduling request.
+
+    ``release_time`` is the logical tick the request becomes available
+    (the arrival process); ``deadline`` is the latency SLO in ticks
+    *after release* — a request still queued ``deadline`` ticks past its
+    release expires.  ``priority`` feeds the admission policy table and
+    ``tenant`` the quota/fairness machinery.
+    """
+
+    cset: CommunicationSet
+    n_leaves: int | None = None
+    release_time: int = 0
+    deadline: int = 64
+    priority: Priority = Priority.NORMAL
+    tenant: str = "default"
+
+
+@dataclass(frozen=True, slots=True)
+class StreamTicket:
+    """The submit receipt: door decisions are data, not exceptions."""
+
+    id: int
+    accepted: bool
+    decision: AdmissionDecision | None = None
+    reason: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class StreamResult:
+    """The settled fate of one streaming request."""
+
+    request_id: int
+    status: StreamStatus
+    tenant: str
+    priority: Priority
+    from_cache: bool = False
+    attempts: int = 0
+    latency_ticks: int = 0
+    payload: dict[str, Any] | None = None
+    error: str | None = None
+    signature: str | None = None
+
+    @property
+    def schedule(self) -> Schedule | None:
+        return schedule_from_dict(self.payload) if self.payload else None
+
+
+def _percentile(sorted_values: Sequence[int], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = -(-q * len(sorted_values) // 1)  # ceil(q * n)
+    rank = min(len(sorted_values), max(1, int(rank)))
+    return float(sorted_values[rank - 1])
+
+
+@dataclass(frozen=True, slots=True)
+class StreamReport:
+    """One serving window's complete accounting."""
+
+    results: dict[int, StreamResult]
+    ticks: int
+    trajectory: tuple[tuple[int, str], ...]
+    final_state: str
+
+    def _count(self, status: StreamStatus) -> int:
+        return sum(1 for r in self.results.values() if r.status is status)
+
+    @property
+    def n_done(self) -> int:
+        return self._count(StreamStatus.DONE)
+
+    @property
+    def n_shed(self) -> int:
+        return self._count(StreamStatus.SHED)
+
+    @property
+    def n_rejected(self) -> int:
+        return self._count(StreamStatus.REJECTED)
+
+    @property
+    def n_expired(self) -> int:
+        return self._count(StreamStatus.EXPIRED)
+
+    @property
+    def n_failed(self) -> int:
+        return self._count(StreamStatus.FAILED)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.results.values() if r.from_cache)
+
+    def latencies(self) -> list[int]:
+        """DONE-request latencies (ticks from release to settlement)."""
+        return sorted(
+            r.latency_ticks
+            for r in self.results.values()
+            if r.status is StreamStatus.DONE
+        )
+
+    @property
+    def p50_ticks(self) -> float:
+        return _percentile(self.latencies(), 0.50)
+
+    @property
+    def p99_ticks(self) -> float:
+        return _percentile(self.latencies(), 0.99)
+
+    def by_priority(self, status: StreamStatus) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.results.values():
+            if r.status is status:
+                out[r.priority.name] = out.get(r.priority.name, 0) + 1
+        return out
+
+    def schedules(self) -> dict[int, Schedule]:
+        return {
+            rid: r.schedule  # type: ignore[misc]
+            for rid, r in self.results.items()
+            if r.status is StreamStatus.DONE and r.payload is not None
+        }
+
+    def summary(self) -> str:
+        return (
+            f"stream: {self.n_done} done ({self.n_cached} cached), "
+            f"{self.n_shed} shed, {self.n_rejected} rejected, "
+            f"{self.n_expired} expired, {self.n_failed} failed over "
+            f"{self.ticks} tick(s); p50={self.p50_ticks:.0f} "
+            f"p99={self.p99_ticks:.0f} ticks, final state {self.final_state}"
+        )
+
+
+@dataclass(slots=True)
+class _Live:
+    """A request alive inside the service (queued, deferred or retrying)."""
+
+    request_id: int
+    request: StreamRequest
+    key: CanonicalKey
+    payload: dict[str, Any]
+    release_tick: int
+    deadline_tick: int
+    attempts: int = 0
+    eligible_tick: int = 0
+    last_error: str | None = None
+
+    @property
+    def priority(self) -> Priority:
+        return self.request.priority
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+
+class StreamingSchedulerService:
+    """Online scheduling over one CST fabric, many tenants, load-aware.
+
+    Parameters
+    ----------
+    config:
+        the :class:`~repro.core.config.SchedulerConfig` all work runs
+        under (one config per service instance, as in the batch layer).
+    thresholds:
+        the admission machine's entry/exit bounds
+        (:class:`~repro.service.admission.AdmissionThresholds`).
+    default_quota / quotas:
+        the token-bucket/weight contract unknown tenants get, and
+        explicit per-tenant overrides (``{"tenant": TenantQuota(...)}``).
+    max_queue:
+        total backlog bound across all tenants; beyond it submits are
+        REJECTED regardless of priority (the last-resort door).
+    max_inflight:
+        per-tick execution budget (requests settled per tick at most).
+    batch_window:
+        how many ticks a columnar-eligible request may be held back
+        waiting for same-shape peers to accumulate into one
+        ``schedule_batch`` group.  ``0`` executes immediately.
+    max_retries / parity_check / obs:
+        as in the batch :class:`~repro.service.service.SchedulerService`.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: SchedulerConfig | None = None,
+        thresholds: AdmissionThresholds | None = None,
+        default_quota: TenantQuota | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        cache_size: int = 256,
+        max_queue: int = 256,
+        max_inflight: int = 16,
+        batch_window: int = 0,
+        max_retries: int = 3,
+        parity_check: bool = False,
+        obs: "Instrumentation | None" = None,
+    ) -> None:
+        if max_queue < 1:
+            raise SchedulingError(f"max_queue must be >= 1, got {max_queue}")
+        if max_inflight < 1:
+            raise SchedulingError(f"max_inflight must be >= 1, got {max_inflight}")
+        if batch_window < 0:
+            raise SchedulingError(f"batch_window must be >= 0, got {batch_window}")
+        if max_retries < 0:
+            raise SchedulingError(f"max_retries must be >= 0, got {max_retries}")
+        self.config = config if config is not None else SchedulerConfig()
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        self.batch_window = batch_window
+        self.max_retries = max_retries
+        self.parity_check = parity_check
+        self.obs = obs
+        metrics = obs.metrics if obs is not None else None
+        run = obs.run if obs is not None else "stream"
+        self.cache = ScheduleCache(cache_size, metrics=metrics, run=run)
+        self.admission = AdmissionController(
+            thresholds, metrics=metrics, run=run
+        )
+        self.tenants = TenantRegistry(
+            default_quota=default_quota, metrics=metrics, run=run
+        )
+        for name, quota in (quotas or {}).items():
+            self.tenants.register(name, quota)
+        self.results: dict[int, StreamResult] = {}
+        self._next_id = 0
+        self._tick = 0
+        self._inline_ready = False
+        self._direct = None  # lazy parity scheduler
+        # per-tick deltas feeding the admission controller's LoadSample
+        self._expired_delta = 0
+        self._failed_delta = 0
+        self._retries_delta = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self._tick
+
+    @property
+    def backlog(self) -> int:
+        return self.tenants.backlog()
+
+    @property
+    def state(self) -> AdmissionState:
+        return self.admission.state
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: StreamRequest) -> StreamTicket:
+        """Admit, defer, shed or reject one request at the current tick.
+
+        The full door sequence: input validation → backlog bound →
+        tenant token bucket → admission state machine.  Whatever the
+        outcome, the request is accounted for: non-accepted submits get
+        a terminal result immediately.
+        """
+        rid = self._next_id
+        self._next_id += 1
+        self._inc("stream.submitted")
+        req = request
+
+        try:
+            key = canonical_signature(
+                req.cset, req.n_leaves, config=self.config
+            )
+        except ReproError as exc:
+            return self._reject(rid, req, str(exc))
+        if req.deadline < 1:
+            return self._reject(rid, req, f"deadline must be >= 1, got {req.deadline}")
+
+        if self.backlog >= self.max_queue:
+            return self._reject(rid, req, f"backlog full ({self.max_queue})")
+
+        if not self.tenants.try_consume(req.tenant, self._tick):
+            return self._reject(rid, req, f"tenant {req.tenant!r} over quota")
+
+        decision = self.admission.decide(req.priority)
+        if decision is AdmissionDecision.SHED:
+            self._inc("stream.shed")
+            self.results[rid] = StreamResult(
+                request_id=rid,
+                status=StreamStatus.SHED,
+                tenant=req.tenant,
+                priority=req.priority,
+                error=f"shed in {self.admission.state.name}",
+                signature=key.dyck,
+            )
+            return StreamTicket(
+                id=rid,
+                accepted=False,
+                decision=decision,
+                reason=f"shed in {self.admission.state.name}",
+            )
+
+        release = max(self._tick, req.release_time)
+        self.tenants.enqueue(
+            req.tenant,
+            _Live(
+                request_id=rid,
+                request=req,
+                key=key,
+                payload=cset_to_dict(req.cset),
+                release_tick=release,
+                deadline_tick=release + req.deadline,
+                eligible_tick=release,
+            ),
+        )
+        self._gauge("stream.queue.depth", self.backlog)
+        return StreamTicket(id=rid, accepted=True, decision=decision)
+
+    def _reject(self, rid: int, req: StreamRequest, reason: str) -> StreamTicket:
+        self._inc("stream.rejected")
+        self.results[rid] = StreamResult(
+            request_id=rid,
+            status=StreamStatus.REJECTED,
+            tenant=req.tenant,
+            priority=req.priority,
+            error=reason,
+        )
+        return StreamTicket(id=rid, accepted=False, reason=reason)
+
+    # -- the tick loop -------------------------------------------------------
+
+    def step(self) -> list[StreamResult]:
+        """Advance one logical tick: expire, select fairly, batch, execute.
+
+        Returns the results settled this tick (also recorded in
+        ``self.results``).  The admission controller is sampled at the
+        end of every tick from the service's own signals, so state
+        transitions are driven by measured load, never by guesses.
+        """
+        self._tick += 1
+        now = self._tick
+        settled: list[StreamResult] = []
+
+        settled.extend(self._expire(now))
+
+        budget = self.max_inflight
+        selected = self.tenants.fair_select(
+            budget,
+            skip=lambda live: (
+                live.eligible_tick > now or self.admission.defers(live.priority)
+            ),
+        )
+
+        if selected:
+            settled.extend(self._drain(selected, now))
+
+        self._sample_admission()
+        self._gauge("stream.queue.depth", self.backlog)
+        return settled
+
+    def run(
+        self,
+        arrivals: Iterable[StreamRequest] = (),
+        *,
+        max_ticks: int = 10_000,
+        drain: bool = True,
+    ) -> StreamReport:
+        """Drive the arrival process to completion and return the report.
+
+        ``arrivals`` is any iterable of :class:`StreamRequest`, submitted
+        when the clock reaches each request's ``release_time`` (requests
+        must be ordered by it).  With ``drain=True`` the loop keeps
+        ticking until the backlog empties *and* the admission machine has
+        walked back to GREEN — the operational definition of "recovered"
+        (or until ``max_ticks`` passes — the runaway bound raises, it
+        never silently truncates accounting).
+        """
+        for _ in self._serve(arrivals, max_ticks=max_ticks, drain=drain):
+            pass
+        return self.report()
+
+    async def aserve(
+        self,
+        arrivals: Iterable[StreamRequest] = (),
+        *,
+        max_ticks: int = 10_000,
+        drain: bool = True,
+    ) -> StreamReport:
+        """The same serving loop as :meth:`run`, yielding to the event loop
+        every tick — the embedding point for real asyncio arrival sources."""
+        for _ in self._serve(arrivals, max_ticks=max_ticks, drain=drain):
+            await asyncio.sleep(0)
+        return self.report()
+
+    def _serve(
+        self,
+        arrivals: Iterable[StreamRequest],
+        *,
+        max_ticks: int,
+        drain: bool,
+    ):
+        pending = sorted(arrivals, key=lambda r: r.release_time)
+        i = 0
+        ticks = 0
+        while True:
+            while i < len(pending) and pending[i].release_time <= self._tick:
+                self.submit(pending[i])
+                i += 1
+            exhausted = i >= len(pending)
+            settled = self.backlog == 0 and self.state is AdmissionState.GREEN
+            if exhausted and (not drain or settled):
+                break
+            self.step()
+            ticks += 1
+            if ticks > max_ticks:
+                raise SchedulingError(
+                    f"stream did not settle within {max_ticks} ticks "
+                    f"({self.backlog} still queued)"
+                )
+            yield ticks
+
+    def report(self) -> StreamReport:
+        return StreamReport(
+            results=dict(self.results),
+            ticks=self._tick,
+            trajectory=tuple(self.admission.state_trajectory()),
+            final_state=self.admission.state.name,
+        )
+
+    # -- internals: expiry ---------------------------------------------------
+
+    def _expire(self, now: int) -> list[StreamResult]:
+        expired: list[StreamResult] = []
+        for tenant in self.tenants:
+            keep = []
+            for live in tenant.queue:
+                if live.deadline_tick < now:
+                    self._inc("stream.expired")
+                    self._expired_delta += 1
+                    result = StreamResult(
+                        request_id=live.request_id,
+                        status=StreamStatus.EXPIRED,
+                        tenant=live.tenant,
+                        priority=live.priority,
+                        attempts=live.attempts,
+                        latency_ticks=now - live.release_tick,
+                        error=live.last_error or "deadline exceeded",
+                        signature=live.key.dyck,
+                    )
+                    self.results[live.request_id] = result
+                    expired.append(result)
+                else:
+                    keep.append(live)
+            if len(keep) != len(tenant.queue):
+                tenant.queue.clear()
+                tenant.queue.extend(keep)
+        return expired
+
+    # -- internals: the drain path -------------------------------------------
+
+    def _drain(self, selected: list[_Live], now: int) -> list[StreamResult]:
+        settled: list[StreamResult] = []
+
+        # 1. cache hits settle without touching the execution budget.
+        misses: list[_Live] = []
+        for live in selected:
+            hit = self.cache.get(live.key)
+            if hit is not None:
+                settled.append(self._settle(live, hit, now, from_cache=True))
+            else:
+                misses.append(live)
+
+        # 2. intra-tick dedup: one leader per placed key.
+        leaders: dict[tuple[int, str, str], _Live] = {}
+        followers: dict[tuple[int, str, str], list[_Live]] = {}
+        for live in misses:
+            ck = live.key.cache_key
+            if ck in leaders:
+                followers.setdefault(ck, []).append(live)
+            else:
+                leaders[ck] = live
+
+        # 3. same-shape grouping for the columnar kernel, with the
+        #    latency-budget holdback: a lone columnar-eligible request may
+        #    wait up to batch_window ticks for shape peers, but never into
+        #    its deadline slack.
+        solos: list[_Live] = []
+        groups: dict[tuple[int, str, str], list[_Live]] = {}
+        for live in leaders.values():
+            if self.config.selects_columnar(live.key.n_leaves):
+                shape = (live.key.n_leaves, live.key.dyck, live.key.config)
+                groups.setdefault(shape, []).append(live)
+            else:
+                solos.append(live)
+
+        ready_groups: list[list[_Live]] = []
+        for members in groups.values():
+            if len(members) > 1:
+                ready_groups.append(members)
+                continue
+            live = members[0]
+            waited = now - live.release_tick
+            slack = live.deadline_tick - now
+            if (
+                self.batch_window > 0
+                and waited < self.batch_window
+                and slack > self.batch_window
+            ):
+                # hold for peers; followers of a held leader hold with it.
+                held = [live, *followers.pop(live.key.cache_key, [])]
+                self.tenants.requeue_front(live.tenant, [live])
+                for f in held[1:]:
+                    self.tenants.requeue_front(f.tenant, [f])
+                self._inc("stream.batch_held")
+            else:
+                solos.append(live)
+
+        if ready_groups:
+            self._inc("stream.shape_batches", len(ready_groups))
+            self._inc(
+                "stream.shape_batched", sum(len(g) for g in ready_groups)
+            )
+
+        # 4. execute inline (one process — the streaming service is the
+        #    asyncio story; pooled fan-out stays the batch service's job).
+        if not self._inline_ready:
+            init_worker(self.config.to_dict())
+            self._inline_ready = True
+        responses: list[tuple[int, str, Any]] = []
+        by_id = {live.request_id: live for live in leaders.values()}
+        if solos:
+            responses.extend(
+                schedule_request(self._work_request(live)) for live in solos
+            )
+        for members in ready_groups:
+            responses.extend(
+                schedule_batch_request(
+                    [self._work_request(live) for live in members]
+                )
+            )
+
+        # 5. settlement mirrors the batch service's status discipline.
+        for rid, status, payload in responses:
+            live = by_id[rid]
+            live.attempts += 1
+            tail = followers.pop(live.key.cache_key, [])
+            if status == "ok":
+                self.cache.put(live.key, payload)
+                settled.append(self._settle(live, payload, now, from_cache=False))
+                for f in tail:
+                    hit = self.cache.get(f.key)
+                    assert hit is not None
+                    settled.append(self._settle(f, hit, now, from_cache=True))
+            elif status == "permanent":
+                for q in (live, *tail):
+                    settled.append(self._fail(q, str(payload), now))
+            elif live.attempts > self.max_retries:
+                settled.append(self._fail(live, str(payload), now))
+                for f in tail:  # followers retry on their own budget
+                    self.tenants.requeue_front(f.tenant, [f])
+            else:
+                self._inc("stream.retries")
+                self._retries_delta += 1
+                live.last_error = str(payload)
+                live.eligible_tick = now + (1 << (live.attempts - 1))
+                self.tenants.requeue_front(live.tenant, [live])
+                for f in tail:
+                    self.tenants.requeue_front(f.tenant, [f])
+        return settled
+
+    @staticmethod
+    def _work_request(live: _Live) -> WorkRequest:
+        return (live.request_id, live.payload, live.key.n_leaves)
+
+    def _settle(
+        self, live: _Live, payload: dict[str, Any], now: int, *, from_cache: bool
+    ) -> StreamResult:
+        if self.parity_check:
+            self._assert_parity(live, payload)
+        self._inc("stream.done")
+        latency = now - live.release_tick
+        self._observe_latency(latency, live.priority)
+        result = StreamResult(
+            request_id=live.request_id,
+            status=StreamStatus.DONE,
+            tenant=live.tenant,
+            priority=live.priority,
+            from_cache=from_cache,
+            attempts=live.attempts,
+            latency_ticks=latency,
+            payload=payload,
+            signature=live.key.dyck,
+        )
+        self.results[live.request_id] = result
+        return result
+
+    def _fail(self, live: _Live, error: str, now: int) -> StreamResult:
+        self._inc("stream.failed")
+        self._failed_delta += 1
+        result = StreamResult(
+            request_id=live.request_id,
+            status=StreamStatus.FAILED,
+            tenant=live.tenant,
+            priority=live.priority,
+            attempts=live.attempts,
+            latency_ticks=now - live.release_tick,
+            error=error,
+            signature=live.key.dyck,
+        )
+        self.results[live.request_id] = result
+        return result
+
+    def _assert_parity(self, live: _Live, payload: dict[str, Any]) -> None:
+        if self._direct is None:
+            self._direct = self.config.build()
+        direct = schedule_to_dict(
+            self._direct.schedule(live.request.cset, n_leaves=live.key.n_leaves)
+        )
+        if direct != payload:
+            raise ServiceParityError(
+                f"request {live.request_id}: streamed schedule diverged from "
+                f"the direct scheduler (signature {live.key.dyck!r})"
+            )
+
+    # -- internals: the admission feedback loop ------------------------------
+
+    def _sample_admission(self) -> None:
+        sample = LoadSample(
+            queue_fraction=self.backlog / self.max_queue,
+            expired=self._expired_delta,
+            failed=self._failed_delta,
+            retries=self._retries_delta,
+            capacity=self.max_inflight,
+        )
+        self._expired_delta = 0
+        self._failed_delta = 0
+        self._retries_delta = 0
+        self.admission.observe(sample)
+
+    # -- metrics helpers -----------------------------------------------------
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        if self.obs is not None and amount:
+            self.obs.metrics.inc(name, amount, run=self.obs.run)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.obs is not None:
+            self.obs.metrics.set(name, value, run=self.obs.run)
+
+    def _observe_latency(self, latency: int, priority: Priority) -> None:
+        if self.obs is not None:
+            self.obs.metrics.observe(
+                "stream.latency",
+                latency,
+                run=self.obs.run,
+                priority=priority.name.lower(),
+            )

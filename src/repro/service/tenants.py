@@ -1,0 +1,232 @@
+"""Multi-tenant quotas and weighted-fair dequeue for the streaming service.
+
+"Millions of users" maps onto the service as many *tenants* sharing one
+fabric.  Two mechanisms keep that sharing honest:
+
+* a **token bucket** per tenant (:class:`TenantQuota`) rate-limits
+  *admission*: each accepted request costs one token, tokens refill at
+  ``rate`` per logical tick up to ``burst``.  A tenant that exhausts its
+  bucket is throttled at the door — a ``Ticket`` that says so, never an
+  exception — so one hog cannot monopolise the queue itself;
+* **deficit round-robin** over the per-tenant ready queues
+  (:meth:`TenantRegistry.fair_select`) weights the *execution budget*:
+  each selection round credits every backlogged tenant ``weight``
+  deficit and serves requests while deficit lasts, so a tenant with
+  weight 2 drains twice as fast as a tenant with weight 1, and a starved
+  tenant's credit accumulates until it is served — DRR's classic
+  starvation-freedom guarantee, which the fairness tests assert.
+
+Both mechanisms run on the service's logical tick clock, so quota
+refill, fairness and test assertions are all deterministic.
+
+Metrics (under the service's run label): ``tenant.submitted`` /
+``tenant.throttled`` / ``tenant.served`` counters and a
+``tenant.tokens`` gauge, all labelled ``tenant=<id>``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Iterable
+
+from repro.exceptions import SchedulingError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
+__all__ = ["TenantQuota", "TenantState", "TenantRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class TenantQuota:
+    """One tenant's contract: admission rate and execution weight.
+
+    ``rate`` tokens refill per logical tick (fractions accumulate), the
+    bucket holds at most ``burst`` tokens, and ``weight`` scales this
+    tenant's share of each execution round's budget.
+    """
+
+    rate: float = 4.0
+    burst: float = 16.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise SchedulingError(f"quota rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise SchedulingError(f"quota burst must be >= 1, got {self.burst}")
+        if self.weight <= 0:
+            raise SchedulingError(f"quota weight must be > 0, got {self.weight}")
+
+
+@dataclass(slots=True)
+class TenantState:
+    """Live accounting for one tenant: bucket level, queue, DRR deficit."""
+
+    name: str
+    quota: TenantQuota
+    tokens: float
+    refill_tick: int = 0
+    deficit: float = 0.0
+    queue: Deque[Any] = None  # type: ignore[assignment]
+    submitted: int = 0
+    throttled: int = 0
+    served: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queue is None:
+            self.queue = deque()
+
+
+class TenantRegistry:
+    """All tenants the streaming service knows, plus the fairness machinery.
+
+    Unknown tenants are materialised on first submit under
+    ``default_quota`` — a service for millions of users cannot require
+    pre-registration — while :meth:`register` pins explicit contracts
+    (heavier weights, bigger bursts) for the tenants that pay for them.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_quota: TenantQuota | None = None,
+        metrics: MetricsRegistry | None = None,
+        run: str = "stream",
+    ) -> None:
+        self.default_quota = (
+            default_quota if default_quota is not None else TenantQuota()
+        )
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.run = run
+        self._tenants: dict[str, TenantState] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, name: str, quota: TenantQuota | None = None) -> TenantState:
+        """Create (or re-contract) a tenant; idempotent on the same quota."""
+        q = quota if quota is not None else self.default_quota
+        state = self._tenants.get(name)
+        if state is None:
+            state = self._tenants[name] = TenantState(
+                name=name, quota=q, tokens=q.burst
+            )
+        else:
+            state.quota = q
+            state.tokens = min(state.tokens, q.burst)
+        return state
+
+    def get(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = self.register(name)
+        return state
+
+    def __iter__(self) -> Iterable[TenantState]:
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    # -- admission-side quota ------------------------------------------------
+
+    def try_consume(self, name: str, now: int) -> bool:
+        """Charge one token for an admission at tick ``now``.
+
+        Refills lazily from the last refill tick, so callers never run a
+        background task.  Returns ``False`` — and counts a throttle —
+        when the bucket is empty.
+        """
+        state = self.get(name)
+        q = state.quota
+        if now > state.refill_tick:
+            state.tokens = min(
+                q.burst, state.tokens + q.rate * (now - state.refill_tick)
+            )
+            state.refill_tick = now
+        state.submitted += 1
+        self.metrics.inc("tenant.submitted", run=self.run, tenant=name)
+        if state.tokens < 1.0:
+            state.throttled += 1
+            self.metrics.inc("tenant.throttled", run=self.run, tenant=name)
+            return False
+        state.tokens -= 1.0
+        self.metrics.set("tenant.tokens", state.tokens, run=self.run, tenant=name)
+        return True
+
+    # -- queue plumbing ------------------------------------------------------
+
+    def enqueue(self, name: str, item: Any) -> None:
+        self.get(name).queue.append(item)
+
+    def requeue_front(self, name: str, items: Iterable[Any]) -> None:
+        """Return held-back items to the head of their tenant's queue,
+        preserving their original order."""
+        queue = self.get(name).queue
+        for item in reversed(list(items)):
+            queue.appendleft(item)
+
+    def backlog(self) -> int:
+        return sum(len(t.queue) for t in self._tenants.values())
+
+    def drain_all(self) -> list[Any]:
+        """Empty every queue (service shutdown path); returns the items."""
+        items: list[Any] = []
+        for t in self._tenants.values():
+            items.extend(t.queue)
+            t.queue.clear()
+        return items
+
+    # -- weighted-fair selection ---------------------------------------------
+
+    def fair_select(self, budget: int, skip=None) -> list[Any]:
+        """Deficit-round-robin selection of up to ``budget`` queued items.
+
+        Tenants are visited in name order (deterministic); each pass
+        credits every backlogged tenant ``weight`` deficit, then serves
+        heads while deficit covers them.  ``skip(item)`` (optional) marks
+        items the current admission state holds back — they are set
+        aside without charge and restored to the queue front afterwards,
+        so deferral never costs a tenant its turn.
+        """
+        if budget < 1:
+            return []
+        selected: list[Any] = []
+        held: dict[str, list[Any]] = {}
+        # bounded sweeps: each full pass either serves something or stops.
+        while len(selected) < budget:
+            backlogged = [
+                t for t in sorted(self._tenants) if self._tenants[t].queue
+            ]
+            if not backlogged:
+                break
+            progressed = False
+            for name in backlogged:
+                state = self._tenants[name]
+                state.deficit += state.quota.weight
+                while state.queue and state.deficit >= 1.0 and len(selected) < budget:
+                    item = state.queue.popleft()
+                    if skip is not None and skip(item):
+                        held.setdefault(name, []).append(item)
+                        continue
+                    state.deficit -= 1.0
+                    state.served += 1
+                    self.metrics.inc("tenant.served", run=self.run, tenant=name)
+                    selected.append(item)
+                    progressed = True
+                if len(selected) >= budget:
+                    break
+            if not progressed:
+                break
+        for name, items in held.items():
+            self.requeue_front(name, items)
+        # no tenant banks unlimited credit: an idle queue resets to one
+        # round's worth, and a deferred backlog (skip-held) may carry at
+        # most one budget — fairness is about backlog, not history.
+        for state in self._tenants.values():
+            cap = (
+                state.quota.weight
+                if not state.queue
+                else max(state.quota.weight, float(budget))
+            )
+            state.deficit = min(state.deficit, cap)
+        return selected

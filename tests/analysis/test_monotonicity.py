@@ -59,8 +59,8 @@ class TestPropertyComparative:
         absolute zero-inversion claim only holds on single-chain
         workloads; across schedulers CSA is always at least as ordered)."""
         topo = CSTTopology.of(64)
-        csa = PADRScheduler().schedule(cset, 64)
-        rand = RandomOrderScheduler(seed=9).schedule(cset, 64)
+        csa = PADRScheduler().schedule(cset, n_leaves=64)
+        rand = RandomOrderScheduler(seed=9).schedule(cset, n_leaves=64)
         r_csa = chain_service_analysis(csa, cset, topo)
         r_rand = chain_service_analysis(rand, cset, topo)
         # small slack: on tiny sets a lucky random order can be as ordered
@@ -78,7 +78,7 @@ class TestMultiChainNuance:
         cset = CommunicationSet(
             Communication(*p) for p in [(0, 9), (1, 8), (2, 7), (4, 6)]
         )
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         report = chain_service_analysis(s, cset, CSTTopology.of(64))
         assert report.total_inversions >= 1  # inner (4,6) fires early
         assert s.power.max_switch_changes <= 3  # ...at no power cost
@@ -87,7 +87,7 @@ class TestMultiChainNuance:
         rng = np.random.default_rng(0)
         for _ in range(5):
             cset = random_well_nested(16, 64, rng)
-            s = PADRScheduler().schedule(cset, 64)
+            s = PADRScheduler().schedule(cset, n_leaves=64)
             report = chain_service_analysis(s, cset, CSTTopology.of(64))
             # multi-chain workloads may show a few inversions, but the
             # per-switch power stays constant regardless (Theorem 8)

@@ -27,14 +27,14 @@ class TestCheckRoundOptimality:
 
     def test_sequential_excess_reported(self):
         cset = cs((0, 1), (2, 3), (4, 5))
-        s = SequentialScheduler().schedule(cset, 8)
+        s = SequentialScheduler().schedule(cset, n_leaves=8)
         report = check_round_optimality(s, cset)
         assert not report.optimal
         assert report.excess_rounds == 2
 
     def test_require_optimal_raises_on_excess(self):
         cset = cs((0, 1), (2, 3))
-        s = SequentialScheduler().schedule(cset, 8)
+        s = SequentialScheduler().schedule(cset, n_leaves=8)
         with pytest.raises(VerificationError, match="Theorem 5"):
             check_round_optimality(s, cset, require_optimal=True)
 
@@ -50,6 +50,6 @@ class TestCheckRoundOptimality:
 
     def test_empty_schedule_of_empty_set(self):
         empty = CommunicationSet(())
-        s = PADRScheduler().schedule(empty, 8)
+        s = PADRScheduler().schedule(empty, n_leaves=8)
         report = check_round_optimality(s, empty, require_optimal=True)
         assert report.n_rounds == 0 and report.width == 0

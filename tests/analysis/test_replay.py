@@ -15,7 +15,7 @@ from repro.analysis.verifier import verify_schedule
 class TestReplayOfCSA:
     def test_replay_matches_record(self):
         cset = paper_figure2_set()
-        s = PADRScheduler().schedule(cset, 16)
+        s = PADRScheduler().schedule(cset, n_leaves=16)
         report = replay_schedule(s, cset)
         assert report.deliveries_match
         report.raise_if_mismatched()
@@ -30,7 +30,7 @@ class TestReplayOfCSA:
     def test_random_csa_runs_are_replayable(self, seed):
         rng = np.random.default_rng(seed)
         cset = random_well_nested(12, 64, rng)
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         replay_schedule(s, cset).raise_if_mismatched()
 
     def test_recost_under_rebuild_policy(self):

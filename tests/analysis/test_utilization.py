@@ -27,7 +27,7 @@ class TestUtilizationReport:
     def test_link_utilization_bounds(self):
         rng = np.random.default_rng(0)
         cset = random_well_nested(16, 64, rng)
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         report = utilization_report(s)
         assert 0.0 < report.peak_link_utilization <= 1.0
         for r in report.rounds:
@@ -36,8 +36,8 @@ class TestUtilizationReport:
     def test_csa_at_least_as_parallel_as_sequential(self):
         rng = np.random.default_rng(1)
         cset = random_well_nested(12, 64, rng)
-        csa = utilization_report(PADRScheduler().schedule(cset, 64))
-        seq = utilization_report(SequentialScheduler().schedule(cset, 64))
+        csa = utilization_report(PADRScheduler().schedule(cset, n_leaves=64))
+        seq = utilization_report(SequentialScheduler().schedule(cset, n_leaves=64))
         assert csa.mean_parallelism >= seq.mean_parallelism
         assert seq.mean_parallelism == 1.0
 
@@ -49,7 +49,7 @@ class TestUtilizationReport:
     def test_empty_schedule(self):
         from repro.comms.communication import CommunicationSet
 
-        s = PADRScheduler().schedule(CommunicationSet(()), 8)
+        s = PADRScheduler().schedule(CommunicationSet(()), n_leaves=8)
         report = utilization_report(s)
         assert report.mean_parallelism == 0.0
         assert report.peak_parallelism == 0

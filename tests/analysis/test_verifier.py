@@ -25,14 +25,14 @@ def fake_schedule(cset, rounds, n_leaves=8, name="fake"):
 class TestAcceptsCorrect:
     def test_real_csa_schedule_passes(self):
         cset = cs((0, 3), (1, 2))
-        s = PADRScheduler().schedule(cset, 8)
+        s = PADRScheduler().schedule(cset, n_leaves=8)
         report = verify_schedule(s, cset)
         assert report.ok
         assert report.raise_if_failed() is report
 
     def test_summary_mentions_ok(self):
         cset = cs((0, 1))
-        s = PADRScheduler().schedule(cset, 8)
+        s = PADRScheduler().schedule(cset, n_leaves=8)
         assert "OK" in verify_schedule(s, cset).summary()
 
 

@@ -60,7 +60,7 @@ class TestSchedules:
     def test_correct_on_random_sets(self, order, seed):
         rng = np.random.default_rng(seed)
         cset = random_well_nested(12, 48, rng)
-        s = GreedyScheduler(order).schedule(cset, 64)
+        s = GreedyScheduler(order).schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
 
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
@@ -70,7 +70,7 @@ class TestSchedules:
         rng = np.random.default_rng(seed)
         cset = random_well_nested(12, 48, rng)
         n = 64
-        s = GreedyScheduler("outermost").schedule(cset, n)
+        s = GreedyScheduler("outermost").schedule(cset, n_leaves=n)
         assert s.n_rounds == width(cset, CSTTopology.of(n))
 
     def test_disjoint_pairs_single_round(self):

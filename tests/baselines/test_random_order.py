@@ -29,7 +29,7 @@ class TestRandomOrderScheduler:
     def test_correct_on_random_sets(self, seed):
         rng = np.random.default_rng(seed)
         cset = random_well_nested(12, 64, rng)
-        s = RandomOrderScheduler(seed=seed).schedule(cset, 64)
+        s = RandomOrderScheduler(seed=seed).schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
 
     def test_name_mentions_seed(self):

@@ -74,7 +74,7 @@ class TestRoyScheduler:
     def test_correct_on_random_sets(self, seed):
         rng = np.random.default_rng(seed)
         cset = random_well_nested(12, 64, rng)
-        s = RoyIDScheduler().schedule(cset, 64)
+        s = RoyIDScheduler().schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
 
     def test_round_optimal_on_crossing_chain(self):

@@ -17,7 +17,7 @@ class TestSequentialScheduler:
     def test_correctness(self):
         rng = np.random.default_rng(0)
         cset = random_well_nested(10, 64, rng)
-        s = SequentialScheduler().schedule(cset, 64)
+        s = SequentialScheduler().schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
 
     def test_deterministic_order(self):

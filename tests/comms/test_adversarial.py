@@ -23,13 +23,13 @@ from repro.analysis.verifier import verify_schedule
 class TestIdleSubtreeInversion:
     def test_exhibits_inversion(self):
         cset = idle_subtree_inversion_set()
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         report = chain_service_analysis(s, cset, CSTTopology.of(64))
         assert report.total_inversions >= 1
 
     def test_still_correct_and_optimal(self):
         cset = idle_subtree_inversion_set()
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
         check_round_optimality(s, cset, require_optimal=True)
 
@@ -75,7 +75,7 @@ class TestFullLeafUtilisation:
 
     def test_csa_exact_rounds_and_constant_power(self):
         cset = full_leaf_utilisation_set(64)
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == 32
         assert s.power.max_switch_changes <= 2

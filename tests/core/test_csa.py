@@ -25,14 +25,14 @@ def cs(*pairs):
 
 
 def run_verified(cset, n_leaves=None, **kw):
-    schedule = PADRScheduler().schedule(cset, n_leaves, **kw)
+    schedule = PADRScheduler().schedule(cset, n_leaves=n_leaves, **kw)
     verify_schedule(schedule, cset).raise_if_failed()
     return schedule
 
 
 class TestBasics:
     def test_empty_set_zero_rounds(self):
-        s = PADRScheduler().schedule(CommunicationSet(()), 8)
+        s = PADRScheduler().schedule(CommunicationSet(()), n_leaves=8)
         assert s.n_rounds == 0
         assert s.power.total_units == 0
 
@@ -70,14 +70,14 @@ class TestBasics:
 class TestInputValidation:
     def test_left_oriented_rejected(self):
         with pytest.raises(OrientationError):
-            PADRScheduler().schedule(cs((5, 2)), 8)
+            PADRScheduler().schedule(cs((5, 2)), n_leaves=8)
 
     def test_crossing_rejected(self):
         with pytest.raises(NotWellNestedError):
-            PADRScheduler().schedule(cs((0, 2), (1, 3)), 8)
+            PADRScheduler().schedule(cs((0, 2), (1, 3)), n_leaves=8)
 
     def test_validation_can_be_disabled_for_valid_input(self):
-        s = PADRScheduler(validate_input=False).schedule(cs((0, 1)), 8)
+        s = PADRScheduler(validate_input=False).schedule(cs((0, 1)), n_leaves=8)
         assert s.n_rounds == 1
 
 
@@ -167,7 +167,7 @@ class TestDistributedDiscipline:
 
     def test_all_pes_satisfied(self):
         sched = PADRScheduler()
-        sched.schedule(paper_figure2_set(), 16)
+        sched.schedule(paper_figure2_set(), n_leaves=16)
         assert sched.last_network.all_done
 
 

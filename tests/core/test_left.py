@@ -23,28 +23,28 @@ def cs(*pairs):
 class TestBasics:
     def test_rejects_right_oriented(self):
         with pytest.raises(OrientationError):
-            LeftPADRScheduler().schedule(cs((0, 1)), 8)
+            LeftPADRScheduler().schedule(cs((0, 1)), n_leaves=8)
 
     def test_single_pair(self):
         cset = cs((5, 2))
-        s = LeftPADRScheduler().schedule(cset, 8)
+        s = LeftPADRScheduler().schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == 1
 
     def test_nested_left_chain(self):
         cset = cs((7, 0), (6, 1), (5, 2))
-        s = LeftPADRScheduler().schedule(cset, 8)
+        s = LeftPADRScheduler().schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == width(cset, CSTTopology.of(8)) == 3
 
     def test_empty_set(self):
-        s = LeftPADRScheduler().schedule(CommunicationSet(()), 8)
+        s = LeftPADRScheduler().schedule(CommunicationSet(()), n_leaves=8)
         assert s.n_rounds == 0
 
     def test_power_optimal_on_left_crossing_chain(self):
         n = 64
         cset = CommunicationSet(Communication(n - 1 - i, i) for i in range(16))
-        s = LeftPADRScheduler().schedule(cset, n)
+        s = LeftPADRScheduler().schedule(cset, n_leaves=n)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == 16
         assert s.power.max_switch_changes <= 2  # Theorem 8, mirrored
@@ -59,8 +59,8 @@ class TestCrossCheckAgainstReflection:
         right = random_well_nested(10, 64, rng)
         left = right.mirrored(64)
 
-        native = LeftPADRScheduler().schedule(left, 64)
-        reflected = MirroredScheduler().schedule(left, 64)
+        native = LeftPADRScheduler().schedule(left, n_leaves=64)
+        reflected = MirroredScheduler().schedule(left, n_leaves=64)
 
         verify_schedule(native, left).raise_if_failed()
         verify_schedule(reflected, left).raise_if_failed()
@@ -77,8 +77,8 @@ class TestCrossCheckAgainstReflection:
         right = random_well_nested(8, 32, rng)
         left = right.mirrored(32)
 
-        native = LeftPADRScheduler().schedule(left, 32)
-        right_run = __import__("repro").PADRScheduler().schedule(right, 32)
+        native = LeftPADRScheduler().schedule(left, n_leaves=32)
+        right_run = __import__("repro").PADRScheduler().schedule(right, n_leaves=32)
         for rn, rr in zip(native.rounds, right_run.rounds):
             reflected = sorted(
                 Communication(32 - 1 - c.src, 32 - 1 - c.dst)
@@ -94,7 +94,7 @@ class TestProperties:
         left = cset.mirrored(64)
         if len(left) == 0:
             return
-        s = LeftPADRScheduler().schedule(left, 64)
+        s = LeftPADRScheduler().schedule(left, n_leaves=64)
         verify_schedule(s, left).raise_if_failed()
         assert s.n_rounds == width(left, CSTTopology.of(64))
 
@@ -104,5 +104,5 @@ class TestProperties:
         left = cset.mirrored(64)
         if len(left) == 0:
             return
-        s = LeftPADRScheduler().schedule(left, 64)
+        s = LeftPADRScheduler().schedule(left, n_leaves=64)
         assert s.power.max_switch_changes <= 6

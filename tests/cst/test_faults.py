@@ -196,7 +196,7 @@ class TestFaultsAreDetected:
     def test_healthy_network_param_behaves_identically(self):
         cset = paper_figure2_set()
         via_param = PADRScheduler().schedule(cset, network=CSTNetwork.of_size(16))
-        direct = PADRScheduler().schedule(cset, 16)
+        direct = PADRScheduler().schedule(cset, n_leaves=16)
         assert via_param.n_rounds == direct.n_rounds
         assert list(via_param.performed()) == list(direct.performed())
 

@@ -68,13 +68,13 @@ class TestGeneralSetScheduler:
     def test_crossing_pair(self):
         cset = cs((0, 2), (1, 3))
         sched = GeneralSetScheduler()
-        s = sched.schedule(cset, 8)
+        s = sched.schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
         assert sched.last_layering.total_layers == 2
 
     def test_mixed_orientation_with_crossings(self):
         cset = cs((0, 2), (1, 3), (7, 5), (6, 4))
-        s = GeneralSetScheduler().schedule(cset, 8)
+        s = GeneralSetScheduler().schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
 
     def test_well_nested_degenerates_to_csa(self):
@@ -86,28 +86,28 @@ class TestGeneralSetScheduler:
         assert sched.last_layering.total_layers == 1
 
     def test_empty_set(self):
-        s = GeneralSetScheduler().schedule(CommunicationSet(()), 8)
+        s = GeneralSetScheduler().schedule(CommunicationSet(()), n_leaves=8)
         assert s.n_rounds == 0
 
     @given(cset=arbitrary_set_st())
     @settings(max_examples=80, deadline=None)
     def test_any_valid_set_schedules_correctly(self, cset):
-        s = GeneralSetScheduler().schedule(cset, 32)
+        s = GeneralSetScheduler().schedule(cset, n_leaves=32)
         verify_schedule(s, cset).raise_if_failed()
 
 
 class TestInterleavedGeneralScheduler:
     def test_correctness_on_crossings(self):
         cset = cs((0, 4), (1, 5), (2, 6), (3, 7))
-        s = InterleavedGeneralScheduler().schedule(cset, 8)
+        s = InterleavedGeneralScheduler().schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
 
     def test_never_more_rounds_than_sequential(self):
         rng = np.random.default_rng(0)
         for _ in range(10):
             right = random_well_nested(5, 32, rng)
-            s_seq = GeneralSetScheduler().schedule(right, 32)
-            s_int = InterleavedGeneralScheduler().schedule(right, 32)
+            s_seq = GeneralSetScheduler().schedule(right, n_leaves=32)
+            s_int = InterleavedGeneralScheduler().schedule(right, n_leaves=32)
             assert s_int.n_rounds <= s_seq.n_rounds
 
     def test_opposite_orientations_interleave(self):
@@ -116,13 +116,13 @@ class TestInterleavedGeneralScheduler:
         right = [Communication(0, 15), Communication(1, 14)]
         left = [Communication(13, 2), Communication(12, 3)]
         cset = CommunicationSet(right + left)
-        seq = GeneralSetScheduler().schedule(cset, 16)
-        merged = InterleavedGeneralScheduler().schedule(cset, 16)
+        seq = GeneralSetScheduler().schedule(cset, n_leaves=16)
+        merged = InterleavedGeneralScheduler().schedule(cset, n_leaves=16)
         verify_schedule(merged, cset).raise_if_failed()
         assert merged.n_rounds < seq.n_rounds
 
     @given(cset=arbitrary_set_st())
     @settings(max_examples=80, deadline=None)
     def test_any_valid_set_schedules_correctly(self, cset):
-        s = InterleavedGeneralScheduler().schedule(cset, 32)
+        s = InterleavedGeneralScheduler().schedule(cset, n_leaves=32)
         verify_schedule(s, cset).raise_if_failed()

@@ -33,18 +33,18 @@ class TestDecompose:
 class TestMirroredScheduler:
     def test_rejects_right_oriented_input(self):
         with pytest.raises(OrientationError):
-            MirroredScheduler().schedule(cs((0, 1)), 8)
+            MirroredScheduler().schedule(cs((0, 1)), n_leaves=8)
 
     def test_left_oriented_single_pair(self):
         cset = cs((5, 2))
-        s = MirroredScheduler().schedule(cset, 8)
+        s = MirroredScheduler().schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == 1
 
     def test_left_oriented_nested(self):
         # mirror of a nested right set: ((...)) read right-to-left
         cset = cs((7, 0), (6, 1), (5, 2))
-        s = MirroredScheduler().schedule(cset, 8)
+        s = MirroredScheduler().schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == 3  # all three pairs cross the root
 
@@ -56,19 +56,19 @@ class TestMirroredScheduler:
         for _ in range(10):
             right = random_well_nested(8, 32, rng)
             left = right.mirrored(32)
-            s = MirroredScheduler().schedule(left, 32)
+            s = MirroredScheduler().schedule(left, n_leaves=32)
             verify_schedule(s, left).raise_if_failed()
 
 
 class TestOrientedDecompositionScheduler:
     def test_mixed_set_scheduled_correctly(self):
         mixed = cs((0, 3), (1, 2), (7, 4), (6, 5))
-        s = OrientedDecompositionScheduler().schedule(mixed, 8)
+        s = OrientedDecompositionScheduler().schedule(mixed, n_leaves=8)
         verify_schedule(s, mixed).raise_if_failed()
 
     def test_round_indices_contiguous(self):
         mixed = cs((0, 1), (3, 2))
-        s = OrientedDecompositionScheduler().schedule(mixed, 8)
+        s = OrientedDecompositionScheduler().schedule(mixed, n_leaves=8)
         assert [r.index for r in s.rounds] == list(range(s.n_rounds))
 
     def test_rounds_are_sum_of_oriented_widths(self):
@@ -80,7 +80,7 @@ class TestOrientedDecompositionScheduler:
         right = cs((0, 15), (1, 14), (2, 3))
         left = cs((31, 16), (30, 17))
         mixed = CommunicationSet(list(right) + list(left))
-        s = OrientedDecompositionScheduler().schedule(mixed, 32)
+        s = OrientedDecompositionScheduler().schedule(mixed, n_leaves=32)
         verify_schedule(s, mixed).raise_if_failed()
         topo = CSTTopology.of(32)
         w_right = width(right, topo)
@@ -89,17 +89,17 @@ class TestOrientedDecompositionScheduler:
 
     def test_pure_right_set_degenerates_to_csa(self):
         cset = cs((0, 3), (1, 2))
-        s = OrientedDecompositionScheduler().schedule(cset, 8)
+        s = OrientedDecompositionScheduler().schedule(cset, n_leaves=8)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == 2
 
     def test_empty_set(self):
-        s = OrientedDecompositionScheduler().schedule(CommunicationSet(()), 8)
+        s = OrientedDecompositionScheduler().schedule(CommunicationSet(()), n_leaves=8)
         assert s.n_rounds == 0
 
     def test_power_merged_across_phases(self):
         mixed = cs((0, 1), (3, 2))
-        s = OrientedDecompositionScheduler().schedule(mixed, 8)
+        s = OrientedDecompositionScheduler().schedule(mixed, n_leaves=8)
         assert s.power.total_units > 0
         assert s.power.rounds == s.n_rounds
 
@@ -107,9 +107,9 @@ class TestOrientedDecompositionScheduler:
 class TestNativeLeftOption:
     def test_native_left_equivalent_to_mirrored(self):
         mixed = cs((0, 3), (1, 2), (7, 4), (6, 5))
-        via_mirror = OrientedDecompositionScheduler().schedule(mixed, 8)
+        via_mirror = OrientedDecompositionScheduler().schedule(mixed, n_leaves=8)
         via_native = OrientedDecompositionScheduler(native_left=True).schedule(
-            mixed, 8
+            mixed, n_leaves=8
         )
         verify_schedule(via_native, mixed).raise_if_failed()
         assert via_native.n_rounds == via_mirror.n_rounds

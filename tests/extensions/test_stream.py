@@ -18,7 +18,7 @@ class TestStreamBasics:
 
         cset = crossing_chain(3)
         stream = StreamScheduler().run([cset], 8)
-        plain = PADRScheduler().schedule(cset, 8)
+        plain = PADRScheduler().schedule(cset, n_leaves=8)
         assert stream.steps[0].rounds == plain.n_rounds
         assert stream.steps[0].power_units == plain.power.total_units
 

@@ -93,7 +93,7 @@ class TestScaleSmoke:
         rng = np.random.default_rng(0)
         n = 1024
         cset = random_well_nested(400, n, rng)
-        s = PADRScheduler().schedule(cset, n)
+        s = PADRScheduler().schedule(cset, n_leaves=n)
         verify_schedule(s, cset).raise_if_failed()
         assert s.n_rounds == width(cset, CSTTopology.of(n))
         assert s.power.max_switch_changes <= 8
@@ -102,5 +102,5 @@ class TestScaleSmoke:
         # every leaf is an endpoint
         rng = np.random.default_rng(1)
         cset = random_well_nested(64, 128, rng)
-        s = PADRScheduler().schedule(cset, 128)
+        s = PADRScheduler().schedule(cset, n_leaves=128)
         verify_schedule(s, cset).raise_if_failed()

@@ -50,7 +50,7 @@ class TestExhaustiveTheorems:
         scheduler = PADRScheduler()
         checked = 0
         for cset in all_small_sets():
-            s = scheduler.schedule(cset, N_LEAVES)
+            s = scheduler.schedule(cset, n_leaves=N_LEAVES)
             # Theorem 4
             verify_schedule(s, cset).raise_if_failed()
             # Theorem 5
@@ -65,7 +65,7 @@ class TestExhaustiveTheorems:
         checked = 0
         for cset in all_small_sets():
             left = cset.mirrored(N_LEAVES)
-            s = scheduler.schedule(left, N_LEAVES)
+            s = scheduler.schedule(left, n_leaves=N_LEAVES)
             verify_schedule(s, left).raise_if_failed()
             check_round_optimality(s, left, require_optimal=True)
             checked += 1

@@ -35,14 +35,14 @@ class TestTheorem4Correctness:
         rng = np.random.default_rng(seed)
         n_pairs = int(rng.integers(1, 30))
         cset = random_well_nested(n_pairs, 64, rng)
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
 
     def test_paths_are_dedicated_within_rounds(self):
         # verified by the compatible-set check inside verify_schedule; this
         # test makes the claim explicit on the paper's own example.
         cset = paper_figure2_set()
-        s = PADRScheduler().schedule(cset, 16)
+        s = PADRScheduler().schedule(cset, n_leaves=16)
         report = verify_schedule(s, cset)
         assert report.ok
 
@@ -61,7 +61,7 @@ class TestTheorem5Optimality:
     def test_exactly_w_rounds_on_random_sets(self, seed):
         rng = np.random.default_rng(1000 + seed)
         cset = random_well_nested(int(rng.integers(1, 40)), 128, rng)
-        s = PADRScheduler().schedule(cset, 128)
+        s = PADRScheduler().schedule(cset, n_leaves=128)
         check_round_optimality(s, cset, require_optimal=True)
 
     def test_storage_is_constant_words(self):
@@ -77,7 +77,7 @@ class TestTheorem5Optimality:
         # per round, each link carries exactly one constant-size word:
         # total control words = Θ(N) per wave, independent of set size.
         cset = disjoint_pairs(2)
-        s = PADRScheduler().schedule(cset, n)
+        s = PADRScheduler().schedule(cset, n_leaves=n)
         per_wave = 2 * n - 2
         waves = 1 + s.n_rounds
         assert s.control_messages == per_wave * waves
@@ -104,7 +104,7 @@ class TestTheorem8PowerOptimality:
     def test_csa_bounded_changes_random(self, seed):
         rng = np.random.default_rng(seed)
         cset = random_well_nested(32, 128, rng)
-        s = PADRScheduler().schedule(cset, 128)
+        s = PADRScheduler().schedule(cset, n_leaves=128)
         # Lemmas 6–7 bound per-port alternation; 6 covers all ports safely
         assert s.power.max_switch_changes <= 6
 

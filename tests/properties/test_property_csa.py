@@ -22,21 +22,21 @@ TOPO = CSTTopology.of(64)
 @given(wellnested_set_st())
 @settings(max_examples=150, deadline=None)
 def test_theorem4_every_pair_delivered_exactly_once(cset):
-    s = PADRScheduler().schedule(cset, 64)
+    s = PADRScheduler().schedule(cset, n_leaves=64)
     verify_schedule(s, cset).raise_if_failed()
 
 
 @given(wellnested_set_st())
 @settings(max_examples=150, deadline=None)
 def test_theorem5_rounds_equal_width(cset):
-    s = PADRScheduler().schedule(cset, 64)
+    s = PADRScheduler().schedule(cset, n_leaves=64)
     check_round_optimality(s, cset, require_optimal=True)
 
 
 @given(wellnested_set_st())
 @settings(max_examples=150, deadline=None)
 def test_theorem8_constant_switch_changes(cset):
-    s = PADRScheduler().schedule(cset, 64)
+    s = PADRScheduler().schedule(cset, n_leaves=64)
     # Lemmas 6–7: at most two alternations per word family per port; six
     # bounds every switch with slack for the three-port interleavings.
     assert s.power.max_switch_changes <= 6
@@ -45,7 +45,7 @@ def test_theorem8_constant_switch_changes(cset):
 @given(wellnested_set_st())
 @settings(max_examples=100, deadline=None)
 def test_each_round_nonempty_and_strictly_progresses(cset):
-    s = PADRScheduler().schedule(cset, 64)
+    s = PADRScheduler().schedule(cset, n_leaves=64)
     for r in s.rounds:
         assert len(r.performed) >= 1
     total = sum(len(r.performed) for r in s.rounds)
@@ -68,7 +68,7 @@ def test_outermost_rule_first_round_contains_all_depth_zero_roots(cset):
     if not is_compatible_set(roots, TOPO):
         return  # roots themselves clash (possible: disjoint intervals never
         # clash, but roots plus piggybacked inner pairs can differ)
-    s = PADRScheduler().schedule(cset, 64)
+    s = PADRScheduler().schedule(cset, n_leaves=64)
     round0 = set(s.rounds[0].performed)
     for c in roots:
         assert c in round0
@@ -79,7 +79,7 @@ def test_outermost_rule_first_round_contains_all_depth_zero_roots(cset):
 def test_power_conservation(cset):
     """Total charged units equal the sum over switches; every charged
     switch actually lies on some communication's path."""
-    s = PADRScheduler().schedule(cset, 64)
+    s = PADRScheduler().schedule(cset, n_leaves=64)
     per_switch = s.power.per_switch_units
     assert sum(per_switch.values()) == s.power.total_units
     on_paths = set()

@@ -32,13 +32,13 @@ class TestBaselineProperties:
     @given(cset=wellnested_set_st(max_pairs=8))
     @settings(max_examples=60, deadline=None)
     def test_delivers_everything_exactly_once(self, scheduler, cset):
-        s = scheduler.schedule(cset, 64)
+        s = scheduler.schedule(cset, n_leaves=64)
         verify_schedule(s, cset).raise_if_failed()
 
     @given(cset=wellnested_set_st(max_pairs=8))
     @settings(max_examples=60, deadline=None)
     def test_rounds_at_least_width(self, scheduler, cset):
-        s = scheduler.schedule(cset, 64)
+        s = scheduler.schedule(cset, n_leaves=64)
         assert s.n_rounds >= width(cset, TOPO)
 
 
@@ -46,7 +46,7 @@ class TestBaselineProperties:
 @settings(max_examples=60, deadline=None)
 def test_roy_ids_equal_width_rounds(cset):
     """The reconstruction's round-optimality, as promised in its docstring."""
-    s = RoyIDScheduler().schedule(cset, 64)
+    s = RoyIDScheduler().schedule(cset, n_leaves=64)
     assert s.n_rounds == width(cset, TOPO)
 
 
@@ -62,7 +62,7 @@ def test_greedy_outermost_width_optimal(cset):
     outermost communication first — the CSA's O_c(u) rule — is therefore
     load-bearing for Theorem 5, not only for Theorem 8.
     """
-    s = GreedyScheduler("outermost").schedule(cset, 64)
+    s = GreedyScheduler("outermost").schedule(cset, n_leaves=64)
     assert s.n_rounds == width(cset, TOPO)
 
 
@@ -75,7 +75,7 @@ def test_greedy_innermost_not_always_optimal():
         for p in [(0, 12), (1, 2), (3, 11), (4, 5), (8, 10), (13, 14)]
     )
     assert width(cset, TOPO) == 2
-    s = GreedyScheduler("innermost").schedule(cset, 64)
+    s = GreedyScheduler("innermost").schedule(cset, n_leaves=64)
     assert s.n_rounds == 3
 
 
@@ -85,7 +85,7 @@ def test_csa_power_never_beaten(cset):
     """No baseline achieves fewer max-per-switch changes than the CSA."""
     from repro.core.csa import PADRScheduler
 
-    csa = PADRScheduler().schedule(cset, 64)
+    csa = PADRScheduler().schedule(cset, n_leaves=64)
     for scheduler in BASELINES:
-        other = scheduler.schedule(cset, 64)
+        other = scheduler.schedule(cset, n_leaves=64)
         assert csa.power.max_switch_changes <= other.power.max_switch_changes + 1

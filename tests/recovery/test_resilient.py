@@ -32,8 +32,8 @@ def _fingerprint(schedule):
 class TestHealthyPath:
     def test_bit_identical_to_plain_csa(self):
         cset = paper_figure2_set()
-        plain = PADRScheduler().schedule(cset, 16)
-        res = ResilientScheduler().schedule(cset, 16)
+        plain = PADRScheduler().schedule(cset, n_leaves=16)
+        res = ResilientScheduler().schedule(cset, n_leaves=16)
         assert not res.degraded
         assert res.quarantined == ()
         assert res.undelivered == ()
@@ -44,7 +44,7 @@ class TestHealthyPath:
         assert _fingerprint(res.schedule) == _fingerprint(plain)
 
     def test_empty_set(self):
-        res = ResilientScheduler().schedule(CommunicationSet(()), 8)
+        res = ResilientScheduler().schedule(CommunicationSet(()), n_leaves=8)
         assert res.delivered == () and res.undelivered == ()
         assert res.partitions(CommunicationSet(()))
 
@@ -53,7 +53,7 @@ class TestHealthyPath:
             [Communication(0, 2), Communication(1, 3)]
         )
         with pytest.raises((CommunicationError, ReproError)):
-            ResilientScheduler().schedule(crossing, 8)
+            ResilientScheduler().schedule(crossing, n_leaves=8)
 
     def test_size_conflict_still_raises(self):
         with pytest.raises(SchedulingError, match="conflicts"):

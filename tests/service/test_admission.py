@@ -1,0 +1,183 @@
+"""The admission state machine: transitions, hysteresis, the policy table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.obs import MetricsRegistry
+from repro.obs.registry import metric_key
+from repro.service.admission import (
+    POLICY,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionState,
+    AdmissionThresholds,
+    LoadSample,
+    Priority,
+)
+
+
+def pressured(controller: AdmissionController, pressure: float) -> AdmissionState:
+    """Feed one sample with exactly this queue pressure (no failure heat)."""
+    return controller.observe(LoadSample(queue_fraction=pressure))
+
+
+class TestThresholds:
+    def test_defaults_are_ordered(self):
+        t = AdmissionThresholds()
+        assert 0 < t.yellow_enter < t.soft_red_enter < t.red_enter <= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"yellow_enter": 0.8, "soft_red_enter": 0.7},  # out of order
+            {"red_enter": 1.5},  # above 1
+            {"yellow_enter": 0.0},  # zero
+            {"hysteresis": -0.1},
+            {"cooldown": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(SchedulingError):
+            AdmissionThresholds(**kwargs)
+
+    def test_target_state_mapping(self):
+        t = AdmissionThresholds()
+        assert t.target_state(0.0) is AdmissionState.GREEN
+        assert t.target_state(0.49) is AdmissionState.GREEN
+        assert t.target_state(0.50) is AdmissionState.YELLOW
+        assert t.target_state(0.75) is AdmissionState.SOFT_RED
+        assert t.target_state(0.90) is AdmissionState.RED
+        assert t.target_state(1.0) is AdmissionState.RED
+
+    def test_exit_bound_is_enter_minus_hysteresis(self):
+        t = AdmissionThresholds()
+        assert t.exit_bound(AdmissionState.YELLOW) == pytest.approx(0.40)
+        assert t.exit_bound(AdmissionState.SOFT_RED) == pytest.approx(0.65)
+        assert t.exit_bound(AdmissionState.RED) == pytest.approx(0.80)
+
+
+class TestLoadSample:
+    def test_pressure_is_clamped(self):
+        assert LoadSample(queue_fraction=2.0).pressure() == 1.0
+        assert LoadSample(queue_fraction=-1.0).pressure() == 0.0
+
+    def test_failure_heat_adds_pressure(self):
+        calm = LoadSample(queue_fraction=0.3, capacity=10)
+        hot = LoadSample(queue_fraction=0.3, expired=2, failed=1, retries=1,
+                         capacity=10)
+        assert hot.pressure() > calm.pressure()
+        assert hot.pressure() == pytest.approx(0.3 + 0.5 * 0.4)
+
+
+class TestTransitions:
+    """Forced metric inputs drive the full cycle the ISSUE requires."""
+
+    def test_full_cycle_green_to_red_and_back(self):
+        c = AdmissionController(AdmissionThresholds(cooldown=2))
+        assert c.state is AdmissionState.GREEN
+
+        assert pressured(c, 0.55) is AdmissionState.YELLOW
+        assert pressured(c, 0.80) is AdmissionState.SOFT_RED
+        assert pressured(c, 0.95) is AdmissionState.RED
+
+        # recovery: one step per earned cooldown (2 calm samples each)
+        assert pressured(c, 0.1) is AdmissionState.RED
+        assert pressured(c, 0.1) is AdmissionState.SOFT_RED
+        assert pressured(c, 0.1) is AdmissionState.SOFT_RED
+        assert pressured(c, 0.1) is AdmissionState.YELLOW
+        assert pressured(c, 0.1) is AdmissionState.YELLOW
+        assert pressured(c, 0.1) is AdmissionState.GREEN
+
+        assert [s for _, s in c.state_trajectory()] == [
+            "YELLOW", "SOFT_RED", "RED", "SOFT_RED", "YELLOW", "GREEN",
+        ]
+        for state in AdmissionState:
+            assert c.reached(state)
+
+    def test_escalation_jumps_straight_to_target(self):
+        c = AdmissionController()
+        assert pressured(c, 0.95) is AdmissionState.RED
+        assert [s for _, s in c.state_trajectory()] == ["RED"]
+
+    def test_deescalation_never_jumps(self):
+        c = AdmissionController(AdmissionThresholds(cooldown=1))
+        pressured(c, 0.95)
+        assert pressured(c, 0.0) is AdmissionState.SOFT_RED  # one step only
+
+    def test_hysteresis_band_holds_the_state(self):
+        c = AdmissionController(AdmissionThresholds(cooldown=1))
+        pressured(c, 0.55)
+        # 0.45 is below yellow_enter but above the 0.40 exit bound
+        for _ in range(5):
+            assert pressured(c, 0.45) is AdmissionState.YELLOW
+
+    def test_hot_sample_resets_the_calm_streak(self):
+        c = AdmissionController(AdmissionThresholds(cooldown=3))
+        pressured(c, 0.55)
+        pressured(c, 0.1)
+        pressured(c, 0.1)
+        pressured(c, 0.45)  # back inside the band: streak resets
+        pressured(c, 0.1)
+        pressured(c, 0.1)
+        assert c.state is AdmissionState.YELLOW  # still one calm sample short
+        assert pressured(c, 0.1) is AdmissionState.GREEN
+
+
+class TestPolicy:
+    def test_table_covers_every_state_and_priority(self):
+        assert set(POLICY) == set(AdmissionState)
+        for row in POLICY.values():
+            assert set(row) == set(Priority)
+
+    def test_only_low_is_ever_shed(self):
+        for state, row in POLICY.items():
+            for priority, decision in row.items():
+                if decision is AdmissionDecision.SHED:
+                    assert priority is Priority.LOW, (
+                        f"{state.name} sheds {priority.name}"
+                    )
+
+    def test_high_is_always_admitted(self):
+        for row in POLICY.values():
+            assert row[Priority.HIGH] is AdmissionDecision.ADMIT
+
+    def test_decide_follows_the_table(self):
+        c = AdmissionController()
+        pressured(c, 0.95)  # RED
+        assert c.decide(Priority.LOW) is AdmissionDecision.SHED
+        assert c.decide(Priority.NORMAL) is AdmissionDecision.DEFER
+        assert c.decide(Priority.HIGH) is AdmissionDecision.ADMIT
+
+    def test_defers_reflects_the_current_state(self):
+        c = AdmissionController()
+        assert not c.defers(Priority.LOW)
+        pressured(c, 0.55)  # YELLOW
+        assert c.defers(Priority.LOW)
+        assert not c.defers(Priority.NORMAL)
+
+
+class TestMetrics:
+    def test_gauges_and_transition_counters_emitted(self):
+        reg = MetricsRegistry()
+        c = AdmissionController(metrics=reg, run="t")
+        c.observe(LoadSample(queue_fraction=0.95))
+        c.decide(Priority.LOW)
+        snap = reg.snapshot()
+        assert snap["gauges"][metric_key("admission.state", {"run": "t"})] == 3
+        assert (
+            snap["counters"][
+                metric_key(
+                    "admission.transitions",
+                    {"run": "t", "source": "GREEN", "target": "RED"},
+                )
+            ]
+            == 1
+        )
+        assert (
+            snap["counters"][
+                metric_key("admission.shed", {"run": "t", "priority": "low"})
+            ]
+            == 1
+        )

@@ -10,14 +10,13 @@ top-level package exports.  Each must:
 * accept ``obs=`` and populate the metrics registry;
 * honour ``network=`` when it claims to (``supports_network``) and reject
   it clearly when it does not;
-* keep the deprecated positional-``n_leaves`` form working, warning
-  exactly once per class.
+* reject the removed positional-``n_leaves`` form with ``TypeError``
+  (deprecated in the PR-4 release, removed now).
 """
 
 from __future__ import annotations
 
 import inspect
-import warnings
 
 import pytest
 
@@ -101,8 +100,14 @@ class TestSignature:
         scheduler, _ = case
         sig = inspect.signature(type(scheduler).schedule)
         assert list(sig.parameters) == [
-            "self", "cset", "args", "n_leaves", "policy", "network", "obs",
+            "self", "cset", "n_leaves", "policy", "network", "obs",
         ]
+
+    def test_options_are_keyword_only(self, case):
+        scheduler, _ = case
+        sig = inspect.signature(type(scheduler).schedule)
+        for name in ("n_leaves", "policy", "network", "obs"):
+            assert sig.parameters[name].kind is inspect.Parameter.KEYWORD_ONLY
 
 
 class TestScheduleInvariants:
@@ -156,28 +161,15 @@ class TestNetwork:
             scheduler.schedule(workload, n_leaves=16, network=network)
 
 
-class TestDeprecationShim:
-    def test_positional_n_leaves_warns_exactly_once(self, case):
-        scheduler, workload = case
-        Scheduler._reset_deprecation_warnings()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            s1 = scheduler.schedule(workload, 8)
-            s2 = scheduler.schedule(workload, 8)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert type(scheduler).__name__ in str(deprecations[0].message)
-        # the shim only warns — results are identical to the keyword form
-        assert s1.n_leaves == s2.n_leaves == 8
+class TestPositionalRemoved:
+    """The PR-4 positional-``n_leaves`` deprecation shim is gone: the
+    options are keyword-only and the old call form fails loudly."""
 
-    def test_positional_and_keyword_together_is_an_error(self, case):
+    def test_positional_n_leaves_raises_type_error(self, case):
         scheduler, workload = case
-        with pytest.raises(TypeError, match="positionally and by keyword"):
-            scheduler.schedule(workload, 8, n_leaves=8)
+        with pytest.raises(TypeError):
+            scheduler.schedule(workload, 8)
 
-    def test_excess_positionals_rejected(self, case):
+    def test_keyword_form_unaffected(self, case):
         scheduler, workload = case
-        with pytest.raises(TypeError, match="at most one"):
-            scheduler.schedule(workload, 8, None)
+        assert scheduler.schedule(workload, n_leaves=8).n_leaves == 8

@@ -55,7 +55,7 @@ class TestCsetRoundTrip:
 class TestScheduleRoundTrip:
     def test_roundtrip_preserves_everything_the_verifier_needs(self):
         cset = paper_figure2_set()
-        original = PADRScheduler().schedule(cset, 16)
+        original = PADRScheduler().schedule(cset, n_leaves=16)
         restored = schedule_from_dict(schedule_to_dict(original))
 
         assert restored.scheduler_name == original.scheduler_name
@@ -233,6 +233,6 @@ class TestIOProperties:
     @given(cset=wellnested_set_st(max_pairs=6))
     @settings(max_examples=30, deadline=None)
     def test_schedule_roundtrip_property(self, cset):
-        s = PADRScheduler().schedule(cset, 64)
+        s = PADRScheduler().schedule(cset, n_leaves=64)
         restored = schedule_from_dict(schedule_to_dict(s))
         assert verify_schedule(restored, cset).ok

@@ -58,7 +58,7 @@ class TestEndToEndViaPublicNamesOnly:
         mixed = repro.CommunicationSet(
             [repro.Communication(0, 1), repro.Communication(3, 2)]
         )
-        s = repro.OrientedDecompositionScheduler().schedule(mixed, 8)
+        s = repro.OrientedDecompositionScheduler().schedule(mixed, n_leaves=8)
         assert repro.verify_schedule(s, mixed).ok
 
     def test_topology_and_network_exports(self):
