@@ -44,6 +44,7 @@ REQUIRED_DOCS = (
     "observability.md",
     "power_model.md",
     "reproduction_guide.md",
+    "slo.md",
     "streaming.md",
 )
 

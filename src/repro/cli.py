@@ -24,6 +24,7 @@ points (see docs/observability.md for the schema).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -381,6 +382,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if not shed_above_low else 1
 
 
+def _cmd_canary(args: argparse.Namespace) -> int:
+    """Record (or load) an arrival trace, replay it under the baseline and
+    a candidate engine with the SLO burn-rate engine attached, and print
+    the promotion decision.  Exit 0 promotes, 1 refuses."""
+    from repro.core.config import SchedulerConfig
+    from repro.io import load_arrivals, save_arrivals
+    from repro.slo import DrillSpec, default_slos, promotion_gate, record_workload, replay
+
+    if args.trace and os.path.exists(args.trace) and not args.record:
+        arrivals = load_arrivals(args.trace)
+        print(f"replaying {len(arrivals)} recorded arrival(s) from {args.trace}")
+    else:
+        arrivals = record_workload(
+            n_leaves=args.leaves,
+            count=args.count,
+            seed=args.seed,
+            deadline=args.deadline,
+        )
+        if args.trace:
+            save_arrivals(args.trace, arrivals)
+            print(f"recorded {len(arrivals)} arrival(s) to {args.trace}")
+
+    specs = default_slos(
+        latency_budget=args.latency_budget, detection_sla=args.detection_sla
+    )
+    drills = (
+        ()
+        if args.no_drill
+        else (
+            DrillSpec(
+                tick=args.drill_tick,
+                model=args.drill_model,
+                detection_sla=args.detection_sla,
+                seed=args.seed,
+            ),
+        )
+    )
+    baseline = replay(
+        arrivals,
+        label="baseline",
+        config=SchedulerConfig(),
+        specs=specs,
+        max_inflight=args.max_inflight,
+    )
+    candidate = replay(
+        arrivals,
+        label=f"candidate-{args.engine}",
+        config=SchedulerConfig(engine=args.engine),
+        specs=specs,
+        drills=drills,
+        max_inflight=args.max_inflight,
+    )
+    decision = promotion_gate(baseline, candidate)
+
+    print(f"baseline:  {baseline.report.summary()}")
+    print(f"candidate: {candidate.report.summary()}")
+    for alert in candidate.alerts:
+        print(f"  ALERT [{alert.severity.upper()}] tick {alert.tick}: {alert.message}")
+    for record in candidate.drills:
+        print(
+            f"  drill t{record.spec.tick} ({record.spec.model}): "
+            f"detected={record.detected} in {record.detection_ticks} tick(s), "
+            f"rerouted in {record.reroute_ticks} tick(s)"
+        )
+    print(decision.summary())
+    return 0 if decision.promote else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY, run_experiment
 
@@ -481,6 +550,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "canary",
+        help="record/replay a workload and gate an engine promotion on SLOs",
+    )
+    p.add_argument("--engine", default="columnar", choices=["reference", "fast", "columnar"])
+    p.add_argument("--count", type=int, default=120)
+    p.add_argument("--leaves", type=int, default=256)
+    p.add_argument("--deadline", type=int, default=96)
+    p.add_argument("--max-inflight", type=int, default=8)
+    p.add_argument("--latency-budget", type=int, default=48)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="arrival-trace file: replayed if it exists, else recorded there",
+    )
+    p.add_argument(
+        "--record",
+        action="store_true",
+        help="re-record the trace even if --trace exists",
+    )
+    p.add_argument("--drill-tick", type=int, default=4)
+    p.add_argument(
+        "--drill-model", default="dead", choices=["dead", "stuck", "misroute"]
+    )
+    p.add_argument("--detection-sla", type=int, default=4)
+    p.add_argument(
+        "--no-drill", action="store_true", help="skip the in-service chaos drill"
+    )
+
+    p = sub.add_parser(
         "serve", help="run the streaming service over a continuous arrival stream"
     )
     p.add_argument("--count", type=int, default=96)
@@ -537,6 +637,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "canary": _cmd_canary,
     }
     return handlers[args.command](args)
 

@@ -49,6 +49,8 @@ __all__ = [
     "schedule_from_dict",
     "stream_request_to_dict",
     "stream_request_from_dict",
+    "save_arrivals",
+    "load_arrivals",
     "save_workloads",
     "load_workloads",
 ]
@@ -58,6 +60,7 @@ _SCHEDULE_FORMAT = "cst-padr/schedule"
 _SUITE_FORMAT = "cst-padr/workload-suite"
 _CONFIG_FORMAT = "cst-padr/scheduler-config"
 _STREAM_REQUEST_FORMAT = "cst-padr/stream-request"
+_ARRIVAL_TRACE_FORMAT = "cst-padr/arrival-trace"
 _VERSION = 1
 
 #: current schema generation; loaders also accept ``SCHEDULE_SCHEMA - 1``.
@@ -260,6 +263,39 @@ def stream_request_from_dict(data: Mapping[str, Any]) -> Any:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed stream request: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# arrival traces (recorded streaming workloads)
+# ---------------------------------------------------------------------------
+
+
+def save_arrivals(path: str | Path, requests: Any) -> None:
+    """Write a recorded arrival trace — an ordered list of streaming
+    requests with their release ticks, deadlines, priorities and tenant
+    mix — as one JSON file.
+
+    This is the canary harness's recording format: a production-like
+    workload captured once and replayed bit-identically against both the
+    baseline and a candidate configuration (``cst-padr canary``).
+    """
+    payload = {
+        "format": _ARRIVAL_TRACE_FORMAT,
+        "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
+        "arrivals": [stream_request_to_dict(r) for r in requests],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_arrivals(path: str | Path) -> list[Any]:
+    """Inverse of :func:`save_arrivals` (returns ``StreamRequest`` objects)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read arrival trace {path}: {exc}") from exc
+    _expect(data, _ARRIVAL_TRACE_FORMAT)
+    return [stream_request_from_dict(r) for r in data.get("arrivals", [])]
 
 
 # ---------------------------------------------------------------------------

@@ -43,6 +43,16 @@ Metric name map (logical plane unless noted):
 ``service.cache.misses``       schedule-cache lookups that missed
 ``service.cache.evictions``    LRU entries evicted at capacity
 ``service.cache.size``         live cache entries (gauge)
+``stream.chaos_drills``        drill victims requeued for healthy reroute
+``slo.good`` / ``slo.bad``     per-objective good/bad events
+``slo.burn_rate``              burn per objective+window (gauge; -1 = inf)
+``slo.alerts``                 rising-edge burn alerts (page/ticket)
+``slo.budget_remaining``       lifetime error budget left (gauge)
+``chaos.drills``               in-service chaos drills executed
+``chaos.detected``             drill faults localised by the recovery pass
+``chaos.missed``               drill faults that escaped localisation
+``chaos.detection_ticks``      ticks to localise a drill fault (histogram)
+``chaos.reroute_ticks``        ticks to reroute the victim DONE (histogram)
 ``csa.schedule`` (span)        wall-clock of one ``schedule()`` call
 ``csa.phase1`` (span)          wall-clock of Phase 1
 ``service.drain`` (span)       wall-clock of one service drain

@@ -130,7 +130,9 @@ class Histogram:
 
     def __init__(self, key: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.key = key
-        self.buckets = tuple(sorted(buckets))
+        # dedupe: repeated bounds would export colliding ``le=`` keys,
+        # silently dropping a bucket's cumulative count.
+        self.buckets = tuple(sorted(set(buckets)))
         self.bucket_counts = [0] * (len(self.buckets) + 1)  # +1: the +inf bucket
         self.count = 0
         self.total: float = 0

@@ -14,7 +14,12 @@ Built on the fault models of :mod:`repro.cst.faults` and the evidence of
   detection accuracy and delivery rate (``cst-padr chaos``).
 """
 
-from repro.recovery.chaos import CampaignResult, ChaosTrial, run_campaign
+from repro.recovery.chaos import (
+    CampaignResult,
+    ChaosTrial,
+    inject_reachable_fault,
+    run_campaign,
+)
 from repro.recovery.detector import (
     DetectionResult,
     FaultDetector,
@@ -48,6 +53,7 @@ __all__ = [
     "circuit_crosses",
     "degraded_leaves",
     "fault_reachable",
+    "inject_reachable_fault",
     "plan_quarantine",
     "run_campaign",
 ]

@@ -41,13 +41,53 @@ from repro.obs.instrument import Instrumentation
 from repro.recovery.quarantine import fault_reachable
 from repro.recovery.resilient import ResilientScheduler
 
-__all__ = ["ChaosTrial", "CampaignCell", "CampaignResult", "run_campaign", "FAULT_MODELS"]
+__all__ = [
+    "ChaosTrial",
+    "CampaignCell",
+    "CampaignResult",
+    "run_campaign",
+    "inject_reachable_fault",
+    "FAULT_MODELS",
+]
 
 FAULT_MODELS: dict[str, type[SwitchFault]] = {
     "dead": DeadSwitchFault,
     "stuck": StuckSwitchFault,
     "misroute": MisrouteFault,
 }
+
+
+def inject_reachable_fault(
+    network: CSTNetwork,
+    cset: CommunicationSet,
+    model: str,
+    rng: random.Random,
+) -> tuple[int, SwitchFault] | None:
+    """Inject one seeded ``model`` fault into a switch that can provably
+    corrupt ``cset`` on ``network``.
+
+    The switch is drawn (via ``rng``) from the switches
+    :func:`~repro.recovery.quarantine.fault_reachable` says the workload
+    actually exercises — injecting anywhere else would measure nothing.
+    Returns ``(switch_id, fault)``, or ``None`` when no switch is
+    reachable (degenerate workloads only).  Shared by the offline
+    campaign below and the in-service chaos drills
+    (:mod:`repro.slo.drill`).
+    """
+    if model not in FAULT_MODELS:
+        raise ValueError(
+            f"unknown fault model {model!r}; choose from {sorted(FAULT_MODELS)}"
+        )
+    fault = FAULT_MODELS[model]()
+    topo = network.topology
+    eligible = sorted(
+        v for v in network.switches if fault_reachable(fault, v, cset, topo)
+    )
+    if not eligible:
+        return None
+    target = rng.choice(eligible)
+    inject(network, target, fault)
+    return target, fault
 
 
 @dataclass(frozen=True, slots=True)
@@ -214,18 +254,11 @@ def run_campaign(
                 rng = random.Random(f"{seed}:{n_leaves}:{width}:{model}:{trial}")
                 kind = "crossing" if trial % 2 == 0 else "random"
                 cset = _workload(kind, width, n_leaves, rng)
-                fault = FAULT_MODELS[model]()
                 network = CSTNetwork.of_size(n_leaves)
-                topo = network.topology
-                eligible = sorted(
-                    v
-                    for v in network.switches
-                    if fault_reachable(fault, v, cset, topo)
-                )
-                if not eligible:  # defensive: cannot happen for len(cset) >= 1
+                injected = inject_reachable_fault(network, cset, model, rng)
+                if injected is None:  # defensive: cannot happen for len(cset) >= 1
                     continue
-                target = rng.choice(eligible)
-                inject(network, target, fault)
+                target, _ = injected
                 scheduler = ResilientScheduler(
                     max_attempts=max_attempts, obs=cell_obs
                 )

@@ -217,12 +217,17 @@ class AdmissionController:
         self._calm_samples = 0
         self._tick = 0
         self.transitions: list[_Transition] = []
+        #: the most recent LoadSample fed to :meth:`observe` (None before
+        #: the first sample) — the SLO/burn-rate layer reads the raw
+        #: signals from here instead of re-deriving them.
+        self.last_sample: LoadSample | None = None
 
     # -- sampling ------------------------------------------------------------
 
     def observe(self, sample: LoadSample) -> AdmissionState:
         """Ingest one tick's load sample; returns the (possibly new) state."""
         self._tick += 1
+        self.last_sample = sample
         self.pressure = sample.pressure()
         target = self.thresholds.target_state(self.pressure)
 

@@ -45,7 +45,7 @@ from __future__ import annotations
 import asyncio
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable
 
 from repro.comms.communication import CommunicationSet
 from repro.core.config import SchedulerConfig
@@ -64,6 +64,7 @@ from repro.service.admission import (
 from repro.service.cache import CanonicalKey, ScheduleCache, canonical_signature
 from repro.service.service import ServiceParityError
 from repro.service.tenants import TenantQuota, TenantRegistry
+from repro.util.stats import percentile
 from repro.service.worker import (
     WorkRequest,
     init_worker,
@@ -140,15 +141,6 @@ class StreamResult:
         return schedule_from_dict(self.payload) if self.payload else None
 
 
-def _percentile(sorted_values: Sequence[int], q: float) -> float:
-    """Nearest-rank percentile over an already-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    rank = -(-q * len(sorted_values) // 1)  # ceil(q * n)
-    rank = min(len(sorted_values), max(1, int(rank)))
-    return float(sorted_values[rank - 1])
-
-
 @dataclass(frozen=True, slots=True)
 class StreamReport:
     """One serving window's complete accounting."""
@@ -195,11 +187,11 @@ class StreamReport:
 
     @property
     def p50_ticks(self) -> float:
-        return _percentile(self.latencies(), 0.50)
+        return percentile(self.latencies(), 0.50)
 
     @property
     def p99_ticks(self) -> float:
-        return _percentile(self.latencies(), 0.99)
+        return percentile(self.latencies(), 0.99)
 
     def by_priority(self, status: StreamStatus) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -273,6 +265,20 @@ class StreamingSchedulerService:
         ``schedule_batch`` group.  ``0`` executes immediately.
     max_retries / parity_check / obs:
         as in the batch :class:`~repro.service.service.SchedulerService`.
+    on_tick:
+        optional observer called at the end of every :meth:`step` as
+        ``on_tick(service, settled, now)`` — the attachment point for
+        the SLO burn-rate engine (:mod:`repro.slo`), which samples the
+        tick's settlements, backlog and admission state without the
+        service importing the operations layer.
+    chaos:
+        optional in-service chaos drill controller (duck-typed; see
+        :class:`repro.slo.drill.ChaosDrillController`).  When armed, it
+        may intercept one solo leader per tick, execute it against a
+        deliberately faulted fabric to measure detection, and have the
+        victim requeued for a healthy re-execution — the drill delays
+        the victim by a tick or two but never changes its payload, so
+        parity and the no-silent-drop accounting hold.
     """
 
     def __init__(
@@ -289,6 +295,8 @@ class StreamingSchedulerService:
         max_retries: int = 3,
         parity_check: bool = False,
         obs: "Instrumentation | None" = None,
+        on_tick: "Callable[[StreamingSchedulerService, list[StreamResult], int], None] | None" = None,
+        chaos: Any = None,
     ) -> None:
         if max_queue < 1:
             raise SchedulingError(f"max_queue must be >= 1, got {max_queue}")
@@ -305,6 +313,8 @@ class StreamingSchedulerService:
         self.max_retries = max_retries
         self.parity_check = parity_check
         self.obs = obs
+        self.on_tick = on_tick
+        self.chaos = chaos
         metrics = obs.metrics if obs is not None else None
         run = obs.run if obs is not None else "stream"
         self.cache = ScheduleCache(cache_size, metrics=metrics, run=run)
@@ -325,6 +335,12 @@ class StreamingSchedulerService:
         self._expired_delta = 0
         self._failed_delta = 0
         self._retries_delta = 0
+        # per-tick door deltas feeding the SLO engine's TickSample
+        self._submitted_delta = 0
+        self._shed_delta = 0
+        #: the most recent per-tick LoadSample (None before the first
+        #: step) — the SLO layer reads it instead of re-deriving load.
+        self.last_load: LoadSample | None = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -353,6 +369,7 @@ class StreamingSchedulerService:
         rid = self._next_id
         self._next_id += 1
         self._inc("stream.submitted")
+        self._submitted_delta += 1
         req = request
 
         try:
@@ -373,6 +390,7 @@ class StreamingSchedulerService:
         decision = self.admission.decide(req.priority)
         if decision is AdmissionDecision.SHED:
             self._inc("stream.shed")
+            self._shed_delta += 1
             self.results[rid] = StreamResult(
                 request_id=rid,
                 status=StreamStatus.SHED,
@@ -443,6 +461,12 @@ class StreamingSchedulerService:
             settled.extend(self._drain(selected, now))
 
         self._sample_admission()
+        if self.chaos is not None:
+            self.chaos.on_settled(settled, now)
+        if self.on_tick is not None:
+            self.on_tick(self, settled, now)
+        self._submitted_delta = 0
+        self._shed_delta = 0
         self._gauge("stream.queue.depth", self.backlog)
         return settled
 
@@ -518,6 +542,11 @@ class StreamingSchedulerService:
     # -- internals: expiry ---------------------------------------------------
 
     def _expire(self, now: int) -> list[StreamResult]:
+        # Boundary contract (locked by tests): a request is alive AT its
+        # deadline_tick — served exactly then it settles DONE with
+        # latency == deadline; it expires strictly after, at
+        # deadline_tick + 1.  The dequeue slack (deadline_tick - now) and
+        # the batch-window holdback use the same convention.
         expired: list[StreamResult] = []
         for tenant in self.tenants:
             keep = []
@@ -588,6 +617,9 @@ class StreamingSchedulerService:
                 continue
             live = members[0]
             waited = now - live.release_tick
+            # same boundary convention as _expire: the request is alive
+            # at deadline_tick, so slack counts the ticks it can still
+            # wait and remain servable.
             slack = live.deadline_tick - now
             if (
                 self.batch_window > 0
@@ -608,6 +640,19 @@ class StreamingSchedulerService:
             self._inc(
                 "stream.shape_batched", sum(len(g) for g in ready_groups)
             )
+
+        # 3b. an armed chaos drill may claim one solo leader: it is
+        #     executed against a deliberately faulted fabric (measuring
+        #     detection) and then requeued for a healthy re-execution, so
+        #     its eventual payload — and parity — are untouched.
+        if self.chaos is not None and solos:
+            for victim in self.chaos.maybe_drill(solos, now):
+                solos.remove(victim)
+                victim.eligible_tick = now + 1  # healthy reroute next tick
+                self.tenants.requeue_front(victim.tenant, [victim])
+                for f in followers.pop(victim.key.cache_key, []):
+                    self.tenants.requeue_front(f.tenant, [f])
+                self._inc("stream.chaos_drills")
 
         # 4. execute inline (one process — the streaming service is the
         #    asyncio story; pooled fan-out stays the batch service's job).
@@ -724,6 +769,7 @@ class StreamingSchedulerService:
         self._failed_delta = 0
         self._retries_delta = 0
         self.admission.observe(sample)
+        self.last_load = sample
 
     # -- metrics helpers -----------------------------------------------------
 

@@ -27,7 +27,7 @@ Metrics (under the service's run label): ``tenant.submitted`` /
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Deque, Iterable
 
 from repro.exceptions import SchedulingError
@@ -67,14 +67,10 @@ class TenantState:
     tokens: float
     refill_tick: int = 0
     deficit: float = 0.0
-    queue: Deque[Any] = None  # type: ignore[assignment]
+    queue: Deque[Any] = field(default_factory=deque)
     submitted: int = 0
     throttled: int = 0
     served: int = 0
-
-    def __post_init__(self) -> None:
-        if self.queue is None:
-            self.queue = deque()
 
 
 class TenantRegistry:
@@ -219,14 +215,15 @@ class TenantRegistry:
                 break
         for name, items in held.items():
             self.requeue_front(name, items)
-        # no tenant banks unlimited credit: an idle queue resets to one
-        # round's worth, and a deferred backlog (skip-held) may carry at
-        # most one budget — fairness is about backlog, not history.
+        # no tenant banks credit across idle epochs: a tenant whose queue
+        # just emptied starts its next backlog from zero deficit (DRR
+        # fairness is about *current* backlog, not service history), and a
+        # deferred backlog (skip-held) may carry at most one budget.
         for state in self._tenants.values():
-            cap = (
-                state.quota.weight
-                if not state.queue
-                else max(state.quota.weight, float(budget))
-            )
-            state.deficit = min(state.deficit, cap)
+            if not state.queue:
+                state.deficit = 0.0
+            else:
+                state.deficit = min(
+                    state.deficit, max(state.quota.weight, float(budget))
+                )
         return selected

@@ -1,0 +1,54 @@
+"""The operations layer: SLOs, burn-rate alerting, canaries, chaos drills.
+
+PR 2 gave the reproduction metrics and traces, PR 3 a recovery loop,
+PR 6 a live streaming service — this package watches all of it:
+
+* :mod:`~repro.slo.engine` — declarative :class:`SLOSpec`\\ s evaluated
+  per logical tick over fast/slow sliding windows; rising-edge burn-rate
+  alerts, ``slo.*`` metrics, a structured alert log and a p50/p99
+  latency trajectory;
+* :mod:`~repro.slo.drill` — chaos drills injected into the *running*
+  streaming service with detection/reroute SLAs on the service clock;
+* :mod:`~repro.slo.canary` — record a workload, replay it under a
+  baseline and a candidate config, and gate promotion on bit-identical
+  parity, zero burn and bounded latency regression
+  (``cst-padr canary`` / ``scripts/run_canary.py``).
+
+``docs/slo.md`` is the operator-facing runbook.
+"""
+
+from repro.slo.canary import (
+    CanaryRun,
+    PromotionDecision,
+    promotion_gate,
+    record_workload,
+    replay,
+)
+from repro.slo.drill import ChaosDrillController, DrillRecord, DrillSpec
+from repro.slo.engine import (
+    SLO_KINDS,
+    Alert,
+    SLOEngine,
+    SLOSpec,
+    TickSample,
+    default_slos,
+    sample_from_snapshots,
+)
+
+__all__ = [
+    "Alert",
+    "CanaryRun",
+    "ChaosDrillController",
+    "DrillRecord",
+    "DrillSpec",
+    "PromotionDecision",
+    "SLOEngine",
+    "SLOSpec",
+    "SLO_KINDS",
+    "TickSample",
+    "default_slos",
+    "promotion_gate",
+    "record_workload",
+    "replay",
+    "sample_from_snapshots",
+]

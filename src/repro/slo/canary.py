@@ -1,0 +1,287 @@
+"""The canary promotion gate: record once, replay twice, compare hard.
+
+Promoting a new :class:`~repro.core.config.SchedulerConfig` (a different
+engine, threshold or cache policy) should never be a judgement call.
+The harness here makes it mechanical:
+
+1. **record** a production-like workload — an arrival trace with tenant
+   mix, priorities, release bursts and deadlines — and persist it via
+   :func:`repro.io.save_arrivals` so the exact bytes are replayable
+   forever;
+2. **replay** the trace against the baseline config and the candidate,
+   each in its own :class:`~repro.service.streaming.StreamingSchedulerService`
+   with the SLO burn-rate engine attached (and, optionally, in-service
+   chaos drills — a candidate must detect faults *while serving*);
+3. **gate** on three hard conditions: every request the baseline settled
+   DONE settles DONE under the candidate with a **bit-identical**
+   serialized schedule (the repo-wide parity contract), the candidate's
+   replay raised **zero SLO burn alerts**, and its p50/p99 latency stays
+   within a bounded regression of the baseline's.
+
+The decision object lists every violated condition; an empty list is a
+promotion.  ``scripts/run_canary.py --smoke`` runs the whole story —
+including a deliberately degraded replay that the gate must refuse —
+and writes the latency trajectory under the ``"slo"`` key of
+``results/BENCH_scaling.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.config import SchedulerConfig
+from repro.obs.instrument import Instrumentation
+from repro.service.admission import Priority
+from repro.service.streaming import (
+    StreamingSchedulerService,
+    StreamReport,
+    StreamRequest,
+    StreamStatus,
+)
+from repro.service.tenants import TenantQuota
+from repro.service.workloads import mixed_workloads
+from repro.slo.drill import ChaosDrillController, DrillRecord, DrillSpec
+from repro.slo.engine import Alert, SLOEngine, SLOSpec, default_slos
+
+__all__ = [
+    "CanaryRun",
+    "PromotionDecision",
+    "promotion_gate",
+    "record_workload",
+    "replay",
+]
+
+#: the tenant mix a recorded workload cycles through (weights by repetition).
+DEFAULT_TENANTS = ("acme", "acme", "globex", "initech")
+
+_PRIORITIES = (Priority.NORMAL, Priority.LOW, Priority.NORMAL, Priority.HIGH)
+
+
+def record_workload(
+    *,
+    n_leaves: int = 256,
+    count: int = 120,
+    seed: int = 0,
+    deadline: int = 96,
+    arrivals_per_tick: int = 12,
+    tenants: Sequence[str] = DEFAULT_TENANTS,
+) -> list[StreamRequest]:
+    """A deterministic production-like arrival trace.
+
+    ``count`` requests over the canonical mixed workload families,
+    released in bursts of ``arrivals_per_tick`` per tick, cycling a
+    weighted tenant mix and the LOW/NORMAL/HIGH priority classes — the
+    same shape the streaming CI gate drives, packaged as a reusable
+    recording.  Persist with :func:`repro.io.save_arrivals`.
+    """
+    csets = mixed_workloads(n_leaves, count, seed=seed)
+    return [
+        StreamRequest(
+            cset=cset,
+            n_leaves=n_leaves,
+            release_time=i // arrivals_per_tick,
+            deadline=deadline,
+            priority=_PRIORITIES[i % len(_PRIORITIES)],
+            tenant=tenants[i % len(tenants)],
+        )
+        for i, cset in enumerate(csets)
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class CanaryRun:
+    """One replay's complete evidence: report, alerts, trajectory, drills."""
+
+    label: str
+    config: SchedulerConfig
+    report: StreamReport
+    alerts: tuple[Alert, ...]
+    trajectory: tuple[tuple[int, float, float], ...]
+    drills: tuple[DrillRecord, ...]
+    #: request id → serialized schedule payload, DONE requests only.
+    payloads: dict[int, dict[str, Any]]
+
+    @property
+    def p50_ticks(self) -> float:
+        return self.report.p50_ticks
+
+    @property
+    def p99_ticks(self) -> float:
+        return self.report.p99_ticks
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON shape the bench results file archives."""
+        return {
+            "label": self.label,
+            "engine": self.config.engine,
+            "done": self.report.n_done,
+            "expired": self.report.n_expired,
+            "failed": self.report.n_failed,
+            "shed": self.report.n_shed,
+            "p50_ticks": self.p50_ticks,
+            "p99_ticks": self.p99_ticks,
+            "ticks": self.report.ticks,
+            "alerts": [a.to_dict() for a in self.alerts],
+            "drills": [d.to_dict() for d in self.drills],
+            "trajectory": [
+                [tick, p50, p99] for tick, p50, p99 in self.trajectory
+            ],
+        }
+
+
+def replay(
+    arrivals: Iterable[StreamRequest],
+    *,
+    label: str,
+    config: SchedulerConfig | None = None,
+    specs: Iterable[SLOSpec] | None = None,
+    drills: Iterable[DrillSpec] = (),
+    quota: TenantQuota | None = None,
+    max_queue: int = 256,
+    max_inflight: int = 8,
+    batch_window: int = 0,
+    parity_check: bool = True,
+    obs: Instrumentation | None = None,
+    max_ticks: int = 10_000,
+) -> CanaryRun:
+    """Replay a recorded trace with the SLO engine (and drills) attached."""
+    metrics = obs.metrics if obs is not None else None
+    run = obs.run if obs is not None else label
+    engine = SLOEngine(
+        specs if specs is not None else default_slos(), metrics=metrics, run=run
+    )
+    drills = tuple(drills)
+    chaos = (
+        ChaosDrillController(drills, metrics=metrics, run=run)
+        if drills
+        else None
+    )
+    service = StreamingSchedulerService(
+        config=config,
+        default_quota=quota if quota is not None else TenantQuota(
+            rate=64.0, burst=256.0
+        ),
+        max_queue=max_queue,
+        max_inflight=max_inflight,
+        batch_window=batch_window,
+        parity_check=parity_check,
+        obs=obs,
+        on_tick=engine.stream_hook(),
+        chaos=chaos,
+    )
+    report = service.run(list(arrivals), max_ticks=max_ticks)
+    payloads = {
+        rid: r.payload
+        for rid, r in report.results.items()
+        if r.status is StreamStatus.DONE and r.payload is not None
+    }
+    return CanaryRun(
+        label=label,
+        config=service.config,
+        report=report,
+        alerts=tuple(engine.alerts),
+        trajectory=tuple(engine.trajectory),
+        drills=tuple(chaos.records) if chaos is not None else (),
+        payloads=payloads,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PromotionDecision:
+    """The gate's verdict: promote iff no condition is violated."""
+
+    promote: bool
+    reasons: tuple[str, ...]
+    baseline: str
+    candidate: str
+
+    def summary(self) -> str:
+        verdict = "PROMOTE" if self.promote else "REFUSE"
+        tail = "" if self.promote else f": {'; '.join(self.reasons)}"
+        return f"canary {self.candidate} vs {self.baseline}: {verdict}{tail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "promote": self.promote,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "reasons": list(self.reasons),
+        }
+
+
+def promotion_gate(
+    baseline: CanaryRun,
+    candidate: CanaryRun,
+    *,
+    max_p50_regression: float = 1.5,
+    max_p99_regression: float = 1.5,
+    slack_ticks: float = 2.0,
+) -> PromotionDecision:
+    """Gate a candidate replay against its baseline.
+
+    Latency bounds are multiplicative with an additive ``slack_ticks``
+    floor (``candidate <= baseline * factor + slack``), so near-zero
+    baselines don't turn a one-tick wobble into a refusal.
+    """
+    reasons: list[str] = []
+
+    base_ids = set(baseline.payloads)
+    cand_ids = set(candidate.payloads)
+    if base_ids - cand_ids:
+        missing = sorted(base_ids - cand_ids)
+        reasons.append(
+            f"{len(missing)} baseline-DONE request(s) not DONE under the "
+            f"candidate (e.g. id {missing[0]})"
+        )
+    mismatched = [
+        rid
+        for rid in sorted(base_ids & cand_ids)
+        if baseline.payloads[rid] != candidate.payloads[rid]
+    ]
+    if mismatched:
+        reasons.append(
+            f"{len(mismatched)} request(s) lost bit-identical parity "
+            f"(e.g. id {mismatched[0]})"
+        )
+
+    if candidate.alerts:
+        first = candidate.alerts[0]
+        reasons.append(
+            f"{len(candidate.alerts)} SLO burn alert(s) on the candidate "
+            f"(first: {first.slo}/{first.window} at tick {first.tick})"
+        )
+
+    for q, base_v, cand_v, factor in (
+        ("p50", baseline.p50_ticks, candidate.p50_ticks, max_p50_regression),
+        ("p99", baseline.p99_ticks, candidate.p99_ticks, max_p99_regression),
+    ):
+        bound = base_v * factor + slack_ticks
+        if cand_v > bound:
+            reasons.append(
+                f"{q} regression: {cand_v:.0f} ticks > bound {bound:.1f} "
+                f"(baseline {base_v:.0f})"
+            )
+
+    for record in candidate.drills:
+        if record.executed_tick is None:
+            reasons.append(
+                f"chaos drill at tick {record.spec.tick} never found a victim"
+            )
+        elif not record.met_detection_sla:
+            reasons.append(
+                f"chaos drill at tick {record.spec.tick}: fault not detected "
+                f"within {record.spec.detection_sla} tick(s)"
+            )
+        elif not record.met_reroute_sla:
+            reasons.append(
+                f"chaos drill at tick {record.spec.tick}: victim not rerouted "
+                f"within {record.spec.reroute_sla} tick(s)"
+            )
+
+    return PromotionDecision(
+        promote=not reasons,
+        reasons=tuple(reasons),
+        baseline=baseline.label,
+        candidate=candidate.label,
+    )

@@ -1,0 +1,269 @@
+"""In-service chaos drills: faults injected while the service is serving.
+
+The offline campaign (``cst-padr chaos``) proves the recovery loop works
+on a bench; a drill proves it works **in production conditions** — a
+fault appears mid-tick, inside a live :class:`StreamingSchedulerService`,
+and two SLAs are measured on the service's own clock:
+
+* **detection**: ticks from the drill arming until the resilient
+  scheduler localises (quarantines) the injected switch;
+* **reroute**: ticks from arming until the victim request settles DONE
+  through the healthy path.
+
+Mechanically, the service's drain path hands an armed controller its
+solo leaders for the tick (see ``StreamingSchedulerService._drain``);
+the controller claims one victim, executes its workload against a
+deliberately faulted :class:`~repro.cst.network.CSTNetwork` through the
+:class:`~repro.recovery.resilient.ResilientScheduler` (reusing
+:func:`~repro.recovery.chaos.inject_reachable_fault` so the fault is
+provably on the victim's circuits), and records whether the faulty
+switch was quarantined.  The victim is then requeued by the service and
+re-executed healthy a tick later — the drill perturbs *when* the request
+settles, never *what* it settles to, so parity and the no-silent-drop
+accounting hold.  Resolved drills surface through
+:meth:`ChaosDrillController.take_tick_events` into the SLO engine's
+zero-budget ``chaos-detection`` objective.
+
+Everything is seeded and tick-driven: a drill at the same tick of the
+same workload picks the same switch every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.cst.network import CSTNetwork
+from repro.exceptions import ReproError
+from repro.obs.registry import MetricsRegistry
+from repro.recovery.chaos import FAULT_MODELS, inject_reachable_fault
+from repro.recovery.resilient import ResilientScheduler
+
+__all__ = ["ChaosDrillController", "DrillRecord", "DrillSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class DrillSpec:
+    """One scheduled drill: when to arm, what to break, what to demand.
+
+    ``tick`` is the logical tick the drill arms (it fires at the first
+    tick >= ``tick`` that drains a solo leader with enough deadline
+    slack); ``detection_sla`` / ``reroute_sla`` are the tick budgets the
+    ``chaos-detection`` SLO asserts; ``min_slack`` is how many ticks of
+    deadline headroom a victim must have — a drill never picks a request
+    the one-tick reroute delay could expire.
+    """
+
+    tick: int
+    model: str = "dead"
+    detection_sla: int = 4
+    reroute_sla: int = 8
+    min_slack: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick < 1:
+            raise ReproError(f"drill tick must be >= 1, got {self.tick}")
+        if self.model not in FAULT_MODELS:
+            raise ReproError(
+                f"unknown fault model {self.model!r}; "
+                f"choose from {sorted(FAULT_MODELS)}"
+            )
+        if self.detection_sla < 1 or self.reroute_sla < 1:
+            raise ReproError("drill SLAs must be >= 1 tick")
+        if self.min_slack < 1:
+            raise ReproError(f"min_slack must be >= 1, got {self.min_slack}")
+
+
+@dataclass(slots=True)
+class DrillRecord:
+    """What one drill did and measured."""
+
+    spec: DrillSpec
+    armed_tick: int
+    victim_id: int | None = None
+    fault_switch: int | None = None
+    executed_tick: int | None = None
+    detected: bool = False
+    detection_ticks: int | None = None
+    rerouted_tick: int | None = None
+    reroute_ticks: int | None = None
+
+    @property
+    def met_detection_sla(self) -> bool:
+        return (
+            self.detected
+            and self.detection_ticks is not None
+            and self.detection_ticks <= self.spec.detection_sla
+        )
+
+    @property
+    def met_reroute_sla(self) -> bool:
+        return (
+            self.reroute_ticks is not None
+            and self.reroute_ticks <= self.spec.reroute_sla
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tick": self.spec.tick,
+            "model": self.spec.model,
+            "armed_tick": self.armed_tick,
+            "victim_id": self.victim_id,
+            "fault_switch": self.fault_switch,
+            "executed_tick": self.executed_tick,
+            "detected": self.detected,
+            "detection_ticks": self.detection_ticks,
+            "detection_sla": self.spec.detection_sla,
+            "met_detection_sla": self.met_detection_sla,
+            "rerouted_tick": self.rerouted_tick,
+            "reroute_ticks": self.reroute_ticks,
+            "reroute_sla": self.spec.reroute_sla,
+            "met_reroute_sla": self.met_reroute_sla,
+        }
+
+
+class ChaosDrillController:
+    """Runs :class:`DrillSpec`\\ s inside a streaming service's tick loop.
+
+    Attach via ``StreamingSchedulerService(chaos=controller)``.  The
+    service calls :meth:`maybe_drill` with each tick's solo leaders
+    (returning the victims it claimed, at most one per tick) and
+    :meth:`on_settled` with each tick's settlements (closing the reroute
+    measurement).  Emits ``chaos.drills`` / ``chaos.detected`` /
+    ``chaos.missed`` counters and ``chaos.detection_ticks`` /
+    ``chaos.reroute_ticks`` histograms under ``run``.
+    """
+
+    def __init__(
+        self,
+        drills: Iterable[DrillSpec],
+        *,
+        max_attempts: int = 3,
+        metrics: MetricsRegistry | None = None,
+        run: str = "stream",
+    ) -> None:
+        self._pending = sorted(drills, key=lambda d: d.tick)
+        self.max_attempts = max_attempts
+        self.metrics = metrics
+        self.run = run
+        self.records: list[DrillRecord] = []
+        self._armed: DrillRecord | None = None
+        self._awaiting_reroute: dict[int, DrillRecord] = {}
+        # resolved-this-tick buffers drained by the SLO sampler
+        self._tick_detections: list[int] = []
+        self._tick_missed = 0
+
+    # -- the service-facing protocol -----------------------------------------
+
+    def maybe_drill(self, solos: list[Any], now: int) -> list[Any]:
+        """Claim at most one victim from this tick's solo leaders.
+
+        Called by the drain path *before* execution.  Returns the claimed
+        victims; the service requeues them for a healthy re-execution.
+        """
+        if self._armed is None and self._pending and self._pending[0].tick <= now:
+            self._armed = DrillRecord(
+                spec=self._pending.pop(0), armed_tick=now
+            )
+        record = self._armed
+        if record is None:
+            return []
+        # prefer the victim with the widest deadline headroom; skip the
+        # tick entirely when nobody can safely absorb the reroute delay.
+        candidates = [
+            live
+            for live in solos
+            if live.deadline_tick - now > record.spec.min_slack
+        ]
+        if not candidates:
+            return []
+        victim = max(candidates, key=lambda live: live.deadline_tick - now)
+        self._execute(record, victim, now)
+        return [victim]
+
+    def on_settled(self, settled: list[Any], now: int) -> None:
+        """Observe the tick's settlements; closes reroute measurements."""
+        if not self._awaiting_reroute:
+            return
+        for result in settled:
+            record = self._awaiting_reroute.pop(result.request_id, None)
+            if record is None:
+                continue
+            if result.status.name == "DONE":
+                record.rerouted_tick = now
+                record.reroute_ticks = now - record.armed_tick
+                self._observe("chaos.reroute_ticks", record.reroute_ticks)
+            # any other terminal status leaves reroute_ticks None — the
+            # drill report shows the miss rather than hiding it.
+
+    def take_tick_events(self) -> tuple[tuple[int, ...], int]:
+        """Drain ``(detection latencies, missed count)`` resolved this tick.
+
+        The SLO sampler calls this once per tick; events are reported
+        exactly once.
+        """
+        detections = tuple(self._tick_detections)
+        missed = self._tick_missed
+        self._tick_detections.clear()
+        self._tick_missed = 0
+        return detections, missed
+
+    # -- internals -----------------------------------------------------------
+
+    def _execute(self, record: DrillRecord, victim: Any, now: int) -> None:
+        spec = record.spec
+        record.victim_id = victim.request_id
+        record.executed_tick = now
+        cset = victim.request.cset
+        network = CSTNetwork.of_size(victim.key.n_leaves)
+        rng = random.Random(f"drill:{spec.seed}:{spec.tick}:{spec.model}")
+        injected = inject_reachable_fault(network, cset, spec.model, rng)
+        self._armed = None
+        self.records.append(record)
+        self._inc("chaos.drills")
+        if injected is None:  # degenerate workload; count as a miss
+            self._tick_missed += 1
+            self._inc("chaos.missed")
+            return
+        record.fault_switch, _ = injected
+        outcome = ResilientScheduler(max_attempts=self.max_attempts).schedule(
+            cset, network=network
+        )
+        record.detected = record.fault_switch in outcome.quarantined
+        if record.detected:
+            record.detection_ticks = now - record.armed_tick
+            self._tick_detections.append(record.detection_ticks)
+            self._inc("chaos.detected")
+            self._observe("chaos.detection_ticks", record.detection_ticks)
+        else:
+            self._tick_missed += 1
+            self._inc("chaos.missed")
+        self._awaiting_reroute[victim.request_id] = record
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, run=self.run)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value, run=self.run)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def all_met_sla(self) -> bool:
+        return bool(self.records) and all(
+            r.met_detection_sla and r.met_reroute_sla for r in self.records
+        )
+
+    def summary(self) -> str:
+        ran = [r for r in self.records if r.executed_tick is not None]
+        detected = sum(1 for r in ran if r.detected)
+        return (
+            f"chaos drills: {len(ran)} run, {detected} detected, "
+            f"{sum(1 for r in ran if r.met_detection_sla)} within detection "
+            f"SLA, {sum(1 for r in ran if r.met_reroute_sla)} rerouted "
+            f"within SLA ({len(self._pending)} still pending)"
+        )

@@ -1,0 +1,520 @@
+"""Declarative SLOs and multi-window burn-rate alerting.
+
+The streaming service (PR 6) emits everything an operator needs —
+``stream.*`` counters, latency histograms, admission state — but nothing
+*watches* those signals over time.  This module closes the loop with the
+classic error-budget discipline: an :class:`SLOSpec` states an objective
+("99% of requests settle DONE", "99% of latencies stay under 32 ticks"),
+the :class:`SLOEngine` folds one :class:`TickSample` per logical tick
+into sliding good/bad event windows, and an alert fires when the **burn
+rate** — the observed error rate divided by the budgeted error rate —
+crosses a threshold.
+
+Two windows per SLO, per standard burn-rate practice:
+
+* the **fast** window (a few ticks) catches a cliff: burning the budget
+  at ``fast_burn``× means the objective dies within the serving window —
+  severity PAGE;
+* the **slow** window (several multiples of the fast one) catches a
+  simmer: a sustained ``slow_burn``× leak that a fast window's noise
+  would hide — severity TICKET.
+
+Alerts fire on the **rising edge** (entering violation), not per tick in
+violation, so the alert log reads as incidents, not noise.  A spec with
+``target = 1.0`` has zero budget — any bad event is an infinite burn —
+which is exactly right for the parity and chaos-detection contracts.
+
+Every sample kind reduces to counting good/bad events, so availability,
+p99 latency, shed-rate, parity and chaos-detection SLOs all share one
+evaluation path (and one test surface).  The engine emits ``slo.*``
+metrics into an ordinary :class:`~repro.obs.registry.MetricsRegistry`
+and keeps a per-tick ``(tick, p50, p99)`` latency trajectory that the
+canary harness persists into ``results/BENCH_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Iterable, Mapping
+
+from repro.exceptions import ReproError
+from repro.obs.registry import MetricsRegistry, parse_key
+from repro.util.stats import percentile
+
+__all__ = [
+    "Alert",
+    "SLOEngine",
+    "SLOSpec",
+    "SLO_KINDS",
+    "TickSample",
+    "default_slos",
+    "sample_from_snapshots",
+]
+
+#: the objective kinds the engine evaluates; every kind reduces to
+#: good/bad event counting over one tick (see TickSample.events_for).
+SLO_KINDS = ("availability", "latency", "shed_rate", "parity", "chaos_detection")
+
+
+class SLOError(ReproError):
+    """Invalid SLO specification or sample."""
+
+
+@dataclass(frozen=True, slots=True)
+class SLOSpec:
+    """One declarative objective plus its burn-rate alert policy.
+
+    ``target`` is the good-event fraction the objective promises (its
+    error budget is ``1 - target``; a target of exactly ``1.0`` means
+    zero budget and any bad event alerts).  ``threshold`` parameterises
+    the kinds that compare against a bound: the latency SLO counts a
+    settled latency ``> threshold`` ticks as bad, the chaos-detection
+    SLO a detection slower than ``threshold`` ticks.  Windows are in
+    logical ticks; ``fast_burn``/``slow_burn`` are the burn-rate alert
+    thresholds for the respective window.
+    """
+
+    name: str
+    kind: str
+    target: float = 0.99
+    threshold: float = 0.0
+    fast_window: int = 8
+    slow_window: int = 32
+    fast_burn: float = 8.0
+    slow_burn: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise SLOError(
+                f"unknown SLO kind {self.kind!r}; choose from {list(SLO_KINDS)}"
+            )
+        if not 0.0 < self.target <= 1.0:
+            raise SLOError(f"SLO target must be in (0, 1], got {self.target}")
+        if not 1 <= self.fast_window <= self.slow_window:
+            raise SLOError(
+                "windows must satisfy 1 <= fast <= slow, got "
+                f"{self.fast_window}/{self.slow_window}"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise SLOError("burn-rate thresholds must be > 0")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True, slots=True)
+class TickSample:
+    """One logical tick's SLO-relevant events, in service units.
+
+    ``done``/``expired``/``failed`` count requests settled this tick by
+    status; ``submitted``/``shed`` count door decisions; ``latencies``
+    are the DONE latencies settled this tick (ticks from release);
+    ``parity_failures`` counts live parity divergences;
+    ``chaos_detections`` are detection latencies of drills resolved this
+    tick and ``chaos_missed`` drills whose fault went undetected.
+    ``queue_fraction`` and ``pressure`` carry the admission signals for
+    the record (they do not feed any burn rate directly).
+    """
+
+    tick: int
+    done: int = 0
+    expired: int = 0
+    failed: int = 0
+    shed: int = 0
+    submitted: int = 0
+    queue_fraction: float = 0.0
+    pressure: float = 0.0
+    latencies: tuple[int, ...] = ()
+    parity_failures: int = 0
+    chaos_detections: tuple[int, ...] = ()
+    chaos_missed: int = 0
+
+    def events_for(self, spec: SLOSpec) -> tuple[int, int]:
+        """Reduce this tick to ``(good, bad)`` events for one spec."""
+        if spec.kind == "availability":
+            return self.done, self.expired + self.failed
+        if spec.kind == "latency":
+            bad = sum(1 for l in self.latencies if l > spec.threshold)
+            return len(self.latencies) - bad, bad
+        if spec.kind == "shed_rate":
+            return max(0, self.submitted - self.shed), self.shed
+        if spec.kind == "parity":
+            return self.done, self.parity_failures
+        # chaos_detection: a drill resolved late or not at all is bad.
+        late = sum(1 for d in self.chaos_detections if d > spec.threshold)
+        good = len(self.chaos_detections) - late
+        return good, late + self.chaos_missed
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One rising-edge burn-rate violation (the structured alert log entry)."""
+
+    tick: int
+    slo: str
+    kind: str
+    window: str  # "fast" | "slow"
+    severity: str  # "page" | "ticket"
+    burn_rate: float
+    error_rate: float
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "slo": self.slo,
+            "kind": self.kind,
+            "window": self.window,
+            "severity": self.severity,
+            "burn_rate": self.burn_rate,
+            "error_rate": self.error_rate,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class _WindowState:
+    """Sliding (good, bad) counts for one (spec, window) pair."""
+
+    events: Deque[tuple[int, int]]
+    violating: bool = False
+
+    def push(self, good: int, bad: int) -> tuple[int, int]:
+        self.events.append((good, bad))
+        return (
+            sum(g for g, _ in self.events),
+            sum(b for _, b in self.events),
+        )
+
+
+def default_slos(
+    *,
+    latency_budget: int = 32,
+    availability_target: float = 0.99,
+    latency_target: float = 0.95,
+    shed_target: float = 0.90,
+    detection_sla: int = 4,
+    fast_window: int = 6,
+    slow_window: int = 24,
+) -> tuple[SLOSpec, ...]:
+    """The standard serving SLO set the canary harness evaluates.
+
+    Availability and latency carry finite budgets; parity and
+    chaos-detection are zero-budget contracts (any violation alerts on
+    the first sample that shows it).
+    """
+    return (
+        SLOSpec(
+            name="availability",
+            kind="availability",
+            target=availability_target,
+            fast_window=fast_window,
+            slow_window=slow_window,
+        ),
+        SLOSpec(
+            name="latency-p99",
+            kind="latency",
+            target=latency_target,
+            threshold=float(latency_budget),
+            fast_window=fast_window,
+            slow_window=slow_window,
+        ),
+        SLOSpec(
+            name="shed-rate",
+            kind="shed_rate",
+            target=shed_target,
+            fast_window=fast_window,
+            slow_window=slow_window,
+        ),
+        SLOSpec(name="parity", kind="parity", target=1.0),
+        SLOSpec(
+            name="chaos-detection",
+            kind="chaos_detection",
+            target=1.0,
+            threshold=float(detection_sla),
+        ),
+    )
+
+
+class SLOEngine:
+    """Folds per-tick samples into burn rates, alerts and a trajectory.
+
+    Feed one :class:`TickSample` per logical tick via :meth:`observe`
+    (or attach :meth:`stream_hook` to a
+    :class:`~repro.service.streaming.StreamingSchedulerService` and let
+    the service do it).  The engine emits, under ``run``:
+
+    * ``slo.burn_rate{slo=,window=}`` gauges — the current burn rates;
+    * ``slo.alerts{slo=,severity=}`` counters — rising-edge violations;
+    * ``slo.good{slo=}`` / ``slo.bad{slo=}`` counters — raw events;
+    * ``slo.budget_remaining{slo=}`` gauges — lifetime budget left,
+      as a fraction of the budget (negative means overspent).
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[SLOSpec] | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        run: str = "slo",
+        trajectory_window: int = 64,
+    ) -> None:
+        self.specs = tuple(specs) if specs is not None else default_slos()
+        if len({s.name for s in self.specs}) != len(self.specs):
+            raise SLOError("SLO spec names must be unique")
+        self.metrics = metrics
+        self.run = run
+        self.alerts: list[Alert] = []
+        self._windows: dict[tuple[str, str], _WindowState] = {}
+        for spec in self.specs:
+            for window, size in (
+                ("fast", spec.fast_window),
+                ("slow", spec.slow_window),
+            ):
+                self._windows[(spec.name, window)] = _WindowState(
+                    events=deque(maxlen=size)
+                )
+        self._burn: dict[tuple[str, str], float] = {}
+        self._totals: dict[str, tuple[int, int]] = {
+            s.name: (0, 0) for s in self.specs
+        }
+        #: recent DONE latencies, feeding the (tick, p50, p99) trajectory.
+        self._recent_latencies: Deque[int] = deque(maxlen=trajectory_window)
+        self.trajectory: list[tuple[int, float, float]] = []
+        self.samples = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe(self, sample: TickSample) -> list[Alert]:
+        """Fold one tick's sample; returns the alerts that fired *this* tick."""
+        self.samples += 1
+        fired: list[Alert] = []
+        for spec in self.specs:
+            good, bad = sample.events_for(spec)
+            tg, tb = self._totals[spec.name]
+            self._totals[spec.name] = (tg + good, tb + bad)
+            self._emit_events(spec, good, bad)
+            for window, burn_threshold in (
+                ("fast", spec.fast_burn),
+                ("slow", spec.slow_burn),
+            ):
+                state = self._windows[(spec.name, window)]
+                wgood, wbad = state.push(good, bad)
+                burn, error_rate = self._burn_rate(spec, wgood, wbad)
+                self._burn[(spec.name, window)] = burn
+                self._emit_burn(spec, window, burn)
+                violating = burn >= burn_threshold
+                if violating and not state.violating:
+                    alert = Alert(
+                        tick=sample.tick,
+                        slo=spec.name,
+                        kind=spec.kind,
+                        window=window,
+                        severity="page" if window == "fast" else "ticket",
+                        burn_rate=burn,
+                        error_rate=error_rate,
+                        message=(
+                            f"{spec.name}: {window}-window burn "
+                            f"{'inf' if math.isinf(burn) else f'{burn:.1f}'}x "
+                            f">= {burn_threshold:g}x "
+                            f"(error rate {error_rate:.3f}, "
+                            f"budget {spec.error_budget:.3f})"
+                        ),
+                    )
+                    self.alerts.append(alert)
+                    fired.append(alert)
+                    if self.metrics is not None:
+                        self.metrics.inc(
+                            "slo.alerts",
+                            run=self.run,
+                            slo=spec.name,
+                            severity=alert.severity,
+                        )
+                state.violating = violating
+        self._recent_latencies.extend(sample.latencies)
+        lats = sorted(self._recent_latencies)
+        self.trajectory.append(
+            (sample.tick, percentile(lats, 0.50), percentile(lats, 0.99))
+        )
+        return fired
+
+    @staticmethod
+    def _burn_rate(spec: SLOSpec, good: int, bad: int) -> tuple[float, float]:
+        total = good + bad
+        if total == 0:
+            return 0.0, 0.0
+        error_rate = bad / total
+        if spec.error_budget == 0.0:
+            return (math.inf if bad else 0.0), error_rate
+        return error_rate / spec.error_budget, error_rate
+
+    # -- introspection -------------------------------------------------------
+
+    def burn_rate(self, name: str, window: str = "fast") -> float:
+        return self._burn.get((name, window), 0.0)
+
+    def burned(self, name: str | None = None) -> bool:
+        """Whether any alert fired (optionally: for one named SLO)."""
+        if name is None:
+            return bool(self.alerts)
+        return any(a.slo == name for a in self.alerts)
+
+    def budget_remaining(self, name: str) -> float:
+        """Lifetime budget left as a fraction of the budget (1.0 = untouched).
+
+        Zero-budget SLOs report 1.0 until the first bad event, then 0.0.
+        """
+        good, bad = self._totals[name]
+        spec = next(s for s in self.specs if s.name == name)
+        total = good + bad
+        if total == 0:
+            return 1.0
+        if spec.error_budget == 0.0:
+            return 0.0 if bad else 1.0
+        return 1.0 - (bad / total) / spec.error_budget
+
+    def alert_log(self) -> list[dict[str, Any]]:
+        """The structured alert log, oldest first."""
+        return [a.to_dict() for a in self.alerts]
+
+    def summary(self) -> str:
+        pages = sum(1 for a in self.alerts if a.severity == "page")
+        tickets = len(self.alerts) - pages
+        worst = max(
+            self.specs,
+            key=lambda s: self.burn_rate(s.name, "slow"),
+            default=None,
+        )
+        tail = ""
+        if worst is not None:
+            tail = (
+                f"; worst slow burn {self.burn_rate(worst.name, 'slow'):.1f}x "
+                f"({worst.name})"
+            )
+        return (
+            f"slo: {self.samples} tick(s), {len(self.specs)} objective(s), "
+            f"{pages} page(s), {tickets} ticket(s){tail}"
+        )
+
+    # -- streaming attachment ------------------------------------------------
+
+    def stream_hook(self):
+        """An ``on_tick`` callable for :class:`StreamingSchedulerService`.
+
+        Builds the :class:`TickSample` from the tick's settlements, the
+        service's door deltas and admission sample, and the chaos drill
+        controller's resolved events (when one is attached) — then feeds
+        :meth:`observe`.  The service never imports this module; the
+        hook is plain dependency injection.
+        """
+
+        def on_tick(service: Any, settled: list[Any], now: int) -> None:
+            done = expired = failed = 0
+            latencies: list[int] = []
+            for result in settled:
+                status = result.status.name
+                if status == "DONE":
+                    done += 1
+                    latencies.append(result.latency_ticks)
+                elif status == "EXPIRED":
+                    expired += 1
+                elif status == "FAILED":
+                    failed += 1
+            load = service.last_load
+            detections: tuple[int, ...] = ()
+            missed = 0
+            if service.chaos is not None:
+                detections, missed = service.chaos.take_tick_events()
+            self.observe(
+                TickSample(
+                    tick=now,
+                    done=done,
+                    expired=expired,
+                    failed=failed,
+                    shed=service._shed_delta,
+                    submitted=service._submitted_delta,
+                    queue_fraction=load.queue_fraction if load else 0.0,
+                    pressure=load.pressure() if load else 0.0,
+                    latencies=tuple(latencies),
+                    chaos_detections=detections,
+                    chaos_missed=missed,
+                )
+            )
+
+        return on_tick
+
+    # -- metrics plumbing ----------------------------------------------------
+
+    def _emit_events(self, spec: SLOSpec, good: int, bad: int) -> None:
+        if self.metrics is None:
+            return
+        if good:
+            self.metrics.inc("slo.good", good, run=self.run, slo=spec.name)
+        if bad:
+            self.metrics.inc("slo.bad", bad, run=self.run, slo=spec.name)
+        self.metrics.set(
+            "slo.budget_remaining",
+            self.budget_remaining(spec.name),
+            run=self.run,
+            slo=spec.name,
+        )
+
+    def _emit_burn(self, spec: SLOSpec, window: str, burn: float) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.set(
+            "slo.burn_rate",
+            burn if math.isfinite(burn) else -1.0,  # JSON-safe sentinel
+            run=self.run,
+            slo=spec.name,
+            window=window,
+        )
+
+
+def sample_from_snapshots(
+    prev: Mapping[str, Any],
+    curr: Mapping[str, Any],
+    *,
+    tick: int,
+    run: str | None = None,
+) -> TickSample:
+    """Build a :class:`TickSample` from two consecutive registry snapshots.
+
+    The offline path: when all you archived is
+    :meth:`MetricsRegistry.snapshot` dumps (one per tick), the
+    ``stream.*`` counter deltas reconstruct the event counts — though
+    not the per-request latency list, so latency SLOs need the live
+    :meth:`SLOEngine.stream_hook` path.  ``run`` filters by the metric's
+    run label when several services share one registry.
+    """
+
+    def total(snap: Mapping[str, Any], name: str) -> int:
+        out = 0
+        for key, value in snap.get("counters", {}).items():
+            base, labels = parse_key(key)
+            if base == name and (run is None or labels.get("run") == run):
+                out += value
+        return out
+
+    def delta(name: str) -> int:
+        return max(0, total(curr, name) - total(prev, name))
+
+    queue_fraction = 0.0
+    for key, value in curr.get("gauges", {}).items():
+        base, labels = parse_key(key)
+        if base == "admission.pressure" and (
+            run is None or labels.get("run") == run
+        ):
+            queue_fraction = float(value)
+    return TickSample(
+        tick=tick,
+        done=delta("stream.done"),
+        expired=delta("stream.expired"),
+        failed=delta("stream.failed"),
+        shed=delta("stream.shed"),
+        submitted=delta("stream.submitted"),
+        pressure=queue_fraction,
+    )

@@ -1,4 +1,4 @@
-"""Small shared utilities: bit math for heap-indexed trees, validation."""
+"""Small shared utilities: bit math, validation, stats helpers."""
 
 from repro.util.bitmath import (
     is_power_of_two,
@@ -7,9 +7,11 @@ from repro.util.bitmath import (
     level_of,
     common_prefix_node,
 )
+from repro.util.stats import percentile
 from repro.util.validation import check_index, check_positive
 
 __all__ = [
+    "percentile",
     "is_power_of_two",
     "ceil_pow2",
     "ilog2",

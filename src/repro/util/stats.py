@@ -1,0 +1,33 @@
+"""Tiny shared statistics helpers (no numpy — hot paths stay stdlib).
+
+The streaming report and the SLO engine both summarise latency series
+with the **nearest-rank** percentile (the value at rank ``ceil(q * n)``,
+1-indexed).  Nearest-rank is exact on integer tick latencies — it always
+returns an observed value, never an interpolation — which keeps latency
+SLO assertions bit-stable across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an **already-sorted** sequence.
+
+    ``q`` is a fraction in ``(0, 1]``; the empty series maps to ``0.0``
+    (a report with no settled latencies reads as "no latency"), and
+    ``n == 1`` returns the single observation for every ``q``.  The rank
+    is computed with integer-exact :func:`math.ceil`, not float floor
+    division, so representation boundaries (e.g. ``q=0.99, n=100`` →
+    rank 99) cannot mis-rank.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"percentile fraction must be in (0, 1], got {q}")
+    rank = min(len(sorted_values), max(1, math.ceil(q * len(sorted_values))))
+    return float(sorted_values[rank - 1])

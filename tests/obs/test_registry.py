@@ -90,6 +90,51 @@ class TestHistogram:
         assert snap["count"] == 1 and snap["sum"] == 3
 
 
+class TestHistogramExport:
+    def test_empty_histogram_golden(self):
+        # min/max are null before the first observation — not 0, which
+        # would read as an observed value.
+        h = Histogram("h", buckets=(1.0, 2.0))
+        assert h.export() == {
+            "count": 0,
+            "sum": 0,
+            "min": None,
+            "max": None,
+            "buckets": {"le=1": 0, "le=2": 0, "le=+inf": 0},
+        }
+        assert h.mean == 0.0
+
+    def test_duplicate_bounds_are_deduped(self):
+        # repeated bounds used to export colliding ``le=`` keys, silently
+        # dropping a bucket's cumulative count on the dict overwrite.
+        h = Histogram("h", buckets=(1.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0)
+        for v in (0.5, 1.5, 5.0):
+            h.observe(v)
+        out = h.export()
+        assert out["buckets"] == {"le=1": 1, "le=2": 2, "le=+inf": 3}
+        assert out["count"] == 3
+
+    def test_unsorted_bounds_are_sorted(self):
+        h = Histogram("h", buckets=(4.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0, 4.0)
+        h.observe(3.0)
+        assert h.export()["buckets"] == {
+            "le=1": 0,
+            "le=2": 0,
+            "le=4": 1,
+            "le=+inf": 1,
+        }
+
+    def test_registry_histogram_dedupes_custom_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(8.0, 8.0, 16.0))
+        h.observe(10)
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["buckets"] == {"le=8": 0, "le=16": 1, "le=+inf": 1}
+        json.dumps(snap)  # export stays JSON-clean
+
+
 class TestSpan:
     def test_aggregates_across_entries(self):
         reg = MetricsRegistry()

@@ -85,3 +85,93 @@ class TestScheduleCache:
     def test_capacity_validated(self):
         with pytest.raises(SchedulingError):
             ScheduleCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# LRU refresh semantics and counter consistency
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+class TestCacheRefresh:
+    def test_put_existing_refreshes_recency_without_evicting(self):
+        cache = ScheduleCache(capacity=2)
+        k1 = canonical_signature(cs((0, 1)), 8)
+        k2 = canonical_signature(cs((2, 3)), 8)
+        k3 = canonical_signature(cs((4, 5)), 8)
+        cache.put(k1, {"v": 1})
+        cache.put(k2, {"v": 2})
+        cache.put(k1, {"v": "fresh"})  # refresh, not a second insert
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        cache.put(k3, {"v": 3})  # k2 is now the LRU, not k1
+        assert cache.get(k2) is None
+        assert cache.get(k1) == {"v": "fresh"}
+        assert cache.get(k3) == {"v": 3}
+
+    def test_refresh_keeps_size_gauge_at_one(self):
+        registry = MetricsRegistry()
+        cache = ScheduleCache(capacity=2, metrics=registry, run="t")
+        k1 = canonical_signature(cs((0, 1)), 8)
+        cache.put(k1, {"v": 1})
+        cache.put(k1, {"v": 2})
+        assert len(cache) == 1
+        assert registry.snapshot()["gauges"]["service.cache.size{run=t}"] == 1
+
+    def test_clear_empties_entries_but_keeps_history(self):
+        cache = ScheduleCache(capacity=2)
+        k1 = canonical_signature(cs((0, 1)), 8)
+        cache.get(k1)  # miss
+        cache.put(k1, {"v": 1})
+        cache.get(k1)  # hit
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(k1) is None
+        # hit/miss history survives a clear — hit_rate is lifetime.
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["get", "put", "clear"]),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=40,
+    )
+)
+def test_cache_counters_stay_consistent_under_interleavings(ops):
+    """hit/miss accounting, bounded size and the size gauge hold under
+    any get/put/clear interleaving (the satellite's property test)."""
+    registry = MetricsRegistry()
+    cache = ScheduleCache(capacity=2, metrics=registry, run="p")
+    keys = [canonical_signature(cs((2 * i, 2 * i + 1)), 8) for i in range(4)]
+    last_put: dict[int, dict] = {}
+    n_gets = 0
+    for seq, (op, idx) in enumerate(ops):
+        if op == "get":
+            n_gets += 1
+            got = cache.get(keys[idx])
+            # a hit always returns the *latest* payload put for the key
+            assert got is None or got == last_put[idx]
+        elif op == "put":
+            payload = {"v": (idx, seq)}
+            cache.put(keys[idx], payload)
+            last_put[idx] = payload
+            assert cache.get(keys[idx]) == payload
+            n_gets += 1
+        else:
+            cache.clear()
+            last_put.clear()
+        assert len(cache) <= cache.capacity
+        assert cache.hits + cache.misses == n_gets
+        expected_rate = cache.hits / n_gets if n_gets else 0.0
+        assert cache.hit_rate == pytest.approx(expected_rate)
+        gauges = registry.snapshot()["gauges"]
+        if "service.cache.size{run=p}" in gauges:
+            assert gauges["service.cache.size{run=p}"] == len(cache)

@@ -534,3 +534,83 @@ class TestAsyncAndPlumbing:
         assert back.deadline == request.deadline
         assert back.priority is Priority.HIGH
         assert back.tenant == "acme"
+
+
+# ---------------------------------------------------------------------------
+# the deadline boundary contract
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlineBoundary:
+    """A request is alive *at* ``deadline_tick`` — served exactly then it
+    settles DONE with ``latency_ticks == deadline``; it expires at
+    ``deadline_tick + 1``.  The batch-window holdback counts slack with
+    the same convention, so holding never expires a lone leader."""
+
+    def _settle_fourth(self, victim_deadline: int):
+        svc = StreamingSchedulerService(
+            max_inflight=1, default_quota=roomy_quota()
+        )
+        # three fillers ahead of the victim: with one execution slot the
+        # victim is reached exactly at tick 4.
+        for pair in ((0, 1), (2, 3), (4, 5)):
+            assert svc.submit(
+                StreamRequest(cset=cs(pair), n_leaves=8, deadline=50)
+            ).accepted
+        ticket = svc.submit(
+            StreamRequest(cset=cs((6, 7)), n_leaves=8, deadline=victim_deadline)
+        )
+        assert ticket.accepted
+        for _ in range(6):
+            svc.step()
+        return svc.results[ticket.id]
+
+    def test_served_exactly_at_deadline_tick_is_done(self):
+        result = self._settle_fourth(victim_deadline=4)
+        assert result.status is StreamStatus.DONE
+        assert result.latency_ticks == 4  # the full budget, not a tick less
+
+    def test_one_tick_past_deadline_is_expired(self):
+        result = self._settle_fourth(victim_deadline=3)
+        assert result.status is StreamStatus.EXPIRED
+        assert result.attempts == 0  # expired in queue, never executed
+        assert result.latency_ticks == 4
+
+    def _lone_columnar(self, deadline: int):
+        svc = StreamingSchedulerService(
+            config=SchedulerConfig(engine="columnar"),
+            batch_window=3,
+            max_inflight=4,
+            default_quota=roomy_quota(),
+        )
+        ticket = svc.submit(
+            StreamRequest(cset=cs((0, 1)), n_leaves=8, deadline=deadline)
+        )
+        assert ticket.accepted
+        for _ in range(8):
+            svc.step()
+        return svc.results[ticket.id]
+
+    def test_holdback_releases_when_slack_reaches_the_window(self):
+        # slack == batch_window at tick 1 → not held (holding any longer
+        # could push the request into its deadline).
+        result = self._lone_columnar(deadline=4)
+        assert result.status is StreamStatus.DONE
+        assert result.latency_ticks == 1
+
+    def test_holdback_waits_while_slack_exceeds_the_window(self):
+        # slack 4 > 3 at tick 1 → hold once; slack 3 at tick 2 → release.
+        result = self._lone_columnar(deadline=5)
+        assert result.status is StreamStatus.DONE
+        assert result.latency_ticks == 2
+
+    def test_holdback_is_capped_at_batch_window(self):
+        result = self._lone_columnar(deadline=50)
+        assert result.status is StreamStatus.DONE
+        assert result.latency_ticks == 3  # == batch_window, never more
+
+    def test_holdback_never_expires_a_lone_leader(self):
+        for deadline in range(4, 12):
+            result = self._lone_columnar(deadline=deadline)
+            assert result.status is StreamStatus.DONE
+            assert result.latency_ticks <= min(3, deadline)

@@ -1,0 +1,80 @@
+"""TenantRegistry unit coverage: state defaults and DRR deficit hygiene.
+
+Two regressions pinned here: ``TenantState.queue`` must be a real
+per-instance default (it was ``None`` patched up in ``__post_init__``),
+and a tenant whose queue empties must not bank deficit credit across
+idle epochs — DRR fairness is about *current* backlog, so stale credit
+would hand a returning tenant an unearned head start.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.service.tenants import TenantQuota, TenantRegistry, TenantState
+
+
+class TestTenantStateDefaults:
+    def test_queue_defaults_to_an_empty_deque(self):
+        q = TenantQuota()
+        state = TenantState(name="a", quota=q, tokens=q.burst)
+        assert isinstance(state.queue, deque)
+        assert len(state.queue) == 0
+
+    def test_queues_are_per_instance_not_shared(self):
+        q = TenantQuota()
+        a = TenantState(name="a", quota=q, tokens=q.burst)
+        b = TenantState(name="b", quota=q, tokens=q.burst)
+        a.queue.append("item")
+        assert a.queue is not b.queue
+        assert len(b.queue) == 0
+
+
+class TestDeficitHygiene:
+    def test_deficit_resets_when_queue_empties(self):
+        reg = TenantRegistry()
+        reg.register("a", TenantQuota(weight=5.0))
+        reg.enqueue("a", "x")
+        assert reg.fair_select(4) == ["x"]
+        state = reg.get("a")
+        assert not state.queue
+        assert state.deficit == 0.0  # no credit hoarded while idle
+
+    def test_idle_epoch_gives_no_head_start(self):
+        # drain A fully, then race A against an equal-weight B: the
+        # split must be even, not tilted by A's stale credit.
+        reg = TenantRegistry()
+        reg.register("a", TenantQuota(weight=1.0))
+        reg.register("b", TenantQuota(weight=1.0))
+        reg.enqueue("a", "warmup")
+        assert reg.fair_select(8) == ["warmup"]
+        for i in range(4):
+            reg.enqueue("a", f"a{i}")
+            reg.enqueue("b", f"b{i}")
+        picked = reg.fair_select(4)
+        assert sum(1 for p in picked if p.startswith("a")) == 2
+        assert sum(1 for p in picked if p.startswith("b")) == 2
+
+    def test_backlogged_deficit_stays_bounded(self):
+        reg = TenantRegistry()
+        reg.register("a", TenantQuota(weight=3.0))
+        for i in range(10):
+            reg.enqueue("a", i)
+        budget = 2
+        reg.fair_select(budget)
+        state = reg.get("a")
+        assert state.queue  # still backlogged
+        assert state.deficit <= max(state.quota.weight, float(budget))
+
+    def test_weighted_split_unaffected_by_reset(self):
+        # the reset only fires on *empty* queues; a live 2:1 weight
+        # split still drains 2:1.
+        reg = TenantRegistry()
+        reg.register("heavy", TenantQuota(weight=2.0))
+        reg.register("light", TenantQuota(weight=1.0))
+        for i in range(12):
+            reg.enqueue("heavy", f"h{i}")
+            reg.enqueue("light", f"l{i}")
+        picked = reg.fair_select(9)
+        assert sum(1 for p in picked if p.startswith("h")) == 6
+        assert sum(1 for p in picked if p.startswith("l")) == 3

@@ -1,0 +1,172 @@
+"""The canary harness end to end: record, round-trip, replay, gate.
+
+Small trees (64 leaves) and short traces keep these fast while
+exercising the same code path ``scripts/run_canary.py`` drives at scale:
+a healthy replay must promote against itself, a throttled replay must
+burn and be refused, and an in-service chaos drill must hit both SLAs
+without disturbing parity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.io import load_arrivals, save_arrivals, stream_request_to_dict
+from repro.slo import (
+    DrillSpec,
+    default_slos,
+    promotion_gate,
+    record_workload,
+    replay,
+)
+
+N = 64
+COUNT = 24
+
+
+@pytest.fixture(scope="module")
+def arrivals():
+    return record_workload(n_leaves=N, count=COUNT, seed=3, deadline=64)
+
+
+def specs(budget=8):
+    return default_slos(latency_budget=budget, fast_window=4, slow_window=8)
+
+
+@pytest.fixture(scope="module")
+def baseline(arrivals):
+    return replay(
+        arrivals, label="baseline", specs=specs(), max_inflight=8
+    )
+
+
+class TestRecording:
+    def test_deterministic_and_mixed(self, arrivals):
+        again = record_workload(n_leaves=N, count=COUNT, seed=3, deadline=64)
+        as_dicts = [stream_request_to_dict(r) for r in arrivals]
+        assert as_dicts == [stream_request_to_dict(r) for r in again]
+        assert len(arrivals) == COUNT
+        assert len({r.tenant for r in arrivals}) == 3
+        assert len({r.priority for r in arrivals}) > 1
+
+    def test_round_trips_through_the_trace_file(self, arrivals, tmp_path):
+        path = tmp_path / "trace.json"
+        save_arrivals(path, arrivals)
+        loaded = load_arrivals(path)
+        assert [stream_request_to_dict(r) for r in loaded] == [
+            stream_request_to_dict(r) for r in arrivals
+        ]
+        assert json.loads(path.read_text())["format"] == "cst-padr/arrival-trace"
+
+
+class TestHealthyReplay:
+    def test_burn_free_and_fully_served(self, baseline):
+        assert baseline.alerts == ()
+        assert baseline.report.n_done == COUNT
+        assert set(baseline.payloads) == {
+            rid for rid, r in baseline.report.results.items()
+        }
+        assert baseline.trajectory  # one (tick, p50, p99) entry per tick
+
+    def test_promotes_against_itself(self, arrivals, baseline):
+        candidate = replay(
+            arrivals, label="again", specs=specs(), max_inflight=8
+        )
+        decision = promotion_gate(baseline, candidate)
+        assert decision.promote, decision.reasons
+        assert "PROMOTE" in decision.summary()
+
+    def test_run_serialises(self, baseline):
+        out = baseline.to_dict()
+        json.dumps(out)
+        assert out["done"] == COUNT
+        assert out["alerts"] == []
+
+
+class TestDrilledReplay:
+    @pytest.fixture(scope="class")
+    def drilled(self, arrivals):
+        return replay(
+            arrivals,
+            label="drilled",
+            specs=specs(),
+            drills=(DrillSpec(tick=2, model="dead", seed=5),),
+            max_inflight=8,
+        )
+
+    def test_drill_ran_and_met_both_slas(self, drilled):
+        [record] = drilled.drills
+        assert record.detected
+        assert record.met_detection_sla
+        assert record.met_reroute_sla
+
+    def test_victim_still_settles_done_with_parity(self, baseline, drilled):
+        # the drill delays the victim one tick; it must not change any
+        # payload — the gate's bit-identical comparison proves it.
+        assert drilled.report.n_done == COUNT
+        decision = promotion_gate(baseline, drilled)
+        assert decision.promote, decision.reasons
+
+    def test_zero_budget_detection_slo_stayed_quiet(self, drilled):
+        assert not any(a.slo == "chaos-detection" for a in drilled.alerts)
+
+
+class TestRegressionGate:
+    @pytest.fixture(scope="class")
+    def throttled(self, arrivals):
+        # one execution slot and a tight latency budget: queueing delay
+        # must burn the latency SLO and the deadline tail availability.
+        slow = [dataclasses.replace(r, deadline=12) for r in arrivals]
+        return replay(
+            slow, label="throttled", specs=specs(budget=4), max_inflight=1
+        )
+
+    def test_burns_and_is_refused(self, baseline, throttled):
+        assert throttled.alerts, "throttled replay must raise burn alerts"
+        decision = promotion_gate(baseline, throttled)
+        assert not decision.promote
+        assert any("alert" in r for r in decision.reasons)
+        assert "REFUSE" in decision.summary()
+
+    def test_refusal_reasons_name_the_regression(self, baseline, throttled):
+        decision = promotion_gate(baseline, throttled)
+        text = " ".join(decision.reasons)
+        assert "p99" in text or "not DONE" in text or "alert" in text
+
+
+class TestGateConditions:
+    def test_parity_mismatch_refused(self, baseline):
+        rid = next(iter(baseline.payloads))
+        tampered = dict(baseline.payloads)
+        tampered[rid] = {"corrupted": True}
+        candidate = dataclasses.replace(baseline, payloads=tampered)
+        decision = promotion_gate(baseline, candidate)
+        assert not decision.promote
+        assert any("parity" in r for r in decision.reasons)
+
+    def test_missing_done_request_refused(self, baseline):
+        rid = next(iter(baseline.payloads))
+        shrunk = {k: v for k, v in baseline.payloads.items() if k != rid}
+        candidate = dataclasses.replace(baseline, payloads=shrunk)
+        decision = promotion_gate(baseline, candidate)
+        assert not decision.promote
+        assert any("not DONE" in r for r in decision.reasons)
+
+    def test_victimless_drill_refused(self, baseline):
+        from repro.slo import DrillRecord
+
+        ghost = DrillRecord(spec=DrillSpec(tick=2), armed_tick=2)
+        candidate = dataclasses.replace(baseline, drills=(ghost,))
+        decision = promotion_gate(baseline, candidate)
+        assert not decision.promote
+        assert any("never found a victim" in r for r in decision.reasons)
+
+    def test_decision_serialises(self, baseline):
+        decision = promotion_gate(baseline, baseline)
+        out = decision.to_dict()
+        json.dumps(out)
+        assert out["promote"] is True
+        assert out["reasons"] == []

@@ -1,0 +1,141 @@
+"""The chaos drill controller, unit-level: arming, victim choice, SLAs.
+
+The controller only needs duck-typed "live" entries (request id, cset,
+tree size, deadline), so these tests drive it with stand-ins and real
+communication sets — the full in-service path is covered by the canary
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.exceptions import ReproError
+from repro.obs import MetricsRegistry
+from repro.service.streaming import StreamStatus
+from repro.slo import ChaosDrillController, DrillSpec
+
+
+def cs(*pairs):
+    return CommunicationSet([Communication(s, d) for s, d in pairs])
+
+
+def live(rid: int, deadline_tick: int, cset=None, n_leaves: int = 8):
+    return SimpleNamespace(
+        request_id=rid,
+        deadline_tick=deadline_tick,
+        request=SimpleNamespace(cset=cset if cset is not None else cs((0, 3), (1, 2))),
+        key=SimpleNamespace(n_leaves=n_leaves),
+    )
+
+
+class TestDrillSpec:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DrillSpec(tick=0)
+        with pytest.raises(ReproError):
+            DrillSpec(tick=1, model="meteor")
+        with pytest.raises(ReproError):
+            DrillSpec(tick=1, detection_sla=0)
+        with pytest.raises(ReproError):
+            DrillSpec(tick=1, min_slack=0)
+
+    def test_defaults(self):
+        spec = DrillSpec(tick=3)
+        assert spec.model == "dead"
+        assert spec.detection_sla == 4 and spec.reroute_sla == 8
+
+
+class TestArmingAndVictims:
+    def test_idle_before_its_tick(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=5)])
+        assert ctrl.maybe_drill([live(1, 50)], now=2) == []
+        assert ctrl.records == []
+
+    def test_claims_the_widest_slack_victim(self):
+        reg = MetricsRegistry()
+        ctrl = ChaosDrillController([DrillSpec(tick=2)], metrics=reg, run="t")
+        roomy, tight = live(1, 50), live(2, 10)
+        claimed = ctrl.maybe_drill([tight, roomy], now=3)
+        assert claimed == [roomy]
+        [record] = ctrl.records
+        assert record.victim_id == 1
+        assert record.armed_tick == 3 and record.executed_tick == 3
+        assert record.fault_switch is not None
+        counters = reg.snapshot()["counters"]
+        assert counters["chaos.drills{run=t}"] == 1
+
+    def test_min_slack_guard_defers_the_drill(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=1, min_slack=4)])
+        # slack 3 <= min_slack: nobody safe to victimise this tick
+        assert ctrl.maybe_drill([live(1, 5)], now=2) == []
+        assert ctrl.records == []
+        # the drill stays armed and fires when headroom appears
+        assert ctrl.maybe_drill([live(2, 40)], now=3) != []
+        assert ctrl.records[0].victim_id == 2
+
+    def test_one_drill_per_spec(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=1)])
+        assert ctrl.maybe_drill([live(1, 50)], now=1) != []
+        assert ctrl.maybe_drill([live(2, 50)], now=2) == []
+        assert len(ctrl.records) == 1
+
+
+class TestMeasurement:
+    def test_detection_within_sla_and_events_drain_once(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=2, detection_sla=4)])
+        ctrl.maybe_drill([live(7, 60)], now=2)
+        [record] = ctrl.records
+        assert record.detected
+        assert record.detection_ticks == 0  # same-tick localisation
+        assert record.met_detection_sla
+        detections, missed = ctrl.take_tick_events()
+        assert detections == (0,) and missed == 0
+        assert ctrl.take_tick_events() == ((), 0)  # reported exactly once
+
+    def test_on_settled_closes_the_reroute(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=2, reroute_sla=8)])
+        ctrl.maybe_drill([live(7, 60)], now=2)
+        settled = [SimpleNamespace(request_id=7, status=StreamStatus.DONE)]
+        ctrl.on_settled(settled, now=3)
+        [record] = ctrl.records
+        assert record.rerouted_tick == 3
+        assert record.reroute_ticks == 1
+        assert record.met_reroute_sla
+        assert ctrl.all_met_sla
+
+    def test_unrelated_settlements_are_ignored(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=2)])
+        ctrl.maybe_drill([live(7, 60)], now=2)
+        ctrl.on_settled(
+            [SimpleNamespace(request_id=99, status=StreamStatus.DONE)], now=3
+        )
+        assert ctrl.records[0].reroute_ticks is None
+        assert not ctrl.all_met_sla
+
+    def test_deterministic_fault_choice(self):
+        picks = set()
+        for _ in range(3):
+            ctrl = ChaosDrillController([DrillSpec(tick=2, seed=11)])
+            ctrl.maybe_drill([live(7, 60)], now=2)
+            picks.add(ctrl.records[0].fault_switch)
+        assert len(picks) == 1  # same seed, same tick, same switch
+
+    def test_record_serialises(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=2)])
+        ctrl.maybe_drill([live(7, 60)], now=2)
+        out = ctrl.records[0].to_dict()
+        json.dumps(out)
+        assert out["victim_id"] == 7
+        assert out["detection_sla"] == 4
+        assert "met_reroute_sla" in out
+
+    def test_summary_reads(self):
+        ctrl = ChaosDrillController([DrillSpec(tick=2), DrillSpec(tick=90)])
+        ctrl.maybe_drill([live(7, 60)], now=2)
+        text = ctrl.summary()
+        assert "1 run" in text and "1 still pending" in text

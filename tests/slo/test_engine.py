@@ -1,0 +1,222 @@
+"""The SLO burn-rate engine: spec validation, burn math, rising edges.
+
+Every objective kind reduces to (good, bad) event counting per tick, so
+the burn-rate math is tested once through synthetic :class:`TickSample`
+streams — no service required.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.slo import (
+    SLO_KINDS,
+    SLOEngine,
+    SLOSpec,
+    TickSample,
+    default_slos,
+    sample_from_snapshots,
+)
+from repro.slo.engine import SLOError
+
+
+def avail_spec(**kw) -> SLOSpec:
+    base = dict(
+        name="avail",
+        kind="availability",
+        target=0.9,
+        fast_window=2,
+        slow_window=4,
+        fast_burn=5.0,
+        slow_burn=2.0,
+    )
+    base.update(kw)
+    return SLOSpec(**base)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SLOError):
+            SLOSpec(name="x", kind="throughput")
+
+    @pytest.mark.parametrize("target", [0.0, -0.5, 1.5])
+    def test_target_must_be_in_unit_interval(self, target):
+        with pytest.raises(SLOError):
+            SLOSpec(name="x", kind="availability", target=target)
+
+    def test_windows_must_nest(self):
+        with pytest.raises(SLOError):
+            SLOSpec(name="x", kind="availability", fast_window=8, slow_window=4)
+        with pytest.raises(SLOError):
+            SLOSpec(name="x", kind="availability", fast_window=0)
+
+    def test_burn_thresholds_positive(self):
+        with pytest.raises(SLOError):
+            SLOSpec(name="x", kind="availability", fast_burn=0.0)
+
+    def test_error_budget(self):
+        assert avail_spec(target=0.9).error_budget == pytest.approx(0.1)
+        assert SLOSpec(name="p", kind="parity", target=1.0).error_budget == 0.0
+
+    def test_duplicate_spec_names_rejected(self):
+        with pytest.raises(SLOError):
+            SLOEngine([avail_spec(), avail_spec()])
+
+    def test_default_slos_cover_every_kind(self):
+        specs = default_slos()
+        assert {s.kind for s in specs} == set(SLO_KINDS)
+        # parity and chaos-detection are zero-budget contracts
+        by_name = {s.name: s for s in specs}
+        assert by_name["parity"].target == 1.0
+        assert by_name["chaos-detection"].target == 1.0
+
+
+class TestEventReduction:
+    def test_availability(self):
+        s = TickSample(tick=1, done=7, expired=2, failed=1)
+        assert s.events_for(avail_spec()) == (7, 3)
+
+    def test_latency_threshold(self):
+        spec = SLOSpec(name="lat", kind="latency", threshold=4.0)
+        s = TickSample(tick=1, latencies=(1, 4, 5, 9))
+        assert s.events_for(spec) == (2, 2)  # <= 4 is good, > 4 is bad
+
+    def test_shed_rate_never_goes_negative(self):
+        spec = SLOSpec(name="shed", kind="shed_rate")
+        assert TickSample(tick=1, submitted=5, shed=2).events_for(spec) == (3, 2)
+        # requests submitted earlier can shed later; good clamps at zero
+        assert TickSample(tick=1, submitted=0, shed=3).events_for(spec) == (0, 3)
+
+    def test_parity(self):
+        spec = SLOSpec(name="p", kind="parity", target=1.0)
+        s = TickSample(tick=1, done=4, parity_failures=1)
+        assert s.events_for(spec) == (4, 1)
+
+    def test_chaos_detection_counts_late_and_missed(self):
+        spec = SLOSpec(
+            name="c", kind="chaos_detection", target=1.0, threshold=4.0
+        )
+        s = TickSample(tick=1, chaos_detections=(2, 6), chaos_missed=1)
+        assert s.events_for(spec) == (1, 2)  # 6 > SLA is late, plus 1 missed
+
+
+class TestBurnRates:
+    def test_healthy_stream_never_alerts(self):
+        engine = SLOEngine([avail_spec()])
+        for t in range(1, 20):
+            fired = engine.observe(TickSample(tick=t, done=10))
+            assert fired == []
+        assert engine.alerts == []
+        assert engine.burn_rate("avail", "fast") == 0.0
+        assert engine.budget_remaining("avail") == 1.0
+        assert not engine.burned()
+
+    def test_no_events_is_no_burn(self):
+        engine = SLOEngine([avail_spec()])
+        engine.observe(TickSample(tick=1))
+        assert engine.burn_rate("avail", "fast") == 0.0
+
+    def test_cliff_pages_on_the_rising_edge_only(self):
+        engine = SLOEngine([avail_spec()])
+        first = engine.observe(TickSample(tick=1, expired=5))
+        # error rate 1.0 / budget 0.1 = 10x: >= fast 5x and slow 2x
+        assert {a.window for a in first} == {"fast", "slow"}
+        assert {a.severity for a in first} == {"page", "ticket"}
+        assert engine.burn_rate("avail", "fast") == pytest.approx(10.0)
+        # still violating: no *new* alert while the edge stays high
+        assert engine.observe(TickSample(tick=2, expired=5)) == []
+        assert len(engine.alerts) == 2
+
+    def test_recovery_rearms_the_fast_window(self):
+        engine = SLOEngine([avail_spec()])
+        engine.observe(TickSample(tick=1, expired=5))  # page + ticket
+        engine.observe(TickSample(tick=2, done=5))
+        engine.observe(TickSample(tick=3, done=5))  # fast window all-good
+        assert engine.burn_rate("avail", "fast") == 0.0
+        refire = engine.observe(TickSample(tick=4, expired=5))
+        pages = [a for a in engine.alerts if a.window == "fast"]
+        assert [a.tick for a in pages] == [1, 4]
+        assert any(a.window == "fast" for a in refire)
+        # the slow window never cleared, so no duplicate ticket
+        assert sum(1 for a in engine.alerts if a.window == "slow") == 1
+
+    def test_zero_budget_contract_burns_infinitely(self):
+        engine = SLOEngine([SLOSpec(name="p", kind="parity", target=1.0)])
+        engine.observe(TickSample(tick=1, done=99, parity_failures=1))
+        assert math.isinf(engine.burn_rate("p", "fast"))
+        assert engine.burned("p")
+        assert "inf" in engine.alerts[0].message
+        assert engine.budget_remaining("p") == 0.0
+
+    def test_budget_remaining_tracks_lifetime_spend(self):
+        engine = SLOEngine([avail_spec()])
+        engine.observe(TickSample(tick=1, done=90, expired=10))
+        # error rate 0.1 == the whole budget: nothing left
+        assert engine.budget_remaining("avail") == pytest.approx(0.0)
+        engine.observe(TickSample(tick=2, done=100))
+        assert engine.budget_remaining("avail") == pytest.approx(0.5)
+
+
+class TestEngineSurface:
+    def test_alert_log_is_structured_and_ordered(self):
+        engine = SLOEngine([avail_spec()])
+        engine.observe(TickSample(tick=3, expired=5))
+        log = engine.alert_log()
+        assert [e["tick"] for e in log] == [3, 3]
+        assert log[0].keys() == {
+            "tick", "slo", "kind", "window", "severity",
+            "burn_rate", "error_rate", "message",
+        }
+        json.dumps(log)  # archivable as-is
+
+    def test_trajectory_records_p50_p99_per_tick(self):
+        engine = SLOEngine([avail_spec()])
+        engine.observe(TickSample(tick=1, done=3, latencies=(1, 2, 3)))
+        engine.observe(TickSample(tick=2, done=1, latencies=(10,)))
+        assert engine.trajectory[0] == (1, 2.0, 3.0)
+        # the window accumulates: p99 over (1,2,3,10) is 10
+        assert engine.trajectory[1] == (2, 2.0, 10.0)
+
+    def test_metrics_emitted_with_inf_sentinel(self):
+        reg = MetricsRegistry()
+        engine = SLOEngine(
+            [SLOSpec(name="p", kind="parity", target=1.0)],
+            metrics=reg,
+            run="t",
+        )
+        engine.observe(TickSample(tick=1, done=4, parity_failures=1))
+        snap = reg.snapshot()
+        assert snap["counters"]["slo.alerts{run=t,severity=page,slo=p}"] == 1
+        assert snap["counters"]["slo.good{run=t,slo=p}"] == 4
+        assert snap["counters"]["slo.bad{run=t,slo=p}"] == 1
+        # inf is not JSON-clean; the gauge carries the -1.0 sentinel
+        assert snap["gauges"]["slo.burn_rate{run=t,slo=p,window=fast}"] == -1.0
+        json.dumps(snap)
+
+    def test_summary_counts_pages_and_tickets(self):
+        engine = SLOEngine([avail_spec()])
+        engine.observe(TickSample(tick=1, expired=5))
+        text = engine.summary()
+        assert "1 page(s)" in text and "1 ticket(s)" in text
+
+
+class TestSnapshotSampling:
+    def test_counter_deltas_reconstruct_the_tick(self):
+        reg = MetricsRegistry()
+        reg.inc("stream.done", 3, run="s")
+        reg.inc("stream.shed", 1, run="s")
+        prev = reg.snapshot()
+        reg.inc("stream.done", 4, run="s")
+        reg.inc("stream.expired", 2, run="s")
+        reg.inc("stream.submitted", 6, run="s")
+        reg.inc("stream.done", 9, run="other")  # filtered out
+        sample = sample_from_snapshots(prev, reg.snapshot(), tick=7, run="s")
+        assert sample.tick == 7
+        assert sample.done == 4
+        assert sample.expired == 2
+        assert sample.submitted == 6
+        assert sample.shed == 0

@@ -1,0 +1,80 @@
+"""Nearest-rank percentile: exact ranks at the boundaries that mis-ranked.
+
+The old helper computed the rank with float floor division
+(``-(-q * n // 1)``); at representation boundaries like ``q=0.99,
+n=100`` the product floats to ``99.00000000000001`` and the rank came
+out one too high.  These tests pin the integer-exact contract the
+streaming report and the SLO engine both rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import percentile
+
+
+class TestPercentileExactness:
+    def test_empty_series_reads_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile((), 0.99) == 0.0
+
+    def test_single_observation_for_every_q(self):
+        for q in (0.001, 0.25, 0.5, 0.99, 1.0):
+            assert percentile([7], q) == 7.0
+
+    def test_q99_at_n100_is_rank_99(self):
+        # 0.99 * 100 floats to 99.00000000000001; a float floor put the
+        # rank at 100 (the max) instead of 99.
+        values = list(range(1, 101))
+        assert percentile(values, 0.99) == 99.0
+
+    def test_q50_at_n10_is_rank_5(self):
+        values = list(range(1, 11))
+        assert percentile(values, 0.5) == 5.0
+
+    def test_q1_is_the_maximum(self):
+        assert percentile([1, 2, 3], 1.0) == 3.0
+
+    def test_tiny_q_is_the_minimum(self):
+        assert percentile([1, 2, 3], 0.001) == 1.0
+
+    def test_nearest_rank_never_interpolates(self):
+        assert percentile([10, 20, 30, 40], 0.5) == 20.0
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.0001, 2.0])
+    def test_out_of_range_fraction_raises(self, q):
+        with pytest.raises(ValueError):
+            percentile([1.0], q)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=64),
+    st.floats(min_value=0.001, max_value=1.0),
+)
+def test_percentile_is_an_observed_value_covering_q(values, q):
+    values.sort()
+    got = percentile(values, q)
+    assert got in {float(v) for v in values}
+    # nearest-rank coverage: at least ceil(q*n) observations sit at or
+    # below the returned value (the defining property of the rank).
+    n = len(values)
+    covered = sum(1 for v in values if v <= got)
+    assert covered >= min(n, max(1, math.ceil(q * n)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=64),
+    st.floats(min_value=0.001, max_value=1.0),
+    st.floats(min_value=0.001, max_value=1.0),
+)
+def test_percentile_is_monotone_in_q(values, q1, q2):
+    values.sort()
+    lo, hi = sorted((q1, q2))
+    assert percentile(values, lo) <= percentile(values, hi)
