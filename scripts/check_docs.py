@@ -40,6 +40,7 @@ REQUIRED_DOCS = (
     "algorithm.md",
     "api.md",
     "architecture.md",
+    "fabric.md",
     "fault_tolerance.md",
     "observability.md",
     "power_model.md",

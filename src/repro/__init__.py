@@ -34,6 +34,8 @@ Package map
                      and the resilient schedule/verify/retry loop.
 ``repro.service``    batch serving: submit/drain service, canonical
                      schedule cache, worker pool, admission control.
+``repro.fabric``     horizontal scale-out: a sharded forest of CSTs with
+                     aggregation accounting and capacity planning.
 ``repro.viz``        ASCII figures.
 """
 

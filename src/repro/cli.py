@@ -450,6 +450,81 @@ def _cmd_canary(args: argparse.Namespace) -> int:
     return 0 if decision.promote else 1
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    """``fabric plan``: profile an arrival trace and print the sized
+    design.  ``fabric serve``: run the streaming service sharded across
+    a live fabric and report per-shard load and the admission story."""
+    import asyncio
+    import json
+
+    from repro.fabric import CapacityPlanner, FabricController, WorkloadProfile
+    from repro.io import fabric_plan_to_dict, load_arrivals
+    from repro.obs import Instrumentation, MetricsRegistry
+    from repro.service import StreamingSchedulerService
+
+    if args.fabric_command == "plan":
+        if args.trace:
+            profile = WorkloadProfile.from_trace(args.trace)
+            print(f"profiled {profile.n_requests} arrival(s) from {args.trace}")
+        else:
+            from repro.slo import record_workload
+
+            profile = WorkloadProfile.from_arrivals(
+                record_workload(
+                    n_leaves=args.leaves, count=args.count, seed=args.seed
+                )
+            )
+            print(f"profiled {profile.n_requests} synthetic arrival(s)")
+        print(
+            f"  peak {profile.peak_arrivals}/tick, widest request "
+            f"{profile.max_leaves} leaves, {len(profile.tenants)} tenant(s)"
+        )
+        planner = CapacityPlanner(
+            shard_capacity=args.shard_capacity, max_trees=args.max_trees
+        )
+        plan = planner.plan(profile)
+        print(f"  {plan.summary()}")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(fabric_plan_to_dict(plan), fh, indent=2, sort_keys=True)
+            print(f"  plan written to {args.out}")
+        return 0
+
+    # fabric serve
+    arrivals = (
+        load_arrivals(args.arrivals)
+        if args.arrivals
+        else _synthetic_arrivals(args)
+    )
+    obs = Instrumentation(MetricsRegistry(), run="fabric")
+    with FabricController(
+        args.trees, args.leaves, parallel=not args.inline, obs=obs
+    ) as fabric:
+        service = StreamingSchedulerService(
+            max_queue=args.max_queue,
+            max_inflight=args.max_inflight,
+            parity_check=not args.no_parity,
+            fabric=fabric,
+            obs=obs,
+        )
+        report = asyncio.run(service.aserve(arrivals))
+        stats = fabric.stats()
+
+    print(
+        f"fabric service: {len(arrivals)} arrivals over "
+        f"{args.trees} tree(s) x {args.leaves} leaves, "
+        f"parity={'off' if args.no_parity else 'on'}"
+    )
+    print(f"  {report.summary()}")
+    print(
+        f"  shard load: {stats['shard_load']} "
+        f"({stats['rebalances']} rebalance(s))"
+    )
+    if args.json:
+        print(json.dumps(obs.metrics.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY, run_experiment
 
@@ -612,6 +687,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="also dump the streaming metrics snapshot"
     )
 
+    p = sub.add_parser(
+        "fabric",
+        help="size a multi-tree fabric from a trace, or serve sharded across one",
+    )
+    fab_sub = p.add_subparsers(dest="fabric_command", required=True)
+    fp = fab_sub.add_parser(
+        "plan", help="pick (tree_count, leaf_width) from a recorded arrival trace"
+    )
+    fp.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="arrival-trace file (cst-padr canary --trace records one); "
+        "omitted, a synthetic trace is profiled",
+    )
+    fp.add_argument("--count", type=int, default=96)
+    fp.add_argument("--leaves", type=int, default=64)
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument("--shard-capacity", type=int, default=16)
+    fp.add_argument("--max-trees", type=int, default=64)
+    fp.add_argument(
+        "--out", metavar="PATH", default=None, help="write the plan as JSON"
+    )
+    fs = fab_sub.add_parser(
+        "serve", help="run the streaming service sharded across a fabric"
+    )
+    fs.add_argument("--trees", type=int, default=4)
+    fs.add_argument("--count", type=int, default=96)
+    fs.add_argument("--leaves", type=int, default=64)
+    fs.add_argument("--deadline", type=int, default=64)
+    fs.add_argument("--max-queue", type=int, default=256)
+    fs.add_argument("--max-inflight", type=int, default=8)
+    fs.add_argument("--seed", type=int, default=0)
+    fs.add_argument(
+        "--burst",
+        action="store_true",
+        help="front-load all arrivals into a few ticks (overload drill)",
+    )
+    fs.add_argument(
+        "--arrivals",
+        metavar="PATH",
+        default=None,
+        help="replay a saved arrival trace instead of synthetic load",
+    )
+    fs.add_argument(
+        "--inline",
+        action="store_true",
+        help="run every shard in-process (no worker processes)",
+    )
+    fs.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the per-request parity check against the direct scheduler",
+    )
+    fs.add_argument(
+        "--json", action="store_true", help="also dump the fabric metrics snapshot"
+    )
+
     return parser
 
 
@@ -638,6 +771,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "canary": _cmd_canary,
+        "fabric": _cmd_fabric,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,33 @@
+"""Horizontal scale-out: a forest of CSTs behind one controller.
+
+The paper's w-round optimum is per-tree; this package scales *out*
+instead of *up*.  :class:`~repro.fabric.controller.FabricController`
+partitions work across ``tree_count`` CSTs (sharding by canonical
+signature for batch work, by tenant for streams),
+:mod:`~repro.fabric.aggregation` routes the pairs that span shards over
+a two-level aggregation spine with explicit round/power accounting, and
+:class:`~repro.fabric.planner.CapacityPlanner` sizes the forest from a
+recorded arrival trace.  ``docs/fabric.md`` is the operator's guide.
+"""
+
+from repro.fabric.aggregation import (
+    CrossShardHop,
+    FabricSchedule,
+    pack_cross_rounds,
+    shard_of,
+    split,
+)
+from repro.fabric.controller import FabricController
+from repro.fabric.planner import CapacityPlanner, FabricPlan, WorkloadProfile
+
+__all__ = [
+    "CapacityPlanner",
+    "CrossShardHop",
+    "FabricController",
+    "FabricPlan",
+    "FabricSchedule",
+    "WorkloadProfile",
+    "pack_cross_rounds",
+    "shard_of",
+    "split",
+]

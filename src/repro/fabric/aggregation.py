@@ -1,0 +1,231 @@
+"""The two-level aggregation tree: cross-shard routing over a CST forest.
+
+One CST tops out at one tree's worth of leaves.  The fabric scales
+*horizontally* instead: ``tree_count`` CSTs of ``leaf_width`` leaves each
+sit side by side, and a non-blocking spine joins their roots — the
+two-layer fat-tree shape of the sizing literature (PAPERS.md).  Global
+leaf ``g`` lives on shard ``g // leaf_width`` as local leaf
+``g % leaf_width``.
+
+A well-nested communication set over the global leaf line then splits
+cleanly:
+
+* **local pairs** — both endpoints on one shard — relabel onto that
+  shard's tree and schedule under the per-tree w-round optimum exactly as
+  before.  A subset of a well-nested set is well-nested (pairs either
+  nest or are disjoint pairwise, and dropping pairs cannot create a
+  crossing), and shifting every index by ``shard * leaf_width`` is a
+  relabelling, so each local leg is a legitimate PADR input.
+* **spanning pairs** — endpoints on different shards — decompose into an
+  *up-leg* on the source shard (leaf to tree root,
+  ``log2(leaf_width)`` switch settings), a *root hop* across the spine
+  (one switch setting), and a *down-leg* on the destination shard
+  (another ``log2(leaf_width)``).  The spine is non-blocking between
+  distinct shard pairs, but each shard has one root port: a round can
+  carry at most one up-leg and one down-leg per shard.  Spanning pairs
+  are packed into rounds greedily (first fit) under that port constraint.
+
+The decomposition is *accounted against the per-tree optimum*: a
+spanning pair costs ``2 * log2(leaf_width) + 1`` power units (versus at
+most ``2 * log2(leaf_width) - 1`` had both endpoints shared one tree —
+the two legs each climb to a tree root instead of meeting at their LCA),
+and the cross epoch's rounds are serialized after the local phase.
+:meth:`FabricSchedule.cross_power_units` and
+:meth:`FabricSchedule.total_rounds` make both costs visible, and the
+``fabric.*`` metrics export them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.schedule import Schedule
+from repro.exceptions import SchedulingError
+from repro.util.bitmath import ceil_pow2, ilog2
+
+__all__ = [
+    "CrossShardHop",
+    "FabricSchedule",
+    "pack_cross_rounds",
+    "shard_of",
+    "split",
+]
+
+
+def shard_of(leaf: int, leaf_width: int) -> int:
+    """The shard a global leaf index lives on."""
+    return leaf // leaf_width
+
+
+@dataclass(frozen=True, slots=True)
+class CrossShardHop:
+    """One spanning pair, decomposed and placed in the cross epoch.
+
+    ``round_index`` counts within the cross epoch (0-based); the fabric
+    schedule serializes the epoch after the local phase, so the pair
+    completes at global round ``max(local rounds) + round_index + 1``.
+    """
+
+    comm: Communication  # global leaf indices
+    src_shard: int
+    dst_shard: int
+    round_index: int
+
+    def power_units(self, leaf_width: int) -> int:
+        """Up-leg + root hop + down-leg switch settings for this pair."""
+        return 2 * ilog2(leaf_width) + 1
+
+
+def split(
+    cset: CommunicationSet, tree_count: int, leaf_width: int
+) -> tuple[dict[int, CommunicationSet], list[tuple[Communication, int, int]]]:
+    """Partition a global set into per-shard local sets and spanning pairs.
+
+    Returns ``(local, cross)`` where ``local`` maps shard → relabelled
+    :class:`CommunicationSet` (only shards with at least one local pair
+    appear) and ``cross`` lists ``(global comm, src_shard, dst_shard)``.
+    """
+    if tree_count < 1:
+        raise SchedulingError(f"tree_count must be >= 1, got {tree_count}")
+    total = tree_count * leaf_width
+    if cset.max_pe >= total:
+        raise SchedulingError(
+            f"set uses PE {cset.max_pe}, beyond the fabric's "
+            f"{tree_count}x{leaf_width} = {total} leaves"
+        )
+    local_pairs: dict[int, list[Communication]] = {}
+    cross: list[tuple[Communication, int, int]] = []
+    for c in cset:
+        s_src = shard_of(c.src, leaf_width)
+        s_dst = shard_of(c.dst, leaf_width)
+        if s_src == s_dst:
+            base = s_src * leaf_width
+            local_pairs.setdefault(s_src, []).append(
+                Communication(c.src - base, c.dst - base)
+            )
+        else:
+            cross.append((c, s_src, s_dst))
+    local = {s: CommunicationSet(pairs) for s, pairs in local_pairs.items()}
+    return local, cross
+
+
+def pack_cross_rounds(
+    cross: list[tuple[Communication, int, int]],
+) -> list[CrossShardHop]:
+    """Greedy first-fit packing of spanning pairs into cross-epoch rounds.
+
+    Port constraint: one up-leg and one down-leg per shard per round
+    (each tree has a single root port).  The spine is non-blocking, so
+    distinct shard pairs in one round never conflict.  First fit over
+    pairs sorted by (src_shard, dst_shard, comm) keeps the packing
+    deterministic.
+    """
+    up_busy: list[set[int]] = []  # round -> shards with their uplink taken
+    down_busy: list[set[int]] = []
+    hops: list[CrossShardHop] = []
+    for comm, s_src, s_dst in sorted(cross, key=lambda t: (t[1], t[2], t[0])):
+        placed = None
+        for r in range(len(up_busy)):
+            if s_src not in up_busy[r] and s_dst not in down_busy[r]:
+                placed = r
+                break
+        if placed is None:
+            up_busy.append(set())
+            down_busy.append(set())
+            placed = len(up_busy) - 1
+        up_busy[placed].add(s_src)
+        down_busy[placed].add(s_dst)
+        hops.append(CrossShardHop(comm, s_src, s_dst, placed))
+    return hops
+
+
+@dataclass(frozen=True, slots=True)
+class FabricSchedule:
+    """A complete fabric run: per-shard local schedules plus the cross epoch.
+
+    ``local`` maps shard → the :class:`~repro.core.schedule.Schedule` of
+    its relabelled local leg; ``cross`` is the packed cross epoch.  The
+    fabric serializes the epochs: every local phase runs concurrently
+    across shards, then the cross rounds run on the spine.
+    """
+
+    tree_count: int
+    leaf_width: int
+    local: Mapping[int, Schedule]
+    cross: tuple[CrossShardHop, ...]
+
+    @property
+    def local_rounds(self) -> int:
+        """The concurrent local phase: the slowest shard bounds it."""
+        return max((s.n_rounds for s in self.local.values()), default=0)
+
+    @property
+    def cross_rounds(self) -> int:
+        return 1 + max((h.round_index for h in self.cross), default=-1)
+
+    @property
+    def total_rounds(self) -> int:
+        return self.local_rounds + self.cross_rounds
+
+    @property
+    def local_power_units(self) -> int:
+        return sum(s.power.total_units for s in self.local.values())
+
+    @property
+    def cross_power_units(self) -> int:
+        return sum(h.power_units(self.leaf_width) for h in self.cross)
+
+    @property
+    def total_power_units(self) -> int:
+        return self.local_power_units + self.cross_power_units
+
+    @property
+    def cross_ratio(self) -> float:
+        """Fraction of delivered pairs that had to cross the spine."""
+        n = len(self.delivered())
+        return len(self.cross) / n if n else 0.0
+
+    def delivered(self) -> set[Communication]:
+        """Every pair the fabric delivered, in *global* leaf indices.
+
+        This is the parity surface: for any shardable workload it must
+        equal the pair set a single-tree run on the union delivers.
+        """
+        out: set[Communication] = set()
+        for shard, schedule in self.local.items():
+            base = shard * self.leaf_width
+            for c in schedule.cset:
+                out.add(Communication(c.src + base, c.dst + base))
+        out.update(h.comm for h in self.cross)
+        return out
+
+    def overhead_vs_union(self, union: Schedule) -> tuple[int, int]:
+        """``(extra rounds, extra power units)`` versus one giant tree.
+
+        ``union`` is a single-tree schedule of the same global set on
+        ``ceil_pow2(tree_count * leaf_width)`` leaves — the per-tree
+        optimum the paper proves.  Positive values are the price of
+        sharding; power can come out *negative* when locality wins (a
+        shard's shallow tree reaches fewer switches than the giant
+        tree's tall LCA climbs).
+        """
+        return (
+            self.total_rounds - union.n_rounds,
+            self.total_power_units - union.power.total_units,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"fabric: {self.tree_count}x{self.leaf_width}, "
+            f"{sum(len(s.cset) for s in self.local.values())} local + "
+            f"{len(self.cross)} cross pairs, "
+            f"{self.local_rounds}+{self.cross_rounds} rounds, "
+            f"{self.total_power_units} power units"
+        )
+
+
+def _union_width(tree_count: int, leaf_width: int) -> int:
+    """The single-tree width the fabric's leaf line would need."""
+    return ceil_pow2(tree_count * leaf_width)

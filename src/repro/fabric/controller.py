@@ -1,0 +1,351 @@
+""":class:`FabricController` — one controller, a forest of CSTs.
+
+The controller owns ``tree_count`` shards, each a full CST of
+``leaf_width`` leaves with its own single-process executor, and does
+three jobs:
+
+* **route** — deterministic request placement.  The shard key is the
+  PR-4 relabelling-invariant canonical signature
+  (:func:`repro.service.cache.canonical_signature`): hashing
+  ``(placed profile, config signature)`` with CRC-32 means repeats of
+  the same placed workload land on the same tree *and* produce the same
+  cache key, so the shared :class:`~repro.service.cache.ScheduleCache`
+  keeps working across the whole fabric.  Streaming tenants route by
+  tenant id instead (:meth:`route_tenant`) — one tenant's stream stays
+  on one tree.  CRC-32, not :func:`hash`: the builtin is salted per
+  process and would route the same key differently in every worker.
+* **execute** — fan a wave of requests out to their shards, one pickled
+  :func:`~repro.service.worker.schedule_many` call per shard per wave.
+  Shard executors are lazy fork-pool singletons initialised from the one
+  :class:`~repro.core.config.SchedulerConfig`; ``parallel=False`` runs
+  every shard in-process (same code path, no processes — the unit-test
+  and single-core story).  A shard whose pool dies mid-call is torn
+  down and its requests reported transient, mirroring the service's
+  broken-pool recovery.
+* **rebalance** — watch per-shard load over a sliding window and, when
+  the max/mean skew exceeds ``rebalance_skew``, rotate the routing salt
+  so future waves spread differently.  Rebalancing never touches the
+  cache (keys are signatures, not shards) and never moves in-flight
+  work; it is recorded as a ``fabric.rebalances`` event.
+
+Single-cset runs wider than one tree go through
+:meth:`schedule_global`, which splits the set over the forest and packs
+the spanning pairs onto the aggregation spine
+(:mod:`repro.fabric.aggregation`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from repro.comms.communication import CommunicationSet
+from repro.core.config import SchedulerConfig
+from repro.exceptions import SchedulingError
+from repro.fabric.aggregation import FabricSchedule, pack_cross_rounds, split
+from repro.obs.instrument import Instrumentation
+from repro.service.cache import CanonicalKey
+from repro.service.worker import (
+    WorkRequest,
+    WorkResponse,
+    init_worker,
+    schedule_many,
+)
+from repro.util.bitmath import is_power_of_two
+
+__all__ = ["FabricController"]
+
+
+class FabricController:
+    """Partition scheduling work across a forest of ``tree_count`` CSTs.
+
+    Parameters
+    ----------
+    tree_count:
+        number of shards (CSTs).  ``1`` is a legitimate fabric — it must
+        behave bit-identically to the unsharded service path.
+    leaf_width:
+        leaves per tree; a power of two ``>= 2``.  Requests needing more
+        leaves than this cannot be placed on a single shard (services
+        reject them at the door; :meth:`schedule_global` is the
+        spanning-set path).
+    config:
+        the one :class:`~repro.core.config.SchedulerConfig` every shard
+        executor is initialised from.
+    parallel:
+        ``True`` gives each shard its own single-process fork pool;
+        ``False`` executes every shard inline in this process (identical
+        results — the executors run the same worker functions).
+    rebalance_skew:
+        max/mean per-shard load ratio above which the routing salt
+        rotates.  ``0`` disables rebalancing.
+    shard_timeout:
+        seconds to wait for one shard's wave result before declaring the
+        shard broken.  Shard executors are
+        :class:`~concurrent.futures.ProcessPoolExecutor`\\ s rather than
+        ``multiprocessing.Pool``\\ s deliberately: a SIGKILLed pool
+        worker can die holding a queue lock and deadlock even
+        ``Pool.terminate()``, while the executor detects the death and
+        raises ``BrokenProcessPool`` promptly.  The timeout is the
+        backstop for a *hung* (not dead) worker.  ``None`` waits
+        forever.
+    obs:
+        optional :class:`~repro.obs.Instrumentation`; the controller
+        emits ``fabric.*`` counters and gauges.
+    """
+
+    def __init__(
+        self,
+        tree_count: int,
+        leaf_width: int,
+        *,
+        config: SchedulerConfig | None = None,
+        parallel: bool = True,
+        rebalance_skew: float = 4.0,
+        rebalance_window: int = 64,
+        shard_timeout: float | None = 60.0,
+        obs: "Instrumentation | None" = None,
+    ) -> None:
+        if tree_count < 1:
+            raise SchedulingError(f"tree_count must be >= 1, got {tree_count}")
+        if not is_power_of_two(leaf_width) or leaf_width < 2:
+            raise SchedulingError(
+                f"leaf_width must be a power of two >= 2, got {leaf_width}"
+            )
+        if rebalance_skew < 0:
+            raise SchedulingError(
+                f"rebalance_skew must be >= 0, got {rebalance_skew}"
+            )
+        if rebalance_window < 1:
+            raise SchedulingError(
+                f"rebalance_window must be >= 1, got {rebalance_window}"
+            )
+        self.tree_count = tree_count
+        self.leaf_width = leaf_width
+        self.config = config if config is not None else SchedulerConfig()
+        self.parallel = parallel
+        self.rebalance_skew = rebalance_skew
+        self.rebalance_window = rebalance_window
+        self.shard_timeout = shard_timeout
+        self.obs = obs
+        self._salt = 0
+        self._pools: dict[int, Any] = {}
+        self._inline_ready = False
+        self._direct = None  # lazy scheduler for schedule_global local legs
+        #: lifetime requests executed per shard (metrics / bench surface)
+        self.shard_load: list[int] = [0] * tree_count
+        #: requests per shard since the last rebalance check
+        self._window_load: list[int] = [0] * tree_count
+        self._window_total = 0
+        self.rebalances = 0
+        #: (salt, per-shard window loads) at each rebalance, oldest first
+        self.rebalance_events: list[tuple[int, tuple[int, ...]]] = []
+        self.cross_pairs = 0
+        self.local_pairs = 0
+
+    # -- routing -------------------------------------------------------------
+
+    def _bucket(self, token: str) -> int:
+        digest = zlib.crc32(f"{self._salt}:{token}".encode())
+        return digest % self.tree_count
+
+    def route(self, key: CanonicalKey) -> int:
+        """The shard a canonical signature lives on (deterministic)."""
+        return self._bucket(f"sig:{key.n_leaves}:{key.placed}:{key.config}")
+
+    def route_tenant(self, tenant: str) -> int:
+        """The shard a streaming tenant's traffic pins to."""
+        return self._bucket(f"tenant:{tenant}")
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, requests: list[WorkRequest], shards: list[int]
+    ) -> list[WorkResponse]:
+        """Run one wave: ``requests[i]`` executes on ``shards[i]``.
+
+        One ``schedule_many`` call per involved shard; shards run
+        concurrently when ``parallel``.  Response order is unspecified
+        (the services settle by ticket id).
+        """
+        if len(requests) != len(shards):
+            raise SchedulingError(
+                f"{len(requests)} requests but {len(shards)} shard ids"
+            )
+        by_shard: dict[int, list[WorkRequest]] = {}
+        for request, shard in zip(requests, shards):
+            if not 0 <= shard < self.tree_count:
+                raise SchedulingError(
+                    f"shard {shard} out of range 0..{self.tree_count - 1}"
+                )
+            by_shard.setdefault(shard, []).append(request)
+
+        for shard, reqs in by_shard.items():
+            self.shard_load[shard] += len(reqs)
+            self._window_load[shard] += len(reqs)
+            self._window_total += len(reqs)
+            self._gauge("fabric.shard.load", self.shard_load[shard], shard=shard)
+        self._inc("fabric.requests", len(requests))
+
+        out: list[WorkResponse] = []
+        if not self.parallel or self.tree_count == 1:
+            if not self._inline_ready:
+                init_worker(self.config.to_dict())
+                self._inline_ready = True
+            for reqs in by_shard.values():
+                out.extend(schedule_many(reqs))
+            return out
+
+        inflight: list[tuple[int, list[WorkRequest], Any]] = []
+        for shard, reqs in by_shard.items():
+            pool = self._ensure_pool(shard)
+            inflight.append((shard, reqs, pool.submit(schedule_many, reqs)))
+        for shard, reqs, future in inflight:
+            try:
+                out.extend(future.result(timeout=self.shard_timeout))
+            except Exception as exc:
+                # this shard's worker died (BrokenProcessPool) or hung
+                # past the timeout; discard its executor and let the
+                # service retry these requests on a fresh one.
+                self._abort_pool(shard)
+                self._inc("fabric.shard.broken")
+                err = f"shard {shard} worker failure: {exc!r}"
+                out.extend((tid, "transient", err) for tid, _, _ in reqs)
+        return out
+
+    def _ensure_pool(self, shard: int):
+        pool = self._pools.get(shard)
+        if pool is None:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                ctx = mp.get_context()
+            pool = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=ctx,
+                initializer=init_worker,
+                initargs=(self.config.to_dict(),),
+            )
+            self._pools[shard] = pool
+        return pool
+
+    def _abort_pool(self, shard: int) -> None:
+        pool = self._pools.pop(shard, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- rebalancing ---------------------------------------------------------
+
+    def maybe_rebalance(self) -> bool:
+        """Rotate the routing salt when the load window is badly skewed.
+
+        Judged only after ``rebalance_window`` requests have accumulated
+        (a handful of requests always looks skewed).  Returns whether a
+        rebalance happened.
+        """
+        if (
+            self.rebalance_skew <= 0
+            or self.tree_count == 1
+            or self._window_total < self.rebalance_window
+        ):
+            return False
+        mean = self._window_total / self.tree_count
+        skew = max(self._window_load) / mean if mean else 0.0
+        window = tuple(self._window_load)
+        self._window_load = [0] * self.tree_count
+        self._window_total = 0
+        if skew < self.rebalance_skew:
+            return False
+        self._salt += 1
+        self.rebalances += 1
+        self.rebalance_events.append((self._salt, window))
+        self._inc("fabric.rebalances")
+        return True
+
+    # -- spanning sets -------------------------------------------------------
+
+    def schedule_global(
+        self, cset: CommunicationSet, *, n_leaves: int | None = None
+    ) -> FabricSchedule:
+        """Schedule one set over the *whole* fabric's leaf line.
+
+        Local legs run on their shards under the ordinary per-tree
+        optimum; spanning pairs are packed onto the aggregation spine.
+        The result's :meth:`~repro.fabric.aggregation.FabricSchedule.delivered`
+        set equals the input pairs — the fabric's parity surface.
+        """
+        del n_leaves  # the fabric's leaf line is fixed by its geometry
+        local_sets, cross = split(cset, self.tree_count, self.leaf_width)
+        if self._direct is None:
+            self._direct = self.config.build()
+        local = {
+            shard: self._direct.schedule(subset, n_leaves=self.leaf_width)
+            for shard, subset in sorted(local_sets.items())
+        }
+        hops = pack_cross_rounds(cross)
+        self.local_pairs += sum(len(s) for s in local_sets.values())
+        self.cross_pairs += len(hops)
+        self._inc("fabric.cross_shard.pairs", len(hops))
+        self._inc(
+            "fabric.local.pairs", sum(len(s) for s in local_sets.values())
+        )
+        schedule = FabricSchedule(
+            tree_count=self.tree_count,
+            leaf_width=self.leaf_width,
+            local=local,
+            cross=tuple(hops),
+        )
+        self._gauge("fabric.cross_shard.ratio", schedule.cross_ratio)
+        return schedule
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    @property
+    def cross_ratio(self) -> float:
+        """Lifetime fraction of globally-scheduled pairs that crossed."""
+        total = self.local_pairs + self.cross_pairs
+        return self.cross_pairs / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """One snapshot for benches and the CLI."""
+        return {
+            "tree_count": self.tree_count,
+            "leaf_width": self.leaf_width,
+            "shard_load": list(self.shard_load),
+            "requests": sum(self.shard_load),
+            "rebalances": self.rebalances,
+            "local_pairs": self.local_pairs,
+            "cross_pairs": self.cross_pairs,
+            "cross_ratio": self.cross_ratio,
+        }
+
+    def close(self) -> None:
+        """Shut every shard executor down (idempotent)."""
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.shutdown(wait=True)
+
+    def terminate(self) -> None:
+        """Hard teardown — the abort path's counterpart to :meth:`close`."""
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "FabricController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- metrics helpers -----------------------------------------------------
+
+    def _inc(self, name: str, amount: int = 1, **labels: Any) -> None:
+        if self.obs is not None and amount:
+            self.obs.metrics.inc(name, amount, run=self.obs.run, **labels)
+
+    def _gauge(self, name: str, value: float, **labels: Any) -> None:
+        if self.obs is not None:
+            self.obs.metrics.set(name, value, run=self.obs.run, **labels)

@@ -1,0 +1,168 @@
+"""Capacity planning: pick ``(tree_count, leaf_width)`` from a workload.
+
+The input is a recorded arrival trace — the PR-7 canary format
+(:func:`repro.io.save_arrivals` / :func:`repro.io.load_arrivals`), a
+production-like workload captured once.  :class:`WorkloadProfile`
+reduces it to the three numbers sizing needs:
+
+* the widest request (fixes ``leaf_width``: every request must fit one
+  tree, so the leaf width is the smallest power of two covering it);
+* the peak per-tick arrival count (fixes how much aggregate per-tick
+  execution budget the forest needs);
+* the tenant population (a floor on useful shard count for tenant-pinned
+  streaming — more trees than tenants sit idle).
+
+:class:`CapacityPlanner` then enumerates tree counts and costs each
+feasible design in *switches*, the two-layer fat-tree accounting of the
+sizing literature (PAPERS.md): a ``W``-leaf CST has ``W - 1`` internal
+switches, and joining ``t`` roots takes a ``t - 1``-switch spine (one
+two-port combiner per added tree; ``t = 1`` needs no spine).  The
+cheapest feasible design wins; ties break toward fewer trees (less
+cross-shard surface).  This is deliberately an *enumerate-and-cost*
+planner, not a closed form — the candidate space is tiny (``t`` up to
+``max_trees``) and the explicit loop keeps every rejected design
+inspectable in :meth:`CapacityPlanner.plan`'s trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.exceptions import SchedulingError
+from repro.util.bitmath import ceil_pow2
+
+__all__ = ["CapacityPlanner", "FabricPlan", "WorkloadProfile"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """The sizing-relevant summary of a recorded arrival trace."""
+
+    n_requests: int
+    max_leaves: int  # widest single request (power of two)
+    peak_arrivals: int  # max submissions in any one tick
+    mean_arrivals: float  # per tick with >= 1 arrival
+    tenants: tuple[str, ...]  # distinct, sorted
+
+    @classmethod
+    def from_arrivals(cls, requests: Iterable[Any]) -> "WorkloadProfile":
+        """Profile a list of ``StreamRequest``-shaped arrivals."""
+        per_tick: dict[int, int] = {}
+        max_leaves = 2
+        tenants: set[str] = set()
+        n = 0
+        for req in requests:
+            n += 1
+            per_tick[req.release_time] = per_tick.get(req.release_time, 0) + 1
+            width = (
+                req.n_leaves
+                if req.n_leaves is not None
+                else req.cset.min_leaves()
+            )
+            max_leaves = max(max_leaves, ceil_pow2(width))
+            tenants.add(req.tenant)
+        if n == 0:
+            raise SchedulingError("cannot profile an empty arrival trace")
+        return cls(
+            n_requests=n,
+            max_leaves=max_leaves,
+            peak_arrivals=max(per_tick.values()),
+            mean_arrivals=n / len(per_tick),
+            tenants=tuple(sorted(tenants)),
+        )
+
+    @classmethod
+    def from_trace(cls, path: str | Path) -> "WorkloadProfile":
+        """Profile a saved arrival trace file."""
+        from repro.io import load_arrivals
+
+        return cls.from_arrivals(load_arrivals(path))
+
+
+@dataclass(frozen=True, slots=True)
+class FabricPlan:
+    """One sized fabric design, with its cost accounting."""
+
+    tree_count: int
+    leaf_width: int
+    switches: int  # tree switches + spine switches
+    spine_switches: int
+    utilization: float  # peak arrivals over aggregate per-tick budget
+    shard_capacity: int
+    profile: WorkloadProfile
+
+    @property
+    def total_leaves(self) -> int:
+        return self.tree_count * self.leaf_width
+
+    def summary(self) -> str:
+        return (
+            f"plan: {self.tree_count} tree(s) x {self.leaf_width} leaves, "
+            f"{self.switches} switches ({self.spine_switches} spine), "
+            f"utilization {self.utilization:.0%} of "
+            f"{self.tree_count * self.shard_capacity}/tick"
+        )
+
+
+def _design_cost(tree_count: int, leaf_width: int) -> tuple[int, int]:
+    """``(total switches, spine switches)`` for a candidate design."""
+    spine = tree_count - 1
+    return tree_count * (leaf_width - 1) + spine, spine
+
+
+class CapacityPlanner:
+    """Enumerate-and-cost sizing over tree counts.
+
+    ``shard_capacity`` is one shard's per-tick execution budget (the
+    streaming service's ``max_inflight`` for that shard); a design is
+    *feasible* when the forest's aggregate budget covers the profiled
+    peak arrival rate.  ``max_trees`` bounds the enumeration — if even
+    that many trees cannot cover the peak, planning fails loudly rather
+    than under-provisioning silently.
+    """
+
+    def __init__(self, *, shard_capacity: int = 16, max_trees: int = 64) -> None:
+        if shard_capacity < 1:
+            raise SchedulingError(
+                f"shard_capacity must be >= 1, got {shard_capacity}"
+            )
+        if max_trees < 1:
+            raise SchedulingError(f"max_trees must be >= 1, got {max_trees}")
+        self.shard_capacity = shard_capacity
+        self.max_trees = max_trees
+
+    def plan(self, profile: WorkloadProfile) -> FabricPlan:
+        """The cheapest feasible design for ``profile``."""
+        candidates = self.candidates(profile)
+        feasible = [c for c in candidates if c.utilization <= 1.0]
+        if not feasible:
+            raise SchedulingError(
+                f"no fabric of <= {self.max_trees} trees covers peak "
+                f"{profile.peak_arrivals} arrivals/tick at capacity "
+                f"{self.shard_capacity}/shard"
+            )
+        # min() is stable: equal-cost designs resolve to fewer trees
+        # because candidates enumerate in ascending tree count.
+        return min(feasible, key=lambda c: c.switches)
+
+    def candidates(self, profile: WorkloadProfile) -> Sequence[FabricPlan]:
+        """Every enumerated design, feasible or not, ascending tree count."""
+        leaf_width = profile.max_leaves
+        out = []
+        for t in range(1, self.max_trees + 1):
+            switches, spine = _design_cost(t, leaf_width)
+            out.append(
+                FabricPlan(
+                    tree_count=t,
+                    leaf_width=leaf_width,
+                    switches=switches,
+                    spine_switches=spine,
+                    utilization=profile.peak_arrivals
+                    / (t * self.shard_capacity),
+                    shard_capacity=self.shard_capacity,
+                    profile=profile,
+                )
+            )
+        return out

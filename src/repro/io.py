@@ -18,13 +18,18 @@ Schema evolution
 ----------------
 
 Payloads carry an explicit ``"schema"`` integer.  Schema 1 (the original
-release) predates the field, so a payload without one *is* schema 1; the
-current writers emit :data:`SCHEDULE_SCHEMA` (= 2).  Loaders accept the
-current schema and the previous one — exactly the window the service
-layer's schedule cache and batch results need to round-trip safely across
-one release boundary — and reject anything newer with a clear error
-instead of misreading it.  The legacy ``"version"`` field is still written
-for schema-1 readers, which ignore ``"schema"``.
+release) predates the field, so a payload without one *is* schema 1;
+schema 2 introduced the field itself, and schema 3 adds the fabric
+layer's shard-annotated payloads (fabric plans and fabric schedules,
+whose per-shard sections carry explicit shard ids).  The current writers
+emit :data:`SCHEDULE_SCHEMA` (= 3).  Loaders accept the current schema
+and the previous one — exactly the window the service layer's schedule
+cache and batch results need to round-trip safely across one release
+boundary — and reject anything newer *or older* with a clear error
+instead of misreading it: schema-1 payloads (field-less) have aged out
+of the two-release window and must be rewritten by a schema-2 release.
+The legacy ``"version"`` field is still written for old readers, which
+ignore ``"schema"``.
 """
 
 from __future__ import annotations
@@ -49,6 +54,10 @@ __all__ = [
     "schedule_from_dict",
     "stream_request_to_dict",
     "stream_request_from_dict",
+    "fabric_plan_to_dict",
+    "fabric_plan_from_dict",
+    "fabric_schedule_to_dict",
+    "fabric_schedule_from_dict",
     "save_arrivals",
     "load_arrivals",
     "save_workloads",
@@ -61,10 +70,12 @@ _SUITE_FORMAT = "cst-padr/workload-suite"
 _CONFIG_FORMAT = "cst-padr/scheduler-config"
 _STREAM_REQUEST_FORMAT = "cst-padr/stream-request"
 _ARRIVAL_TRACE_FORMAT = "cst-padr/arrival-trace"
+_FABRIC_PLAN_FORMAT = "cst-padr/fabric-plan"
+_FABRIC_SCHEDULE_FORMAT = "cst-padr/fabric-schedule"
 _VERSION = 1
 
 #: current schema generation; loaders also accept ``SCHEDULE_SCHEMA - 1``.
-SCHEDULE_SCHEMA = 2
+SCHEDULE_SCHEMA = 3
 _ACCEPTED_SCHEMAS = (SCHEDULE_SCHEMA - 1, SCHEDULE_SCHEMA)
 
 
@@ -296,6 +307,123 @@ def load_arrivals(path: str | Path) -> list[Any]:
         raise SerializationError(f"cannot read arrival trace {path}: {exc}") from exc
     _expect(data, _ARRIVAL_TRACE_FORMAT)
     return [stream_request_from_dict(r) for r in data.get("arrivals", [])]
+
+
+# ---------------------------------------------------------------------------
+# fabric plans and shard-annotated fabric schedules (schema 3)
+# ---------------------------------------------------------------------------
+
+
+def fabric_plan_to_dict(plan: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.fabric.planner.FabricPlan`.
+
+    The shard-annotated payload family introduced with schema 3: the
+    plan carries the profiled workload it was sized from, so an operator
+    can audit *why* a fabric has the shape it has.
+    """
+    return {
+        "format": _FABRIC_PLAN_FORMAT,
+        "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
+        "tree_count": plan.tree_count,
+        "leaf_width": plan.leaf_width,
+        "switches": plan.switches,
+        "spine_switches": plan.spine_switches,
+        "utilization": plan.utilization,
+        "shard_capacity": plan.shard_capacity,
+        "profile": {
+            "n_requests": plan.profile.n_requests,
+            "max_leaves": plan.profile.max_leaves,
+            "peak_arrivals": plan.profile.peak_arrivals,
+            "mean_arrivals": plan.profile.mean_arrivals,
+            "tenants": list(plan.profile.tenants),
+        },
+    }
+
+
+def fabric_plan_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`fabric_plan_to_dict`."""
+    from repro.fabric.planner import FabricPlan, WorkloadProfile
+
+    _expect(data, _FABRIC_PLAN_FORMAT)
+    try:
+        p = data["profile"]
+        profile = WorkloadProfile(
+            n_requests=int(p["n_requests"]),
+            max_leaves=int(p["max_leaves"]),
+            peak_arrivals=int(p["peak_arrivals"]),
+            mean_arrivals=float(p["mean_arrivals"]),
+            tenants=tuple(str(t) for t in p["tenants"]),
+        )
+        return FabricPlan(
+            tree_count=int(data["tree_count"]),
+            leaf_width=int(data["leaf_width"]),
+            switches=int(data["switches"]),
+            spine_switches=int(data["spine_switches"]),
+            utilization=float(data["utilization"]),
+            shard_capacity=int(data["shard_capacity"]),
+            profile=profile,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed fabric plan: {exc}") from exc
+
+
+def fabric_schedule_to_dict(fs: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.fabric.aggregation.FabricSchedule`.
+
+    Every per-shard local schedule is annotated with its shard id (JSON
+    object keys), and each cross-epoch hop carries its source/destination
+    shards and packed round — enough to re-verify delivery and re-derive
+    the round/power accounting without re-running the fabric.
+    """
+    return {
+        "format": _FABRIC_SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
+        "tree_count": fs.tree_count,
+        "leaf_width": fs.leaf_width,
+        "local": {
+            str(shard): schedule_to_dict(schedule)
+            for shard, schedule in sorted(fs.local.items())
+        },
+        "cross": [
+            {
+                "src": h.comm.src,
+                "dst": h.comm.dst,
+                "src_shard": h.src_shard,
+                "dst_shard": h.dst_shard,
+                "round": h.round_index,
+            }
+            for h in fs.cross
+        ],
+    }
+
+
+def fabric_schedule_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`fabric_schedule_to_dict`."""
+    from repro.fabric.aggregation import CrossShardHop, FabricSchedule
+
+    _expect(data, _FABRIC_SCHEDULE_FORMAT)
+    try:
+        return FabricSchedule(
+            tree_count=int(data["tree_count"]),
+            leaf_width=int(data["leaf_width"]),
+            local={
+                int(shard): schedule_from_dict(payload)
+                for shard, payload in data.get("local", {}).items()
+            },
+            cross=tuple(
+                CrossShardHop(
+                    comm=Communication(int(h["src"]), int(h["dst"])),
+                    src_shard=int(h["src_shard"]),
+                    dst_shard=int(h["dst_shard"]),
+                    round_index=int(h["round"]),
+                )
+                for h in data.get("cross", ())
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed fabric schedule: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------

@@ -224,9 +224,33 @@ class AdmissionController:
 
     # -- sampling ------------------------------------------------------------
 
-    def observe(self, sample: LoadSample) -> AdmissionState:
-        """Ingest one tick's load sample; returns the (possibly new) state."""
-        self._tick += 1
+    @property
+    def tick(self) -> int:
+        """The controller's clock: the tick of the last accepted sample."""
+        return self._tick
+
+    def observe(self, sample: LoadSample, *, tick: int | None = None) -> AdmissionState:
+        """Ingest one tick's load sample; returns the (possibly new) state.
+
+        ``tick`` is the *service's* logical clock for this sample.  When
+        given, it must be strictly greater than the last accepted tick —
+        an out-of-band second sample for the same tick (a drill harness
+        double-sampling, a miswired ``on_tick`` hook) would otherwise
+        silently advance the controller's private counter past the
+        service clock, skewing every recorded transition and cooldown
+        window.  Omitted, the controller free-runs as before
+        (``_tick + 1``), for callers without a clock of their own.
+        """
+        if tick is not None:
+            if tick <= self._tick:
+                raise SchedulingError(
+                    f"admission clock must advance monotonically: got tick "
+                    f"{tick} after {self._tick} (double observe() for one "
+                    f"service tick?)"
+                )
+            self._tick = tick
+        else:
+            self._tick += 1
         self.last_sample = sample
         self.pressure = sample.pressure()
         target = self.thresholds.target_state(self.pressure)

@@ -68,14 +68,22 @@ def canonical_signature(
     Requires a right-oriented set (the PADR input class); left-oriented or
     mixed sets raise :class:`~repro.exceptions.OrientationError` — the
     service only caches what its scheduler accepts.
+
+    An explicit ``n_leaves`` below :meth:`CommunicationSet.min_leaves` is
+    rejected up front.  Widths in ``(max_pe, min_leaves)`` — non-power-of-2
+    or below the 2-leaf floor — would still index the profile without
+    error, minting a cache key for a tree the scheduler itself would never
+    build; such a key could collide with (and poison) the entry for the
+    legitimate width.
     """
-    n = n_leaves if n_leaves is not None else cset.min_leaves()
-    try:
-        placed = parenthesis_profile(cset, n)
-    except IndexError as exc:  # a PE beyond the declared tree
+    min_leaves = cset.min_leaves()
+    n = n_leaves if n_leaves is not None else min_leaves
+    if n < min_leaves:
         raise SchedulingError(
-            f"communication set does not fit on {n} leaves"
-        ) from exc
+            f"communication set does not fit on {n} leaves "
+            f"(needs at least {min_leaves})"
+        )
+    placed = parenthesis_profile(cset, n)
     cfg = config if config is not None else SchedulerConfig()
     return CanonicalKey(
         n_leaves=n,

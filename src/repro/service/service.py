@@ -180,9 +180,24 @@ class SchedulerService:
         per-request deadline in logical ticks (overridable per submit).
     max_retries:
         transient-failure retries before a request is FAILED.
+    pool_timeout:
+        seconds to wait for one pooled wave before declaring the pool
+        broken.  A SIGKILLed pool worker makes ``Pool.map`` wait forever
+        (the task is lost, never errored), so an unbounded wait would
+        hang ``drain`` on one dead process; the timeout converts that
+        into the transient-retry path.  ``None`` waits forever.
     parity_check:
         re-run every settled request through a direct in-process
         ``PADRScheduler`` and require serialized equality.
+    fabric:
+        optional :class:`~repro.fabric.FabricController`.  When given,
+        execution fans out across the fabric's forest of CSTs instead of
+        this service's own pool: each request is routed to the shard its
+        relabelling-invariant canonical signature hashes to, so repeats
+        land on the same tree and the shared cache keeps working.
+        Requests wider than the fabric's ``leaf_width`` are rejected at
+        the door.  The service does *not* own the fabric — close it
+        separately (it is its own context manager).
     obs:
         optional :class:`~repro.obs.Instrumentation`; the service emits
         ``service.*`` counters/gauges and a ``service.drain`` span, and
@@ -198,7 +213,9 @@ class SchedulerService:
         max_queue: int = 1024,
         default_deadline: int = 64,
         max_retries: int = 3,
+        pool_timeout: float | None = 120.0,
         parity_check: bool = False,
+        fabric: Any = None,
         obs: "Instrumentation | None" = None,
     ) -> None:
         if workers < 0:
@@ -216,7 +233,9 @@ class SchedulerService:
         self.max_queue = max_queue
         self.default_deadline = default_deadline
         self.max_retries = max_retries
+        self.pool_timeout = pool_timeout
         self.parity_check = parity_check
+        self.fabric = fabric
         self.obs = obs
         metrics = obs.metrics if obs is not None else None
         run = obs.run if obs is not None else "service"
@@ -270,6 +289,20 @@ class SchedulerService:
                 )
             )
             return Ticket(id=ticket_id, accepted=False, reason=str(exc))
+        if self.fabric is not None and key.n_leaves > self.fabric.leaf_width:
+            reason = (
+                f"request needs {key.n_leaves} leaves but fabric trees "
+                f"have {self.fabric.leaf_width}"
+            )
+            self._inc("service.rejected")
+            self._rejected.append(
+                RequestResult(
+                    ticket_id=ticket_id,
+                    status=RequestStatus.REJECTED,
+                    error=reason,
+                )
+            )
+            return Ticket(id=ticket_id, accepted=False, reason=reason)
         self._queue.append(
             _Pending(
                 ticket_id=ticket_id,
@@ -298,12 +331,23 @@ class SchedulerService:
     # -- draining ------------------------------------------------------------
 
     def drain(self) -> BatchReport:
-        """Settle every queued request and return the full accounting."""
-        obs = self.obs
-        if obs is None:
-            return self._drain()
-        with obs.metrics.span("service.drain", run=obs.run):
-            return self._drain()
+        """Settle every queued request and return the full accounting.
+
+        If settlement itself raises — a :class:`ServiceParityError`, a
+        corrupt payload — the worker pool is torn down *hard* before the
+        exception propagates: a drain abandoned mid-wave must not leave
+        live worker processes behind, and the pool's state can no longer
+        be trusted anyway.  The next drain lazily starts a fresh pool.
+        """
+        try:
+            obs = self.obs
+            if obs is None:
+                return self._drain()
+            with obs.metrics.span("service.drain", run=obs.run):
+                return self._drain()
+        except BaseException:
+            self._abort_pool()
+            raise
 
     def _drain(self) -> BatchReport:
         results: dict[int, RequestResult] = {
@@ -409,6 +453,8 @@ class SchedulerService:
 
             active = later + retry
 
+        if self.fabric is not None:
+            self.fabric.maybe_rebalance()
         report = BatchReport(
             results=results, ticks=self._tick - start_tick, waves=waves
         )
@@ -425,6 +471,12 @@ class SchedulerService:
     # -- execution backends --------------------------------------------------
 
     def _execute(self, pending: list[_Pending]) -> list[WorkResponse]:
+        if self.fabric is not None:
+            requests: list[WorkRequest] = [
+                (p.ticket_id, p.payload, p.key.n_leaves) for p in pending
+            ]
+            shards = [self.fabric.route(p.key) for p in pending]
+            return self.fabric.execute(requests, shards)
         singles, groups = self._shape_groups(pending)
         if self.workers <= 1:
             if not self._inline_ready:
@@ -435,14 +487,34 @@ class SchedulerService:
                 out.extend(schedule_batch_request(grp))
             return out
         pool = self._ensure_pool()
-        out = []
-        if singles:
-            chunk = max(1, len(singles) // (self.workers * 4))
-            out.extend(pool.map(schedule_request, singles, chunksize=chunk))
-        if groups:
-            for responses in pool.map(schedule_batch_request, groups):
-                out.extend(responses)
-        return out
+        try:
+            out = []
+            if singles:
+                chunk = max(1, len(singles) // (self.workers * 4))
+                out.extend(
+                    pool.map_async(
+                        schedule_request, singles, chunksize=chunk
+                    ).get(timeout=self.pool_timeout)
+                )
+            if groups:
+                for responses in pool.map_async(
+                    schedule_batch_request, groups
+                ).get(timeout=self.pool_timeout):
+                    out.extend(responses)
+            return out
+        except Exception as exc:
+            # a worker died (SIGKILL, interpreter crash): the wave either
+            # raises outright or sits on a lost task until ``pool_timeout``
+            # fires — never the per-request error envelopes the workers
+            # normally produce.  The pool is unusable afterwards —
+            # discard it and report every in-flight request as transient,
+            # so the drain loop retries on a fresh pool under the normal
+            # backoff schedule instead of failing the whole wave (or worse,
+            # reusing a broken pool on the next drain).
+            self._abort_pool()
+            self._inc("service.pool.broken")
+            err = f"worker pool failure: {exc!r}"
+            return [(p.ticket_id, "transient", err) for p in pending]
 
     def _shape_groups(
         self, pending: list[_Pending]
@@ -499,6 +571,32 @@ class SchedulerService:
             self._pool.close()
             self._pool.join()
             self._pool = None
+
+    def _abort_pool(self) -> None:
+        """Tear the pool down hard (terminate, not close) — for the paths
+        where worker state is no longer trustworthy: a drain that raised
+        mid-settlement, or a pool call that itself blew up.
+
+        The workers are killed directly before ``Pool.terminate()`` runs:
+        a worker that died mid-IPC can leave the pool's shared queue lock
+        held forever, and ``terminate()`` itself blocks trying to take it.
+        Killing the survivors first guarantees nobody re-acquires the
+        lock, and the final ``terminate()``/``join()`` runs on a daemon
+        thread so a poisoned pool can never hang the service."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for proc in getattr(pool, "_pool", []) or []:
+            if proc.is_alive():  # pragma: no branch
+                proc.terminate()
+
+        def _reap() -> None:  # pragma: no cover - timing dependent
+            pool.terminate()
+            pool.join()
+
+        import threading
+
+        threading.Thread(target=_reap, daemon=True, name="pool-reaper").start()
 
     def __enter__(self) -> "SchedulerService":
         return self

@@ -279,6 +279,14 @@ class StreamingSchedulerService:
         victim requeued for a healthy re-execution — the drill delays
         the victim by a tick or two but never changes its payload, so
         parity and the no-silent-drop accounting hold.
+    fabric:
+        optional :class:`~repro.fabric.FabricController`.  When given,
+        step 4 of the drain executes on the fabric's forest of CSTs
+        instead of inline: each request is routed to the shard its
+        *tenant* hashes to, so one tenant's stream stays on one tree
+        (cache locality, per-tenant isolation), and requests wider than
+        the fabric's ``leaf_width`` are rejected at the door.  The
+        service does not own the fabric — close it separately.
     """
 
     def __init__(
@@ -297,6 +305,7 @@ class StreamingSchedulerService:
         obs: "Instrumentation | None" = None,
         on_tick: "Callable[[StreamingSchedulerService, list[StreamResult], int], None] | None" = None,
         chaos: Any = None,
+        fabric: Any = None,
     ) -> None:
         if max_queue < 1:
             raise SchedulingError(f"max_queue must be >= 1, got {max_queue}")
@@ -315,6 +324,7 @@ class StreamingSchedulerService:
         self.obs = obs
         self.on_tick = on_tick
         self.chaos = chaos
+        self.fabric = fabric
         metrics = obs.metrics if obs is not None else None
         run = obs.run if obs is not None else "stream"
         self.cache = ScheduleCache(cache_size, metrics=metrics, run=run)
@@ -378,6 +388,13 @@ class StreamingSchedulerService:
             )
         except ReproError as exc:
             return self._reject(rid, req, str(exc))
+        if self.fabric is not None and key.n_leaves > self.fabric.leaf_width:
+            return self._reject(
+                rid,
+                req,
+                f"request needs {key.n_leaves} leaves but fabric trees "
+                f"have {self.fabric.leaf_width}",
+            )
         if req.deadline < 1:
             return self._reject(rid, req, f"deadline must be >= 1, got {req.deadline}")
 
@@ -467,6 +484,8 @@ class StreamingSchedulerService:
             self.on_tick(self, settled, now)
         self._submitted_delta = 0
         self._shed_delta = 0
+        if self.fabric is not None:
+            self.fabric.maybe_rebalance()
         self._gauge("stream.queue.depth", self.backlog)
         return settled
 
@@ -654,23 +673,34 @@ class StreamingSchedulerService:
                     self.tenants.requeue_front(f.tenant, [f])
                 self._inc("stream.chaos_drills")
 
-        # 4. execute inline (one process — the streaming service is the
+        # 4. execute — on the fabric's forest when one is attached
+        #    (routed per tenant so a tenant's stream stays on one tree),
+        #    inline otherwise (one process — the streaming service is the
         #    asyncio story; pooled fan-out stays the batch service's job).
-        if not self._inline_ready:
-            init_worker(self.config.to_dict())
-            self._inline_ready = True
         responses: list[tuple[int, str, Any]] = []
         by_id = {live.request_id: live for live in leaders.values()}
-        if solos:
+        if self.fabric is not None:
+            to_run = [*solos, *(m for g in ready_groups for m in g)]
             responses.extend(
-                schedule_request(self._work_request(live)) for live in solos
-            )
-        for members in ready_groups:
-            responses.extend(
-                schedule_batch_request(
-                    [self._work_request(live) for live in members]
+                self.fabric.execute(
+                    [self._work_request(live) for live in to_run],
+                    [self.fabric.route_tenant(live.tenant) for live in to_run],
                 )
             )
+        else:
+            if not self._inline_ready:
+                init_worker(self.config.to_dict())
+                self._inline_ready = True
+            if solos:
+                responses.extend(
+                    schedule_request(self._work_request(live)) for live in solos
+                )
+            for members in ready_groups:
+                responses.extend(
+                    schedule_batch_request(
+                        [self._work_request(live) for live in members]
+                    )
+                )
 
         # 5. settlement mirrors the batch service's status discipline.
         for rid, status, payload in responses:
@@ -768,7 +798,11 @@ class StreamingSchedulerService:
         self._expired_delta = 0
         self._failed_delta = 0
         self._retries_delta = 0
-        self.admission.observe(sample)
+        # the service's logical clock is the admission clock: passing the
+        # tick explicitly lets the controller assert monotonic agreement,
+        # so an out-of-band observe() (a drill harness double-sampling)
+        # raises instead of silently skewing every recorded transition.
+        self.admission.observe(sample, tick=self._tick)
         self.last_load = sample
 
     # -- metrics helpers -----------------------------------------------------

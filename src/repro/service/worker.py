@@ -35,6 +35,7 @@ __all__ = [
     "WorkResponse",
     "init_worker",
     "schedule_batch_request",
+    "schedule_many",
     "schedule_request",
 ]
 
@@ -99,3 +100,14 @@ def schedule_batch_request(requests: list[WorkRequest]) -> list[WorkResponse]:
         ]
     except Exception:
         return [schedule_request(r) for r in requests]
+
+
+def schedule_many(requests: list[WorkRequest]) -> list[WorkResponse]:
+    """Schedule a *heterogeneous* batch in one worker call.
+
+    The fabric layer ships one wave's worth of requests to each shard as
+    a single pickled call (one IPC round-trip per shard per wave, not per
+    request).  Unlike :func:`schedule_batch_request` the requests need
+    not share a shape; each settles independently with its own status.
+    """
+    return [schedule_request(r) for r in requests]

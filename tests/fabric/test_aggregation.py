@@ -1,0 +1,160 @@
+"""Splitting, cross-round packing and the fabric schedule's accounting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.config import SchedulerConfig
+from repro.exceptions import SchedulingError
+from repro.fabric.aggregation import (
+    FabricSchedule,
+    pack_cross_rounds,
+    shard_of,
+    split,
+)
+from repro.fabric.controller import FabricController
+from tests.conftest import wellnested_set_st
+
+
+def cs(*pairs):
+    return CommunicationSet(Communication(s, d) for s, d in pairs)
+
+
+class TestSplit:
+    def test_local_pairs_relabel_onto_their_shard(self):
+        local, cross = split(cs((0, 3), (9, 10)), 2, 8)
+        assert cross == []
+        assert local[0] == cs((0, 3))
+        assert local[1] == cs((1, 2))  # 9, 10 shifted down by 8
+
+    def test_spanning_pair_reported_with_both_shards(self):
+        local, cross = split(cs((2, 13)), 2, 8)
+        assert local == {}
+        assert cross == [(Communication(2, 13), 0, 1)]
+
+    def test_oversized_set_rejected(self):
+        with pytest.raises(SchedulingError, match="beyond the fabric"):
+            split(cs((0, 16)), 2, 8)
+
+    def test_shard_of(self):
+        assert [shard_of(g, 4) for g in (0, 3, 4, 11)] == [0, 0, 1, 2]
+
+    def test_local_subsets_stay_well_nested(self):
+        # nesting survives both subsetting and the relabelling shift.
+        from repro.comms.wellnested import is_well_nested
+
+        global_set = cs((0, 15), (1, 6), (2, 5), (8, 11), (9, 10))
+        local, _ = split(global_set, 2, 8)
+        for subset in local.values():
+            assert is_well_nested(subset)
+
+
+class TestPackCrossRounds:
+    def test_distinct_shard_pairs_share_a_round(self):
+        hops = pack_cross_rounds(
+            [(Communication(0, 12), 0, 3), (Communication(4, 8), 1, 2)]
+        )
+        assert {h.round_index for h in hops} == {0}
+
+    def test_shared_uplink_serializes(self):
+        # both pairs leave shard 0: one uplink port, two rounds.
+        hops = pack_cross_rounds(
+            [(Communication(0, 8), 0, 1), (Communication(1, 17), 0, 2)]
+        )
+        assert sorted(h.round_index for h in hops) == [0, 1]
+
+    def test_shared_downlink_serializes(self):
+        hops = pack_cross_rounds(
+            [(Communication(0, 16), 0, 2), (Communication(8, 17), 1, 2)]
+        )
+        assert sorted(h.round_index for h in hops) == [0, 1]
+
+    def test_per_round_port_constraint_holds(self):
+        # many-to-many traffic: in every round each shard's uplink and
+        # downlink carry at most one pair.
+        cross = [
+            (Communication(i, 8 * (i % 3 + 1) + i), i % 2, i % 3 + 1)
+            for i in range(0, 8, 2)
+        ]
+        hops = pack_cross_rounds(cross)
+        for r in {h.round_index for h in hops}:
+            in_round = [h for h in hops if h.round_index == r]
+            ups = [h.src_shard for h in in_round]
+            downs = [h.dst_shard for h in in_round]
+            assert len(ups) == len(set(ups))
+            assert len(downs) == len(set(downs))
+
+    def test_hop_power_accounting(self):
+        (hop,) = pack_cross_rounds([(Communication(0, 12), 0, 1)])
+        # up-leg log2(8)=3, root hop 1, down-leg 3
+        assert hop.power_units(8) == 7
+
+    def test_empty(self):
+        assert pack_cross_rounds([]) == []
+
+
+class TestFabricSchedule:
+    def fabric_run(self, pairs, trees=2, width=8):
+        fab = FabricController(trees, width, parallel=False)
+        return fab.schedule_global(cs(*pairs))
+
+    def test_round_accounting_serializes_epochs(self):
+        fs = self.fabric_run([(0, 15), (1, 2), (8, 11)])
+        assert fs.local_rounds == 1
+        assert fs.cross_rounds == 1
+        assert fs.total_rounds == 2
+
+    def test_delivered_is_the_input_set(self):
+        pairs = [(0, 15), (1, 6), (2, 5), (8, 11)]
+        fs = self.fabric_run(pairs)
+        assert fs.delivered() == set(cs(*pairs))
+
+    def test_power_splits_into_local_and_cross(self):
+        fs = self.fabric_run([(0, 15), (1, 2)])
+        assert fs.cross_power_units == 7  # one spanning pair at width 8
+        assert fs.total_power_units == fs.local_power_units + 7
+
+    def test_cross_ratio(self):
+        fs = self.fabric_run([(0, 15), (1, 2), (3, 4)])
+        assert fs.cross_ratio == pytest.approx(1 / 3)
+
+    def test_overhead_vs_union(self):
+        pairs = [(0, 15), (1, 14), (2, 3), (8, 9)]
+        fs = self.fabric_run(pairs)
+        union = SchedulerConfig().build().schedule(cs(*pairs), n_leaves=16)
+        extra_rounds, extra_power = fs.overhead_vs_union(union)
+        assert fs.total_rounds == union.n_rounds + extra_rounds
+        assert fs.total_power_units == union.power.total_units + extra_power
+
+    def test_purely_local_fabric_has_no_cross_epoch(self):
+        fs = self.fabric_run([(1, 2), (9, 14)])
+        assert fs.cross_rounds == 0
+        assert fs.cross_power_units == 0
+        assert fs.total_rounds == fs.local_rounds
+
+
+class TestGlobalParityProperty:
+    @given(cset=wellnested_set_st(max_pairs=8, n_leaves=32))
+    @settings(max_examples=40, deadline=None)
+    def test_fabric_delivers_exactly_the_union_pairs(self, cset):
+        """Any shardable workload: the fabric's delivered pair set equals
+        what a single-tree PADR run on the union delivers."""
+        fab = FabricController(4, 8, parallel=False)
+        fs = fab.schedule_global(cset)
+        union = SchedulerConfig().build().schedule(cset, n_leaves=32)
+        assert fs.delivered() == set(union.performed()) == set(cset)
+
+    @given(cset=wellnested_set_st(max_pairs=8, n_leaves=16))
+    @settings(max_examples=40, deadline=None)
+    def test_single_shard_fabric_matches_direct_schedule(self, cset):
+        """A 1-tree fabric is the degenerate case: its one local schedule
+        must be the direct scheduler's output, with no cross epoch."""
+        fab = FabricController(1, 16, parallel=False)
+        fs = fab.schedule_global(cset)
+        assert fs.cross == ()
+        if len(cset):
+            direct = SchedulerConfig().build().schedule(cset, n_leaves=16)
+            (local,) = fs.local.values()
+            assert local.rounds == direct.rounds
+            assert local.power.total_units == direct.power.total_units
+        assert isinstance(fs, FabricSchedule)

@@ -1,0 +1,100 @@
+"""WorkloadProfile extraction and CapacityPlanner sizing."""
+
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.exceptions import SchedulingError
+from repro.fabric import CapacityPlanner, FabricPlan, WorkloadProfile
+from repro.io import fabric_plan_from_dict, fabric_plan_to_dict, save_arrivals
+from repro.service.streaming import StreamRequest
+from repro.slo import record_workload
+
+
+def req(span, *, release=0, tenant="default", n_leaves=None):
+    cset = CommunicationSet([Communication(0, span)])
+    return StreamRequest(
+        cset=cset, n_leaves=n_leaves, release_time=release, tenant=tenant
+    )
+
+
+class TestWorkloadProfile:
+    def test_profiles_the_sizing_triple(self):
+        arrivals = [
+            req(3, release=0, tenant="a"),
+            req(3, release=0, tenant="b"),
+            req(3, release=0, tenant="a"),
+            req(21, release=1, tenant="c"),
+        ]
+        p = WorkloadProfile.from_arrivals(arrivals)
+        assert p.n_requests == 4
+        assert p.max_leaves == 32  # widest request spans PE 21 -> 32 leaves
+        assert p.peak_arrivals == 3
+        assert p.mean_arrivals == pytest.approx(2.0)
+        assert p.tenants == ("a", "b", "c")
+
+    def test_explicit_width_rounds_to_power_of_two(self):
+        p = WorkloadProfile.from_arrivals([req(1, n_leaves=48)])
+        assert p.max_leaves == 64
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SchedulingError, match="empty arrival trace"):
+            WorkloadProfile.from_arrivals([])
+
+    def test_from_trace_round_trips_through_io(self, tmp_path):
+        arrivals = record_workload(n_leaves=64, count=24, seed=5)
+        path = tmp_path / "trace.json"
+        save_arrivals(path, arrivals)
+        assert WorkloadProfile.from_trace(path) == WorkloadProfile.from_arrivals(
+            arrivals
+        )
+
+
+class TestCapacityPlanner:
+    def profile(self, peak, width=16):
+        return WorkloadProfile(
+            n_requests=peak,
+            max_leaves=width,
+            peak_arrivals=peak,
+            mean_arrivals=float(peak),
+            tenants=("t",),
+        )
+
+    def test_low_volume_gets_a_single_tree(self):
+        plan = CapacityPlanner(shard_capacity=16).plan(self.profile(10))
+        assert (plan.tree_count, plan.spine_switches) == (1, 0)
+        assert plan.switches == 15  # one 16-leaf CST, no spine
+        assert plan.utilization == pytest.approx(10 / 16)
+
+    def test_peak_forces_more_trees(self):
+        plan = CapacityPlanner(shard_capacity=16).plan(self.profile(40))
+        assert plan.tree_count == 3  # ceil(40 / 16)
+        assert plan.spine_switches == 2
+        assert plan.switches == 3 * 15 + 2
+        assert plan.total_leaves == 48
+
+    def test_leaf_width_follows_widest_request(self):
+        plan = CapacityPlanner().plan(self.profile(1, width=128))
+        assert plan.leaf_width == 128
+
+    def test_infeasible_peak_fails_loudly(self):
+        with pytest.raises(SchedulingError, match="no fabric of <= 2 trees"):
+            CapacityPlanner(shard_capacity=4, max_trees=2).plan(self.profile(9))
+
+    def test_candidates_enumerate_ascending(self):
+        cands = CapacityPlanner(max_trees=5).candidates(self.profile(1))
+        assert [c.tree_count for c in cands] == [1, 2, 3, 4, 5]
+        assert all(isinstance(c, FabricPlan) for c in cands)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SchedulingError, match="shard_capacity"):
+            CapacityPlanner(shard_capacity=0)
+        with pytest.raises(SchedulingError, match="max_trees"):
+            CapacityPlanner(max_trees=0)
+
+    def test_plan_serialization_round_trip(self, tmp_path):
+        import json
+
+        plan = CapacityPlanner(shard_capacity=8).plan(self.profile(20))
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(fabric_plan_to_dict(plan)))
+        assert fabric_plan_from_dict(json.loads(path.read_text())) == plan

@@ -1,0 +1,129 @@
+"""The fabric behind both services: parity, doors, lifecycle.
+
+Satellite 4's acceptance surface lives here — a single-shard fabric must
+be bit-identical to the PR-4 service path, and a multi-shard fabric must
+survive the live parity check (every shard's local leg is a faithful
+PADR run on its relabelled subset).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.core.csa import PADRScheduler
+from repro.fabric import FabricController
+from repro.io import schedule_to_dict
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.service import (
+    SchedulerService,
+    StreamRequest,
+    StreamingSchedulerService,
+    TenantQuota,
+    mixed_workloads,
+)
+
+
+def cs(*pairs):
+    return CommunicationSet([Communication(s, d) for s, d in pairs])
+
+
+def roomy_quota() -> TenantQuota:
+    return TenantQuota(rate=50.0, burst=100.0)
+
+
+@pytest.fixture
+def batch():
+    return mixed_workloads(32, 10, seed=3)
+
+
+class TestBatchServiceOnFabric:
+    def test_single_shard_fabric_bit_identical_to_plain_service(self, batch):
+        with SchedulerService(workers=1) as plain:
+            baseline = plain(batch, n_leaves=32)
+        fab = FabricController(1, 32, parallel=False)
+        with SchedulerService(fabric=fab) as svc:
+            report = svc(batch, n_leaves=32)
+        assert report.n_done == len(batch)
+        for tid in baseline.schedules():
+            assert (
+                report.results[tid].payload == baseline.results[tid].payload
+            )
+
+    def test_multi_shard_fabric_passes_live_parity(self, batch):
+        fab = FabricController(4, 32, parallel=False)
+        with SchedulerService(fabric=fab, parity_check=True) as svc:
+            report = svc(batch, n_leaves=32)
+        assert report.n_done == len(batch)
+        direct = PADRScheduler()
+        for tid, c in enumerate(batch):
+            expected = schedule_to_dict(direct.schedule(c, n_leaves=32))
+            assert report.results[tid].payload == expected
+
+    def test_oversized_request_rejected_at_the_door(self):
+        fab = FabricController(2, 16, parallel=False)
+        with SchedulerService(fabric=fab) as svc:
+            ticket = svc.submit(cs((0, 1)), n_leaves=32)
+        assert ticket.accepted is False
+        assert "fabric trees have 16" in ticket.reason
+
+    def test_fabric_requests_spread_over_shards(self, batch):
+        fab = FabricController(4, 32, parallel=False)
+        with SchedulerService(fabric=fab) as svc:
+            svc(batch, n_leaves=32)
+        assert sum(fab.shard_load) > 0
+        assert sum(1 for load in fab.shard_load if load) > 1
+
+
+class TestStreamingServiceOnFabric:
+    def build(self, fab, **kw):
+        kw.setdefault("default_quota", roomy_quota())
+        return StreamingSchedulerService(fabric=fab, **kw)
+
+    def test_fabric_stream_bit_identical_to_direct(self):
+        csets = mixed_workloads(16, 6, seed=8)
+        svc = self.build(FabricController(2, 16, parallel=False))
+        for c in csets:
+            svc.submit(StreamRequest(cset=c, n_leaves=16, deadline=100))
+        report = svc.run()
+        direct = PADRScheduler()
+        for rid, c in enumerate(csets):
+            expected = schedule_to_dict(direct.schedule(c, n_leaves=16))
+            assert report.results[rid].payload == expected
+
+    def test_multi_tenant_stream_settles_everything(self):
+        fab = FabricController(4, 32, parallel=False)
+        svc = self.build(fab, parity_check=True)
+        csets = mixed_workloads(32, 12, seed=4)
+        for i, c in enumerate(csets):
+            svc.submit(
+                StreamRequest(
+                    cset=c,
+                    n_leaves=32,
+                    deadline=100,
+                    tenant=f"tenant-{i % 3}",
+                )
+            )
+        report = svc.run()
+        assert report.n_done == len(csets)
+        # tenant-pinned routing: each tenant's work stays on one shard
+        assert len({fab.route_tenant(f"tenant-{i}") for i in range(3)}) >= 1
+
+    def test_oversized_stream_request_rejected(self):
+        svc = self.build(FabricController(2, 16, parallel=False))
+        ticket = svc.submit(
+            StreamRequest(cset=cs((0, 1)), n_leaves=32, deadline=10)
+        )
+        assert ticket.accepted is False
+        assert "fabric trees have 16" in ticket.reason
+
+    def test_fabric_metrics_flow_through_streaming(self):
+        reg = MetricsRegistry()
+        obs = Instrumentation(reg, run="t")
+        fab = FabricController(2, 16, parallel=False, obs=obs)
+        svc = self.build(fab, obs=obs)
+        svc.submit(StreamRequest(cset=cs((0, 3)), n_leaves=16, deadline=10))
+        svc.run()
+        snap = reg.snapshot()
+        names = set(snap["counters"]) | set(snap["gauges"])
+        assert any("fabric.requests" in n for n in names)

@@ -181,3 +181,77 @@ class TestMetrics:
             ]
             == 1
         )
+
+
+class TestClockAgreement:
+    """Satellite regression: the controller's internal tick used to free-run
+    (one bump per ``observe``), silently drifting from the service clock
+    whenever anything sampled out of band.  The service now passes its own
+    tick into ``observe`` and the controller enforces monotonic agreement."""
+
+    def test_explicit_tick_adopts_the_service_clock(self):
+        c = AdmissionController()
+        c.observe(LoadSample(queue_fraction=0.0), tick=5)
+        assert c.tick == 5
+        c.observe(LoadSample(queue_fraction=0.0), tick=9)
+        assert c.tick == 9
+
+    def test_omitted_tick_still_self_advances(self):
+        c = AdmissionController()
+        c.observe(LoadSample(queue_fraction=0.0))
+        c.observe(LoadSample(queue_fraction=0.0))
+        assert c.tick == 2
+
+    def test_stale_or_repeated_tick_rejected(self):
+        c = AdmissionController()
+        c.observe(LoadSample(queue_fraction=0.0), tick=3)
+        for stale in (3, 2):
+            with pytest.raises(SchedulingError, match="monotonically"):
+                c.observe(LoadSample(queue_fraction=0.0), tick=stale)
+
+    def test_streaming_keeps_admission_on_the_service_clock(self):
+        # the drill attachment point (PR-7 on_tick hook) observes the two
+        # clocks every tick: they must never drift apart.
+        from repro.comms.communication import Communication, CommunicationSet
+        from repro.service import StreamRequest, StreamingSchedulerService
+
+        seen: list[tuple[int, int]] = []
+        svc = StreamingSchedulerService(
+            on_tick=lambda service, settled, now: seen.append(
+                (now, service.admission.tick)
+            )
+        )
+        for i in range(4):
+            svc.submit(
+                StreamRequest(
+                    cset=CommunicationSet([Communication(0, 1)]),
+                    n_leaves=4,
+                    deadline=20,
+                    release_time=i,
+                )
+            )
+        svc.run()
+        assert seen and all(now == tick for now, tick in seen)
+
+    def test_out_of_band_observe_is_caught_next_tick(self):
+        # the drifting-drill regression: a hook that samples the controller
+        # itself used to desynchronise the clocks silently; now the very
+        # next service tick trips the monotonic guard.
+        from repro.comms.communication import Communication, CommunicationSet
+        from repro.service import StreamRequest, StreamingSchedulerService
+
+        def rogue_drill(service, settled, now):
+            service.admission.observe(LoadSample(queue_fraction=0.0))
+
+        svc = StreamingSchedulerService(on_tick=rogue_drill)
+        for release in (0, 3):
+            svc.submit(
+                StreamRequest(
+                    cset=CommunicationSet([Communication(0, 1)]),
+                    n_leaves=4,
+                    deadline=20,
+                    release_time=release,
+                )
+            )
+        with pytest.raises(SchedulingError, match="monotonically"):
+            svc.run()

@@ -175,3 +175,32 @@ def test_cache_counters_stay_consistent_under_interleavings(ops):
         gauges = registry.snapshot()["gauges"]
         if "service.cache.size{run=p}" in gauges:
             assert gauges["service.cache.size{run=p}"] == len(cache)
+
+
+class TestUndersizedWidthRegression:
+    """Satellite regression: ``canonical_signature`` used to swallow the
+    IndexError from an undersized explicit width and mint the key the set
+    would have at its *minimum* width — so a request for ``k`` leaves,
+    ``max_pe < k < min_leaves``, silently collided with genuine
+    ``min_leaves`` entries in the shared cache."""
+
+    def test_boundary_width_rejected(self):
+        cset = cs((0, 4))  # min_leaves == 8
+        with pytest.raises(SchedulingError, match="at least 8"):
+            canonical_signature(cset, 7)  # k == min_leaves - 1
+
+    def test_every_undersized_width_rejected_no_key_minted(self):
+        cset = cs((0, 4))  # max_pe == 4, min_leaves == 8
+        for k in (5, 6, 7):
+            with pytest.raises(SchedulingError):
+                canonical_signature(cset, k)
+
+    def test_legal_boundary_width_still_keys(self):
+        cset = cs((0, 4))
+        sig = canonical_signature(cset, 8)
+        assert sig.n_leaves == 8
+        assert canonical_signature(cset, 16).cache_key != sig.cache_key
+
+    def test_default_width_is_the_minimum(self):
+        cset = cs((0, 4))
+        assert canonical_signature(cset, None).n_leaves == 8

@@ -289,3 +289,79 @@ class TestSameShapeBatching:
         expected = [schedule_to_dict(direct.schedule(c, n_leaves=32)) for c in batch]
         got = [report.results[t].payload for t in sorted(report.schedules())]
         assert got == expected
+
+
+def _crash_worker_once(request):
+    """Worker-side crash injector for the pool-lifecycle regression.
+
+    The first worker to run exits the interpreter abruptly (after dropping
+    a marker so the retry wave behaves); ``Pool.map`` then sits on the lost
+    task until the service's ``pool_timeout`` converts it into the
+    transient path.
+    """
+    import os
+
+    marker = os.environ["CST_PADR_CRASH_MARKER"]
+    if os.path.exists(marker):
+        from repro.service.worker import schedule_request
+
+        return schedule_request(request)
+    open(marker, "w").close()
+    os._exit(1)
+
+
+class TestPoolLifecycle:
+    """Satellite regression: a drain that raises, or a pool call that blows
+    up, must never leave live worker processes (or a poisoned pool) behind."""
+
+    def test_failed_drain_leaves_no_live_workers(self, batch, monkeypatch):
+        svc = SchedulerService(workers=2, parity_check=True)
+        svc.submit_many(batch, n_leaves=32)
+        procs = list(svc._ensure_pool()._pool)
+        assert all(p.is_alive() for p in procs)
+
+        def blown_parity(p, payload):
+            raise service_mod.ServiceParityError("injected mismatch")
+
+        monkeypatch.setattr(svc, "_assert_parity", blown_parity)
+        with pytest.raises(service_mod.ServiceParityError):
+            svc.drain()
+        assert svc._pool is None
+        for p in procs:
+            p.join(timeout=10)
+            assert not p.is_alive()
+
+    def test_worker_crash_settles_transient_then_recovers(
+        self, batch, monkeypatch, tmp_path
+    ):
+        marker = tmp_path / "crashed"
+        monkeypatch.setenv("CST_PADR_CRASH_MARKER", str(marker))
+        monkeypatch.setattr(service_mod, "schedule_request", _crash_worker_once)
+        reg = MetricsRegistry()
+        svc = SchedulerService(
+            workers=2,
+            pool_timeout=5.0,
+            obs=Instrumentation(reg, run="t"),
+        )
+        with svc:
+            report = svc(batch, n_leaves=32)
+        assert marker.exists()
+        assert report.n_done == len(batch)  # retried onto a fresh pool
+        assert max(r.attempts for r in report.results.values()) > 1
+        from repro.obs.registry import metric_key
+
+        snap = reg.snapshot()
+        assert snap["counters"][metric_key("service.pool.broken", {"run": "t"})] == 1
+        assert svc._pool is None  # close() ran; nothing left behind
+
+    def test_close_after_crash_is_clean(self, monkeypatch, tmp_path):
+        # the abort path must leave the service reusable *and* closeable.
+        marker = tmp_path / "crashed"
+        marker.touch()  # behave normally from the start
+        monkeypatch.setenv("CST_PADR_CRASH_MARKER", str(marker))
+        svc = SchedulerService(workers=2, pool_timeout=5.0)
+        svc.submit(cs((0, 1)), n_leaves=4)
+        svc.drain()
+        svc._abort_pool()
+        assert svc._pool is None
+        svc.close()  # idempotent after an abort

@@ -179,7 +179,7 @@ class TestSchemaVersioning:
     """Explicit ``"schema"`` field: writers stamp it, loaders window it."""
 
     def test_writers_stamp_current_schema(self, tmp_path, fig2_set):
-        assert SCHEDULE_SCHEMA == 2
+        assert SCHEDULE_SCHEMA == 3
         assert cset_to_dict(fig2_set)["schema"] == SCHEDULE_SCHEMA
         schedule = PADRScheduler().schedule(fig2_set, n_leaves=16)
         assert schedule_to_dict(schedule)["schema"] == SCHEDULE_SCHEMA
@@ -187,30 +187,42 @@ class TestSchemaVersioning:
         save_workloads(path, {"fig2": fig2_set})
         assert json.loads(path.read_text())["schema"] == SCHEDULE_SCHEMA
 
-    def test_schema_1_payload_without_field_still_loads(self, fig2_set):
+    def test_previous_schema_still_loads(self, fig2_set):
+        # the two-release window: schema 2 (the previous generation)
+        # must keep loading under the schema-3 writers.
         data = cset_to_dict(fig2_set)
-        del data["schema"]  # pre-versioning payloads have no schema field
+        data["schema"] = SCHEDULE_SCHEMA - 1
         assert cset_from_dict(data) == fig2_set
 
-    def test_schema_1_schedule_still_loads(self):
+    def test_previous_schema_schedule_still_loads(self):
         cset = crossing_chain(3)
         data = schedule_to_dict(PADRScheduler().schedule(cset))
-        del data["schema"]
+        data["schema"] = SCHEDULE_SCHEMA - 1
         restored = schedule_from_dict(data)
         verify_schedule(restored, cset).raise_if_failed()
 
-    def test_schema_1_suite_still_loads(self, tmp_path, fig2_set):
+    def test_schema_1_payload_without_field_now_rejected(self, fig2_set):
+        # schema-1 payloads predate the field; they aged out of the
+        # two-release window at schema 3 and must be rewritten by a
+        # schema-2 release, not silently misread.
+        data = cset_to_dict(fig2_set)
+        del data["schema"]
+        with pytest.raises(SerializationError, match="schema 1"):
+            cset_from_dict(data)
+
+    def test_schema_1_suite_now_rejected(self, tmp_path, fig2_set):
         path = tmp_path / "legacy.json"
         save_workloads(path, {"fig2": fig2_set})
         data = json.loads(path.read_text())
         del data["schema"]
         path.write_text(json.dumps(data))
-        assert load_workloads(path) == {"fig2": fig2_set}
+        with pytest.raises(SerializationError, match="schema 1"):
+            load_workloads(path)
 
     def test_future_schema_rejected_with_window(self, fig2_set):
         data = cset_to_dict(fig2_set)
         data["schema"] = SCHEDULE_SCHEMA + 1
-        with pytest.raises(SerializationError, match=r"schemas \[1, 2\]"):
+        with pytest.raises(SerializationError, match=r"schemas \[2, 3\]"):
             cset_from_dict(data)
 
     def test_future_schedule_schema_rejected(self):
@@ -236,3 +248,42 @@ class TestIOProperties:
         s = PADRScheduler().schedule(cset, n_leaves=64)
         restored = schedule_from_dict(schedule_to_dict(s))
         assert verify_schedule(restored, cset).ok
+
+
+class TestFabricRoundTrip:
+    def fabric_schedule(self):
+        from repro.fabric import FabricController
+
+        fab = FabricController(2, 8, parallel=False)
+        return fab.schedule_global(
+            CommunicationSet(
+                [Communication(0, 15), Communication(1, 2), Communication(8, 11)]
+            )
+        )
+
+    def test_fabric_schedule_round_trip_preserves_accounting(self):
+        from repro.io import fabric_schedule_from_dict, fabric_schedule_to_dict
+
+        fs = self.fabric_schedule()
+        data = json.loads(json.dumps(fabric_schedule_to_dict(fs)))
+        back = fabric_schedule_from_dict(data)
+        assert back.delivered() == fs.delivered()
+        assert back.total_rounds == fs.total_rounds
+        assert back.total_power_units == fs.total_power_units
+        assert back.cross == fs.cross
+
+    def test_fabric_payloads_carry_schema_3(self):
+        from repro.io import SCHEDULE_SCHEMA, fabric_schedule_to_dict
+
+        data = fabric_schedule_to_dict(self.fabric_schedule())
+        assert data["schema"] == SCHEDULE_SCHEMA == 3
+        assert set(data["local"]) == {"0", "1"}
+
+    def test_malformed_fabric_schedule_rejected(self):
+        from repro.io import SerializationError, fabric_schedule_to_dict
+        from repro.io import fabric_schedule_from_dict
+
+        data = fabric_schedule_to_dict(self.fabric_schedule())
+        del data["cross"][0]["round"]
+        with pytest.raises(SerializationError, match="malformed fabric"):
+            fabric_schedule_from_dict(data)
