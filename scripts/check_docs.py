@@ -42,6 +42,7 @@ REQUIRED_DOCS = (
     "architecture.md",
     "fabric.md",
     "fault_tolerance.md",
+    "general_csets.md",
     "observability.md",
     "power_model.md",
     "reproduction_guide.md",

@@ -40,22 +40,25 @@ Package map
 """
 
 from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.decompose import Batch, Decomposition, crossing_lower_bound, decompose
 from repro.comms.generators import (
     crossing_chain,
     disjoint_pairs,
     from_dyck_word,
     nested_chain,
     paper_figure2_set,
+    random_arbitrary,
     random_well_nested,
     segmentable_bus,
     staircase,
 )
 from repro.comms.wellnested import is_well_nested, parenthesis_profile
 from repro.comms.width import edge_loads, width
-from repro.core.base import ScheduleContext, Scheduler
+from repro.core.base import ScheduleContext, ScheduleResult, Scheduler
 from repro.core.config import SchedulerConfig
 from repro.core.csa import PADRScheduler
 from repro.core.left import LeftPADRScheduler
+from repro.core.plan import GeneralSchedule, schedule_general
 from repro.core.schedule import Schedule
 from repro.baselines import (
     GreedyScheduler,
@@ -119,11 +122,16 @@ __version__ = "1.0.0"
 __all__ = [
     "Communication",
     "CommunicationSet",
+    "Batch",
+    "Decomposition",
+    "crossing_lower_bound",
+    "decompose",
     "crossing_chain",
     "disjoint_pairs",
     "from_dyck_word",
     "nested_chain",
     "paper_figure2_set",
+    "random_arbitrary",
     "random_well_nested",
     "segmentable_bus",
     "staircase",
@@ -133,10 +141,13 @@ __all__ = [
     "width",
     "Scheduler",
     "ScheduleContext",
+    "ScheduleResult",
     "SchedulerConfig",
     "PADRScheduler",
     "LeftPADRScheduler",
     "Schedule",
+    "GeneralSchedule",
+    "schedule_general",
     "GreedyScheduler",
     "RandomOrderScheduler",
     "RoyIDScheduler",

@@ -15,6 +15,8 @@ Usage (installed as ``cst-padr``, also ``python -m repro``):
     cst-padr chaos --leaves 64    # seeded fault-injection campaign
     cst-padr batch --count 64 --leaves 256 --workers 2   # service-layer batch
     cst-padr serve --count 96 --leaves 64 --burst        # streaming service demo
+    cst-padr schedule --decompose auto --arbitrary --pairs 24 --leaves 128
+                                  # arbitrary set via well-nested decomposition
 
 All output is plain text; the same tables the benchmarks assert on.
 ``trace --jsonl`` and ``metrics`` are the observability layer's entry
@@ -265,16 +267,96 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    """Schedule one communication set end-to-end under the selected
+    decompose mode.  Arbitrary (crossing / mixed-orientation) sets are
+    admitted under ``--decompose auto`` and lowered through well-nested
+    decomposition; the report accounts rounds and power against the
+    single-batch w-round optimum.  Exit 2 means the input was rejected
+    (the ``strict``/``never`` door), exit 1 an incomplete delivery."""
+    from repro.comms.generators import random_arbitrary
+    from repro.core.config import SchedulerConfig
+    from repro.core.plan import GeneralSchedule
+    from repro.exceptions import ReproError
+    from repro.io import load_workloads
+
+    n_leaves: int | None = args.leaves
+    if args.workload is not None:
+        suite = load_workloads(args.workload)
+        name = args.name if args.name is not None else sorted(suite)[0] if suite else None
+        if name is None or name not in suite:
+            print(
+                f"workload {name!r} not in {args.workload} "
+                f"(available: {', '.join(sorted(suite)) or 'none'})"
+            )
+            return 2
+        cset = suite[name]
+        n_leaves = None  # size from the set itself
+        label = f"workload {name!r} from {args.workload}"
+    else:
+        rng = np.random.default_rng(args.seed)
+        if args.arbitrary:
+            cset = random_arbitrary(args.pairs, args.leaves, rng)
+            label = "random arbitrary set"
+        else:
+            cset = random_well_nested(args.pairs, args.leaves, rng)
+            label = "random well-nested set"
+        label += f" (pairs={args.pairs}, leaves={args.leaves}, seed={args.seed})"
+
+    config = SchedulerConfig(decompose=args.decompose, recfg_alpha=args.alpha)
+    try:
+        result = config.build().schedule(cset, n_leaves=n_leaves)
+    except ReproError as exc:
+        print(f"rejected under decompose={args.decompose!r}: {exc}")
+        return 2
+
+    stats = result.stats()
+    print(f"{label}: {len(cset)} pairs, decompose={args.decompose}")
+    if isinstance(result, GeneralSchedule):
+        print(
+            f"  batches: {result.n_batches} "
+            f"(crossing-clique lower bound {result.lower_bound}), "
+            f"orientations {'/'.join(result.batch_orientations)}"
+        )
+        print(
+            f"  rounds: {result.rounds_used} vs single-batch optimum "
+            f"{result.optimum_rounds} (overhead x{result.overhead_ratio:.2f}, "
+            f"{result.merged_rounds} merged by packing at "
+            f"alpha={result.alpha:g})"
+        )
+        print(
+            f"  power: {result.power_units} units "
+            f"({result.reconfig_changes} crossbar changes)"
+        )
+    else:
+        print(
+            f"  rounds={stats.n_rounds} (width optimum {stats.width}), "
+            f"power={stats.total_power_units} units, "
+            f"max per-switch changes={stats.max_switch_config_changes}"
+        )
+    complete = set(result.delivered) == set(cset.comms) and not result.undelivered
+    print(f"  delivered: {len(result.delivered)}/{len(cset)} "
+          f"({'complete' if complete else 'INCOMPLETE'})")
+    return 0 if complete else 1
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Schedule a batch of mixed workloads through the service layer,
     twice — the resubmission shows the canonical cache doing its job —
     with parity against the direct scheduler asserted throughout."""
+    from repro.core.config import SchedulerConfig
     from repro.obs import Instrumentation, MetricsRegistry
-    from repro.service import SchedulerService, mixed_workloads
+    from repro.service import SchedulerService, arbitrary_workloads, mixed_workloads
 
     obs = Instrumentation(MetricsRegistry(), run="service")
     batch = mixed_workloads(args.leaves, args.count, seed=args.seed)
+    if args.decompose == "auto":
+        # the auto door's demo: a quarter of the batch is arbitrary sets
+        batch += arbitrary_workloads(
+            args.leaves, max(1, args.count // 4), seed=args.seed
+        )
     with SchedulerService(
+        config=SchedulerConfig(decompose=args.decompose),
         workers=args.workers,
         cache_size=args.cache_size,
         parity_check=not args.no_parity,
@@ -283,8 +365,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         first = service(batch, n_leaves=args.leaves)
         second = service(batch, n_leaves=args.leaves)
     print(
-        f"service batch: {args.count} mixed workloads on {args.leaves} leaves, "
-        f"workers={args.workers}, parity={'off' if args.no_parity else 'on'}"
+        f"service batch: {len(batch)} workloads on {args.leaves} leaves, "
+        f"workers={args.workers}, decompose={args.decompose}, "
+        f"parity={'off' if args.no_parity else 'on'}"
     )
     print(f"  first submission:  {first.summary()}")
     print(f"  resubmission:      {second.summary()}")
@@ -298,8 +381,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
         print(json.dumps(obs.metrics.snapshot(), indent=2, sort_keys=True))
     ok = (
-        first.n_done == args.count
-        and second.n_done == args.count
+        first.n_done == len(batch)
+        and second.n_done == len(batch)
         and second.hit_rate >= 0.5
     )
     return 0 if ok else 1
@@ -310,9 +393,16 @@ def _synthetic_arrivals(args: argparse.Namespace):
     LOW/NORMAL/HIGH priorities across two tenants.  With ``--burst`` the
     whole stream is front-loaded into the first few ticks (the overload
     drill); otherwise arrivals pace out one per tick."""
-    from repro.service import Priority, StreamRequest, mixed_workloads
+    from repro.service import (
+        Priority,
+        StreamRequest,
+        arbitrary_workloads,
+        mixed_workloads,
+    )
 
     csets = mixed_workloads(args.leaves, min(args.count, 15), seed=args.seed)
+    if getattr(args, "decompose", "strict") == "auto":
+        csets += arbitrary_workloads(args.leaves, 5, seed=args.seed)
     priorities = [Priority.LOW, Priority.NORMAL, Priority.HIGH]
     arrivals = []
     for i in range(args.count):
@@ -338,6 +428,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
+    from repro.core.config import SchedulerConfig
     from repro.io import stream_request_from_dict
     from repro.obs import Instrumentation, MetricsRegistry
     from repro.service import StreamStatus, StreamingSchedulerService, TenantQuota
@@ -350,6 +441,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     obs = Instrumentation(MetricsRegistry(), run="stream")
     service = StreamingSchedulerService(
+        config=SchedulerConfig(decompose=args.decompose),
         max_queue=args.max_queue,
         max_inflight=args.max_inflight,
         batch_window=args.batch_window,
@@ -496,11 +588,19 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         if args.arrivals
         else _synthetic_arrivals(args)
     )
+    from repro.core.config import SchedulerConfig
+
+    fabric_config = SchedulerConfig(decompose=args.decompose)
     obs = Instrumentation(MetricsRegistry(), run="fabric")
     with FabricController(
-        args.trees, args.leaves, parallel=not args.inline, obs=obs
+        args.trees,
+        args.leaves,
+        config=fabric_config,
+        parallel=not args.inline,
+        obs=obs,
     ) as fabric:
         service = StreamingSchedulerService(
+            config=fabric_config,
             max_queue=args.max_queue,
             max_inflight=args.max_inflight,
             parity_check=not args.no_parity,
@@ -608,8 +708,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "schedule",
+        help="schedule one set end-to-end (arbitrary sets with --decompose auto)",
+    )
+    p.add_argument("--pairs", type=int, default=24)
+    p.add_argument("--leaves", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--arbitrary",
+        action="store_true",
+        help="draw a uniformly random pairing (crossings and both orientations)",
+    )
+    p.add_argument(
+        "--alpha",
+        type=float,
+        default=0.0,
+        help="reconfiguration weight when packing decomposed batches "
+        "(0 minimises rounds)",
+    )
+    p.add_argument(
+        "--workload",
+        metavar="PATH",
+        default=None,
+        help="schedule a set from a saved workload suite instead of generating one",
+    )
+    p.add_argument(
+        "--name", default=None, help="workload name inside --workload (default: first)"
+    )
+    _add_decompose_option(p)
+
+    p = sub.add_parser(
         "batch", help="batch-schedule mixed workloads through the service layer"
     )
+    _add_decompose_option(p)
     p.add_argument("--count", type=int, default=64)
     p.add_argument("--leaves", type=int, default=256)
     p.add_argument("--workers", type=int, default=1)
@@ -658,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve", help="run the streaming service over a continuous arrival stream"
     )
+    _add_decompose_option(p)
     p.add_argument("--count", type=int, default=96)
     p.add_argument("--leaves", type=int, default=64)
     p.add_argument("--deadline", type=int, default=64)
@@ -713,6 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
     fs = fab_sub.add_parser(
         "serve", help="run the streaming service sharded across a fabric"
     )
+    _add_decompose_option(fs)
     fs.add_argument("--trees", type=int, default=4)
     fs.add_argument("--count", type=int, default=96)
     fs.add_argument("--leaves", type=int, default=64)
@@ -748,6 +881,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_decompose_option(p: argparse.ArgumentParser) -> None:
+    """The shared decompose-mode switch: strict keeps the historical
+    well-nested-only door, auto admits arbitrary sets via well-nested
+    decomposition, never pre-rejects them explicitly."""
+    p.add_argument(
+        "--decompose",
+        choices=("strict", "auto", "never"),
+        default="strict",
+        help="how non-well-nested sets are handled (default: strict)",
+    )
+
+
 def _add_workload_options(p: argparse.ArgumentParser) -> None:
     """Random-workload selection shared by the observability subcommands;
     with ``--pairs`` the run uses a random well-nested set instead of the
@@ -768,6 +913,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
+        "schedule": _cmd_schedule,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "canary": _cmd_canary,

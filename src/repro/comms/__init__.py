@@ -1,6 +1,13 @@
 """Communication sets on the CST: model, well-nestedness, width, generators."""
 
 from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.decompose import (
+    Batch,
+    Decomposition,
+    crossing_lower_bound,
+    decompose,
+    max_crossing_degree,
+)
 from repro.comms.wellnested import (
     is_well_nested,
     nesting_depths,
@@ -11,6 +18,7 @@ from repro.comms.width import edge_loads, width
 from repro.comms.dyck import random_dyck_word, dyck_words, is_dyck_word
 from repro.comms.generators import (
     from_dyck_word,
+    random_arbitrary,
     random_well_nested,
     nested_chain,
     crossing_chain,
@@ -23,6 +31,11 @@ from repro.comms.generators import (
 __all__ = [
     "Communication",
     "CommunicationSet",
+    "Batch",
+    "Decomposition",
+    "crossing_lower_bound",
+    "decompose",
+    "max_crossing_degree",
     "is_well_nested",
     "nesting_depths",
     "nesting_forest",
@@ -33,6 +46,7 @@ __all__ = [
     "dyck_words",
     "is_dyck_word",
     "from_dyck_word",
+    "random_arbitrary",
     "random_well_nested",
     "nested_chain",
     "crossing_chain",

@@ -32,6 +32,7 @@ from repro.util.bitmath import ceil_pow2
 
 __all__ = [
     "from_dyck_word",
+    "random_arbitrary",
     "random_well_nested",
     "nested_chain",
     "crossing_chain",
@@ -89,6 +90,31 @@ def random_well_nested(
     word = random_dyck_word(n_pairs, rng)
     positions = np.sort(rng.choice(n_leaves, size=2 * n_pairs, replace=False))
     return from_dyck_word(word, positions.tolist())
+
+
+def random_arbitrary(
+    n_pairs: int,
+    n_leaves: int,
+    rng: np.random.Generator,
+) -> CommunicationSet:
+    """Uniformly random pairing of distinct leaves, arbitrary orientation.
+
+    The general-traffic counterpart of :func:`random_well_nested`: sources
+    and destinations are drawn without structure, so the result typically
+    contains crossings and both orientations — exactly what the
+    decomposition path (``decompose="auto"``) exists to schedule.
+    """
+    if 2 * n_pairs > n_leaves:
+        raise CommunicationError(
+            f"{n_pairs} pairs need {2 * n_pairs} leaves, only {n_leaves} available"
+        )
+    if n_pairs == 0:
+        return CommunicationSet(())
+    endpoints = rng.permutation(rng.choice(n_leaves, size=2 * n_pairs, replace=False))
+    return CommunicationSet(
+        Communication(int(endpoints[2 * i]), int(endpoints[2 * i + 1]))
+        for i in range(n_pairs)
+    )
 
 
 def nested_chain(depth: int, n_leaves: int | None = None) -> CommunicationSet:

@@ -14,6 +14,7 @@ from repro.core.phase1 import run_phase1
 from repro.core.phase2 import ConfigureOutcome, configure
 from repro.core.csa import PADRScheduler
 from repro.core.left import LeftPADRScheduler
+from repro.core.plan import GeneralSchedule, schedule_general
 from repro.core.schedule import RoundRecord, Schedule, ScheduleStats
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "configure",
     "PADRScheduler",
     "LeftPADRScheduler",
+    "GeneralSchedule",
+    "schedule_general",
     "RoundRecord",
     "Schedule",
     "ScheduleStats",

@@ -37,19 +37,68 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ClassVar, Sequence
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.comms.communication import Communication, CommunicationSet
-from repro.core.schedule import RoundRecord, Schedule
+from repro.comms.wellnested import is_well_nested
+from repro.core.schedule import RoundRecord, Schedule, ScheduleStats
 from repro.cst.network import CSTNetwork
 from repro.cst.power import PowerPolicy
-from repro.exceptions import SchedulingError
+from repro.exceptions import NotWellNestedError, SchedulingError
 from repro.types import Connection
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.instrument import Instrumentation
 
-__all__ = ["ScheduleContext", "Scheduler", "execute_round_plan"]
+__all__ = [
+    "DECOMPOSE_MODES",
+    "ScheduleContext",
+    "ScheduleResult",
+    "Scheduler",
+    "execute_round_plan",
+]
+
+#: Legal values for ``Scheduler.schedule(..., decompose=)`` and
+#: ``SchedulerConfig.decompose``: ``"strict"`` preserves today's contract
+#: (engines validate their own inputs), ``"never"`` asserts well-nestedness
+#: up front and raises :class:`~repro.exceptions.NotWellNestedError`
+#: otherwise, ``"auto"`` lowers arbitrary sets through
+#: :func:`repro.core.plan.schedule_general` (well-nested inputs pass
+#: through the strict path unchanged, bit-identically).
+DECOMPOSE_MODES = ("auto", "strict", "never")
+
+
+@runtime_checkable
+class ScheduleResult(Protocol):
+    """The uniform read surface of every scheduling result.
+
+    ``Schedule``, ``DegradedSchedule``, ``FabricSchedule``,
+    ``GeneralFabricSchedule`` and ``GeneralSchedule`` all expose it, so
+    callers can account rounds, power and delivery without caring which
+    path produced the result.  ``delivered``/``undelivered`` are sorted
+    tuples of unique :class:`~repro.comms.communication.Communication`;
+    ``stats()`` aggregates for the analysis layer.
+    """
+
+    @property
+    def rounds_used(self) -> int: ...
+
+    @property
+    def power_units(self) -> int: ...
+
+    @property
+    def delivered(self) -> tuple[Communication, ...]: ...
+
+    @property
+    def undelivered(self) -> tuple[Communication, ...]: ...
+
+    def stats(self) -> ScheduleStats: ...
 
 
 @dataclass(slots=True)
@@ -96,6 +145,7 @@ class Scheduler(abc.ABC):
         policy: PowerPolicy | None = None,
         network: CSTNetwork | None = None,
         obs: "Instrumentation | None" = None,
+        decompose: str | None = None,
     ) -> Schedule:
         """Route ``cset`` on a CST.
 
@@ -106,7 +156,38 @@ class Scheduler(abc.ABC):
         by fault-injection tests and by the stream scheduler; when given,
         ``n_leaves`` and ``policy`` must not conflict with it.  ``obs``
         attaches an :class:`~repro.obs.Instrumentation` for this call only.
+
+        ``decompose`` controls what happens to inputs that are not
+        right-oriented well-nested (see :data:`DECOMPOSE_MODES`); ``None``
+        defers to the scheduler's ``config.decompose`` (``"strict"`` when
+        the scheduler carries no config).  Under ``"auto"`` an arbitrary
+        set returns a :class:`~repro.core.plan.GeneralSchedule` instead of
+        a plain :class:`~repro.core.schedule.Schedule`; both satisfy
+        :class:`ScheduleResult`.
         """
+        mode = decompose
+        if mode is None:
+            mode = getattr(getattr(self, "config", None), "decompose", "strict")
+        if mode not in DECOMPOSE_MODES:
+            raise SchedulingError(
+                f"unknown decompose mode {mode!r}; expected one of {DECOMPOSE_MODES}"
+            )
+        if mode != "strict" and not is_well_nested(cset):
+            if mode == "never":
+                raise NotWellNestedError(
+                    f"{type(self).__name__}: input is not a right-oriented "
+                    "well-nested set and decompose='never' forbids lowering"
+                )
+            from repro.core.plan import schedule_general
+
+            return schedule_general(
+                cset,
+                inner=self,
+                n_leaves=n_leaves,
+                policy=policy,
+                network=network,
+                obs=obs,
+            )
         if network is not None:
             if not self.supports_network:
                 raise SchedulingError(

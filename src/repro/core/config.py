@@ -34,6 +34,7 @@ from repro.exceptions import SchedulingError
 __all__ = ["SchedulerConfig"]
 
 _ENGINES = ("auto", "reference", "fast", "columnar")
+_DECOMPOSE_MODES = ("auto", "strict", "never")
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +71,19 @@ class SchedulerConfig:
         force the per-switch slow path even where the columnar kernel
         would apply, preserving exact physical trace detail (event logs,
         per-switch object state, ``last_states`` introspection).
+    ``decompose``
+        what :meth:`~repro.core.base.Scheduler.schedule` does with inputs
+        that are not right-oriented well-nested: ``"strict"`` (default —
+        today's contract, engines validate their own inputs), ``"auto"``
+        (lower arbitrary sets through
+        :func:`repro.core.plan.schedule_general`; well-nested inputs stay
+        bit-identical) or ``"never"`` (assert well-nestedness up front).
+        The service doors admit arbitrary sets only under ``"auto"``.
+    ``recfg_alpha``
+        reconfiguration-cost weight of the decomposed-batch packing
+        objective (``rounds + α·switch_changes``): ``0.0`` packs for
+        minimum rounds, large values preserve crossbar persistence at the
+        cost of extra rounds.  Only consulted on the decomposition path.
     """
 
     validate_input: bool = True
@@ -83,6 +97,8 @@ class SchedulerConfig:
     engine: str = "auto"
     columnar_threshold: int = 4096
     trace_compat: bool = False
+    decompose: str = "strict"
+    recfg_alpha: float = 0.0
 
     def __post_init__(self) -> None:
         if self.trace_wave_cap < 0:
@@ -100,6 +116,15 @@ class SchedulerConfig:
         if self.columnar_threshold < 1:
             raise SchedulingError(
                 f"columnar_threshold must be >= 1, got {self.columnar_threshold}"
+            )
+        if self.decompose not in _DECOMPOSE_MODES:
+            raise SchedulingError(
+                f"unknown decompose mode {self.decompose!r}; "
+                f"expected one of {_DECOMPOSE_MODES}"
+            )
+        if self.recfg_alpha < 0:
+            raise SchedulingError(
+                f"recfg_alpha must be >= 0, got {self.recfg_alpha}"
             )
 
     # -- engine wiring -------------------------------------------------------

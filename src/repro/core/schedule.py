@@ -122,6 +122,26 @@ class Schedule:
     def n_rounds(self) -> int:
         return len(self.rounds)
 
+    # -- ScheduleResult protocol ----------------------------------------------
+
+    @property
+    def rounds_used(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def power_units(self) -> int:
+        return self.power.total_units
+
+    @property
+    def delivered(self) -> tuple[Communication, ...]:
+        """Unique communications observed to complete, sorted."""
+        return tuple(sorted(set(self.performed())))
+
+    @property
+    def undelivered(self) -> tuple[Communication, ...]:
+        """Requested communications never observed to complete, sorted."""
+        return tuple(sorted(set(self.cset.comms) - set(self.performed())))
+
     def performed(self) -> Iterator[Communication]:
         """All observed completions across rounds, in round order."""
         for r in self.rounds:
@@ -135,7 +155,18 @@ class Schedule:
                 out.setdefault(c, r.index)
         return out
 
-    def stats(self, width: int) -> ScheduleStats:
+    def stats(self, width: int | None = None) -> ScheduleStats:
+        """Aggregates for the analysis layer.
+
+        ``width`` is the round-count lower bound the stats are normalised
+        against; when omitted it is computed from the schedule's own set
+        (the :class:`ScheduleResult` protocol form).
+        """
+        if width is None:
+            from repro.comms.width import width as _width
+            from repro.cst.topology import CSTTopology
+
+            width = _width(self.cset, CSTTopology.of(self.n_leaves))
         return ScheduleStats(
             n_comms=len(self.cset),
             n_rounds=self.n_rounds,

@@ -13,6 +13,7 @@ recorded arrival trace.  ``docs/fabric.md`` is the operator's guide.
 from repro.fabric.aggregation import (
     CrossShardHop,
     FabricSchedule,
+    GeneralFabricSchedule,
     pack_cross_rounds,
     shard_of,
     split,
@@ -26,6 +27,7 @@ __all__ = [
     "FabricController",
     "FabricPlan",
     "FabricSchedule",
+    "GeneralFabricSchedule",
     "WorkloadProfile",
     "pack_cross_rounds",
     "shard_of",

@@ -48,6 +48,7 @@ from repro.util.bitmath import ceil_pow2, ilog2
 __all__ = [
     "CrossShardHop",
     "FabricSchedule",
+    "GeneralFabricSchedule",
     "pack_cross_rounds",
     "shard_of",
     "split",
@@ -184,10 +185,11 @@ class FabricSchedule:
     @property
     def cross_ratio(self) -> float:
         """Fraction of delivered pairs that had to cross the spine."""
-        n = len(self.delivered())
+        n = len(self.delivered)
         return len(self.cross) / n if n else 0.0
 
-    def delivered(self) -> set[Communication]:
+    @property
+    def delivered(self) -> tuple[Communication, ...]:
         """Every pair the fabric delivered, in *global* leaf indices.
 
         This is the parity surface: for any shardable workload it must
@@ -199,7 +201,54 @@ class FabricSchedule:
             for c in schedule.cset:
                 out.add(Communication(c.src + base, c.dst + base))
         out.update(h.comm for h in self.cross)
-        return out
+        return tuple(sorted(out))
+
+    # -- ScheduleResult protocol ------------------------------------------
+
+    @property
+    def rounds_used(self) -> int:
+        return self.total_rounds
+
+    @property
+    def power_units(self) -> int:
+        return self.total_power_units
+
+    @property
+    def undelivered(self) -> tuple[Communication, ...]:
+        """The fabric schedules everything it admits; nothing is dropped."""
+        return ()
+
+    def stats(self) -> "ScheduleStats":
+        """Fabric-wide aggregates in the shared stats shape.
+
+        ``width`` is the single-tree width of the delivered set on the
+        fabric's unified leaf line — the optimum the fabric's overhead is
+        accounted against.  Per-switch maxima cover the local trees only
+        (spine hops are not attributed to individual switches).
+        """
+        from repro.comms.width import width as _width
+        from repro.core.schedule import ScheduleStats
+        from repro.cst.topology import CSTTopology
+
+        delivered = self.delivered
+        w = 0
+        if delivered:
+            union = CommunicationSet(delivered)
+            w = _width(union, CSTTopology.of(_union_width(self.tree_count, self.leaf_width)))
+        return ScheduleStats(
+            n_comms=len(delivered),
+            n_rounds=self.total_rounds,
+            width=w,
+            total_power_units=self.total_power_units,
+            max_switch_power_units=max(
+                (s.power.max_switch_units for s in self.local.values()), default=0
+            ),
+            max_switch_config_changes=max(
+                (s.power.max_switch_changes for s in self.local.values()), default=0
+            ),
+            control_messages=sum(s.control_messages for s in self.local.values()),
+            control_words=sum(s.control_words for s in self.local.values()),
+        )
 
     def overhead_vs_union(self, union: Schedule) -> tuple[int, int]:
         """``(extra rounds, extra power units)`` versus one giant tree.
@@ -229,3 +278,92 @@ class FabricSchedule:
 def _union_width(tree_count: int, leaf_width: int) -> int:
     """The single-tree width the fabric's leaf line would need."""
     return ceil_pow2(tree_count * leaf_width)
+
+
+@dataclass(frozen=True, slots=True)
+class GeneralFabricSchedule:
+    """A decomposed fabric run: one :class:`FabricSchedule` phase per batch.
+
+    Produced by ``FabricController.schedule_global`` when an arbitrary
+    (non-well-nested) global set is admitted under ``decompose="auto"``:
+    the set is decomposed *globally*, each uniformly oriented well-nested
+    batch runs as its own fabric phase (local legs + cross epoch), and the
+    phases serialize.  ``batch_orientations`` and ``lower_bound`` carry
+    the decomposition accounting, mirroring
+    :class:`~repro.core.plan.GeneralSchedule`.
+    """
+
+    tree_count: int
+    leaf_width: int
+    phases: tuple[FabricSchedule, ...]
+    batch_orientations: tuple[str, ...]
+    lower_bound: int
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(p.total_rounds for p in self.phases)
+
+    @property
+    def total_power_units(self) -> int:
+        return sum(p.total_power_units for p in self.phases)
+
+    @property
+    def cross_pairs(self) -> int:
+        return sum(len(p.cross) for p in self.phases)
+
+    # -- ScheduleResult protocol ------------------------------------------
+
+    @property
+    def rounds_used(self) -> int:
+        return self.total_rounds
+
+    @property
+    def power_units(self) -> int:
+        return self.total_power_units
+
+    @property
+    def delivered(self) -> tuple[Communication, ...]:
+        out: set[Communication] = set()
+        for p in self.phases:
+            out.update(p.delivered)
+        return tuple(sorted(out))
+
+    @property
+    def undelivered(self) -> tuple[Communication, ...]:
+        return ()
+
+    def stats(self) -> "ScheduleStats":
+        from repro.comms.width import width as _width
+        from repro.core.schedule import ScheduleStats
+        from repro.cst.topology import CSTTopology
+
+        parts = [p.stats() for p in self.phases]
+        delivered = self.delivered
+        w = 0
+        if delivered:
+            union = CommunicationSet(delivered)
+            w = _width(union, CSTTopology.of(_union_width(self.tree_count, self.leaf_width)))
+        return ScheduleStats(
+            n_comms=len(delivered),
+            n_rounds=self.total_rounds,
+            width=w,
+            total_power_units=self.total_power_units,
+            max_switch_power_units=max((s.max_switch_power_units for s in parts), default=0),
+            max_switch_config_changes=max(
+                (s.max_switch_config_changes for s in parts), default=0
+            ),
+            control_messages=sum(s.control_messages for s in parts),
+            control_words=sum(s.control_words for s in parts),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"fabric/general: {self.tree_count}x{self.leaf_width}, "
+            f"{self.n_batches} batch(es) (lower bound {self.lower_bound}), "
+            f"{len(self.delivered)} pairs, {self.total_rounds} rounds, "
+            f"{self.total_power_units} power units"
+        )

@@ -40,9 +40,16 @@ import zlib
 from typing import Any
 
 from repro.comms.communication import CommunicationSet
+from repro.comms.wellnested import is_well_nested
+from repro.core.base import DECOMPOSE_MODES
 from repro.core.config import SchedulerConfig
-from repro.exceptions import SchedulingError
-from repro.fabric.aggregation import FabricSchedule, pack_cross_rounds, split
+from repro.exceptions import NotWellNestedError, SchedulingError
+from repro.fabric.aggregation import (
+    FabricSchedule,
+    GeneralFabricSchedule,
+    pack_cross_rounds,
+    split,
+)
 from repro.obs.instrument import Instrumentation
 from repro.service.cache import CanonicalKey
 from repro.service.worker import (
@@ -268,21 +275,62 @@ class FabricController:
     # -- spanning sets -------------------------------------------------------
 
     def schedule_global(
-        self, cset: CommunicationSet, *, n_leaves: int | None = None
-    ) -> FabricSchedule:
+        self,
+        cset: CommunicationSet,
+        *,
+        n_leaves: int | None = None,
+        decompose: str | None = None,
+    ) -> FabricSchedule | GeneralFabricSchedule:
         """Schedule one set over the *whole* fabric's leaf line.
 
         Local legs run on their shards under the ordinary per-tree
         optimum; spanning pairs are packed onto the aggregation spine.
         The result's :meth:`~repro.fabric.aggregation.FabricSchedule.delivered`
         set equals the input pairs — the fabric's parity surface.
+
+        ``decompose`` overrides ``config.decompose`` for this call.  A
+        non-well-nested set under ``"auto"`` is decomposed *globally* into
+        uniformly oriented well-nested batches, each run as its own fabric
+        phase; the phases serialize into a
+        :class:`~repro.fabric.aggregation.GeneralFabricSchedule`.  Under
+        ``"never"`` such a set is rejected up front; ``"strict"`` keeps
+        the historical behaviour (the local legs' scheduler raises).
         """
         del n_leaves  # the fabric's leaf line is fixed by its geometry
+        mode = decompose if decompose is not None else self.config.decompose
+        if mode not in DECOMPOSE_MODES:
+            raise SchedulingError(
+                f"decompose must be one of {DECOMPOSE_MODES}, got {mode!r}"
+            )
+        if mode != "strict" and not is_well_nested(cset):
+            if mode == "never":
+                raise NotWellNestedError(
+                    "fabric schedule_global requires a well-nested set "
+                    "under decompose='never'"
+                )
+            return self._schedule_global_general(cset)
+        return self._schedule_global_phase(cset)
+
+    def _schedule_global_phase(
+        self, cset: CommunicationSet, *, left: bool = False
+    ) -> FabricSchedule:
+        """One fabric phase: split, schedule local legs, pack the spine.
+
+        ``left`` selects the mirror lens for the local legs — a left
+        batch's shard-local pairs are left-oriented, and the per-tree
+        scheduler only speaks the right-oriented input class.
+        """
         local_sets, cross = split(cset, self.tree_count, self.leaf_width)
         if self._direct is None:
             self._direct = self.config.build()
+        if left:
+            from repro.extensions.oriented import MirroredScheduler
+
+            scheduler = MirroredScheduler(self._direct)
+        else:
+            scheduler = self._direct
         local = {
-            shard: self._direct.schedule(subset, n_leaves=self.leaf_width)
+            shard: scheduler.schedule(subset, n_leaves=self.leaf_width)
             for shard, subset in sorted(local_sets.items())
         }
         hops = pack_cross_rounds(cross)
@@ -299,6 +347,32 @@ class FabricController:
             cross=tuple(hops),
         )
         self._gauge("fabric.cross_shard.ratio", schedule.cross_ratio)
+        return schedule
+
+    def _schedule_global_general(
+        self, cset: CommunicationSet
+    ) -> GeneralFabricSchedule:
+        """Decompose an arbitrary global set and run one phase per batch."""
+        from repro.comms.decompose import decompose as _decompose
+
+        decomposition = _decompose(cset)
+        phases = tuple(
+            self._schedule_global_phase(
+                batch.cset, left=batch.orientation == "left"
+            )
+            for batch in decomposition.batches
+        )
+        schedule = GeneralFabricSchedule(
+            tree_count=self.tree_count,
+            leaf_width=self.leaf_width,
+            phases=phases,
+            batch_orientations=tuple(
+                b.orientation for b in decomposition.batches
+            ),
+            lower_bound=decomposition.lower_bound,
+        )
+        self._inc("decompose.requests")
+        self._inc("decompose.batches", schedule.n_batches)
         return schedule
 
     # -- introspection / lifecycle -------------------------------------------

@@ -19,16 +19,18 @@ Schema evolution
 
 Payloads carry an explicit ``"schema"`` integer.  Schema 1 (the original
 release) predates the field, so a payload without one *is* schema 1;
-schema 2 introduced the field itself, and schema 3 adds the fabric
-layer's shard-annotated payloads (fabric plans and fabric schedules,
-whose per-shard sections carry explicit shard ids).  The current writers
-emit :data:`SCHEDULE_SCHEMA` (= 3).  Loaders accept the current schema
-and the previous one — exactly the window the service layer's schedule
-cache and batch results need to round-trip safely across one release
-boundary — and reject anything newer *or older* with a clear error
-instead of misreading it: schema-1 payloads (field-less) have aged out
-of the two-release window and must be rewritten by a schema-2 release.
-The legacy ``"version"`` field is still written for old readers, which
+schema 2 introduced the field itself, schema 3 added the fabric layer's
+shard-annotated payloads (fabric plans and fabric schedules, whose
+per-shard sections carry explicit shard ids), and schema 4 adds the
+decomposition-annotated general-schedule payload (an arbitrary set
+scheduled as a sequence of well-nested batches, with the batch and
+packing accounting alongside the combined executed schedule).  The
+current writers emit :data:`SCHEDULE_SCHEMA` (= 4).  Loaders accept the
+current schema and the previous one — the read window is (3, 4) —
+exactly what the service layer's schedule cache and batch results need
+to round-trip safely across one release boundary — and reject anything
+newer *or older* with a clear error instead of misreading it.  The
+legacy ``"version"`` field is still written for old readers, which
 ignore ``"schema"``.
 """
 
@@ -52,6 +54,10 @@ __all__ = [
     "cset_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "general_schedule_to_dict",
+    "general_schedule_from_dict",
+    "result_to_dict",
+    "result_from_dict",
     "stream_request_to_dict",
     "stream_request_from_dict",
     "fabric_plan_to_dict",
@@ -72,10 +78,11 @@ _STREAM_REQUEST_FORMAT = "cst-padr/stream-request"
 _ARRIVAL_TRACE_FORMAT = "cst-padr/arrival-trace"
 _FABRIC_PLAN_FORMAT = "cst-padr/fabric-plan"
 _FABRIC_SCHEDULE_FORMAT = "cst-padr/fabric-schedule"
+_GENERAL_SCHEDULE_FORMAT = "cst-padr/general-schedule"
 _VERSION = 1
 
 #: current schema generation; loaders also accept ``SCHEDULE_SCHEMA - 1``.
-SCHEDULE_SCHEMA = 3
+SCHEDULE_SCHEMA = 4
 _ACCEPTED_SCHEMAS = (SCHEDULE_SCHEMA - 1, SCHEDULE_SCHEMA)
 
 
@@ -229,6 +236,91 @@ def schedule_from_dict(data: Mapping[str, Any]) -> Schedule:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed schedule payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# decomposition-annotated general schedules (schema 4)
+# ---------------------------------------------------------------------------
+
+
+def general_schedule_to_dict(gs: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.core.plan.GeneralSchedule`.
+
+    The schema-4 payload family: the combined executed schedule (same
+    shape as a plain schedule payload) plus the decomposition accounting —
+    per-batch orientations, reference round/power counts, pack order,
+    the certified batch lower bound and the w-round optimum the overhead
+    is measured against.
+    """
+    return {
+        "format": _GENERAL_SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "schema": SCHEDULE_SCHEMA,
+        "n_leaves": gs.n_leaves,
+        "alpha": gs.alpha,
+        "cset": cset_to_dict(gs.cset),
+        "decompose": {
+            "n_batches": gs.n_batches,
+            "orientations": list(gs.batch_orientations),
+            "batch_rounds": list(gs.batch_rounds),
+            "batch_power": list(gs.batch_power),
+            "batch_order": list(gs.batch_order),
+            "lower_bound": gs.lower_bound,
+        },
+        "optimum_rounds": gs.optimum_rounds,
+        "combined": schedule_to_dict(gs.combined),
+    }
+
+
+def general_schedule_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`general_schedule_to_dict`.
+
+    The live :class:`~repro.comms.decompose.Decomposition` object is not
+    round-tripped (its accounting is flattened into the payload); the
+    rebuilt result carries ``decomposition=None``.
+    """
+    from repro.core.plan import GeneralSchedule
+
+    _expect(data, _GENERAL_SCHEDULE_FORMAT)
+    try:
+        d = data["decompose"]
+        return GeneralSchedule(
+            cset=cset_from_dict(data["cset"]),
+            n_leaves=int(data["n_leaves"]),
+            alpha=float(data["alpha"]),
+            batch_orientations=tuple(str(o) for o in d["orientations"]),
+            batch_rounds=tuple(int(r) for r in d["batch_rounds"]),
+            batch_power=tuple(int(p) for p in d["batch_power"]),
+            batch_order=tuple(int(i) for i in d["batch_order"]),
+            lower_bound=int(d["lower_bound"]),
+            optimum_rounds=int(data["optimum_rounds"]),
+            combined=schedule_from_dict(data["combined"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed general schedule: {exc}") from exc
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Serialize any :class:`~repro.core.base.ScheduleResult` the scheduling
+    paths emit over the wire (plain or general) — the dispatch the worker
+    pool uses, so one code path ships both result kinds."""
+    if isinstance(result, Schedule):
+        return schedule_to_dict(result)
+    if hasattr(result, "combined"):  # GeneralSchedule
+        return general_schedule_to_dict(result)
+    raise SerializationError(
+        f"cannot serialize result of type {type(result).__name__}"
+    )
+
+
+def result_from_dict(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`result_to_dict`, dispatching on ``"format"``."""
+    fmt = data.get("format")
+    if fmt == _SCHEDULE_FORMAT:
+        return schedule_from_dict(data)
+    if fmt == _GENERAL_SCHEDULE_FORMAT:
+        return general_schedule_from_dict(data)
+    raise SerializationError(f"unknown result format {fmt!r}")
 
 
 # ---------------------------------------------------------------------------

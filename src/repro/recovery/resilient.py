@@ -78,6 +78,37 @@ class DegradedSchedule:
         """True when recovery had to engage (quarantine or loss)."""
         return bool(self.undelivered) or bool(self.quarantined)
 
+    # -- ScheduleResult protocol ------------------------------------------
+
+    @property
+    def rounds_used(self) -> int:
+        """Data rounds of the final committed schedule (probe and backoff
+        rounds are accounted separately in their own fields)."""
+        return self.schedule.n_rounds if self.schedule is not None else 0
+
+    @property
+    def power_units(self) -> int:
+        return self.schedule.power.total_units if self.schedule is not None else 0
+
+    def stats(self) -> "ScheduleStats":
+        from dataclasses import replace
+
+        from repro.core.schedule import ScheduleStats
+
+        n_comms = len(self.delivered) + len(self.undelivered)
+        if self.schedule is None:
+            return ScheduleStats(
+                n_comms=n_comms,
+                n_rounds=0,
+                width=0,
+                total_power_units=0,
+                max_switch_power_units=0,
+                max_switch_config_changes=0,
+                control_messages=0,
+                control_words=0,
+            )
+        return replace(self.schedule.stats(), n_comms=n_comms)
+
     @property
     def n_attempts(self) -> int:
         return len(self.attempts)

@@ -59,9 +59,10 @@ from repro.service.streaming import (
     StreamingSchedulerService,
 )
 from repro.service.tenants import TenantQuota, TenantRegistry, TenantState
-from repro.service.workloads import mixed_workloads
+from repro.service.workloads import arbitrary_workloads, mixed_workloads
 
 __all__ = [
+    "arbitrary_workloads",
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionState",

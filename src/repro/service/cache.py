@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.comms.communication import CommunicationSet
-from repro.comms.wellnested import parenthesis_profile
+from repro.comms.wellnested import is_well_nested, parenthesis_profile
 from repro.core.config import SchedulerConfig
 from repro.exceptions import OrientationError, SchedulingError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
@@ -45,12 +45,19 @@ class CanonicalKey:
     *and* geometry).  Cache lookups use ``(n_leaves, placed, config)``;
     ``dyck`` is the coarser equivalence class reported in metrics and
     batch summaries.
+
+    ``general`` marks keys of sets outside the PADR input class
+    (crossings or left-oriented pairs): their ``placed`` form pins the
+    exact pairing (a parenthesis word cannot — two distinct crossing sets
+    can share one), and the service excludes them from columnar
+    same-shape batch grouping.
     """
 
     n_leaves: int
     dyck: str
     placed: str
     config: str
+    general: bool = False
 
     @property
     def cache_key(self) -> tuple[int, str, str]:
@@ -83,14 +90,49 @@ def canonical_signature(
             f"communication set does not fit on {n} leaves "
             f"(needs at least {min_leaves})"
         )
-    placed = parenthesis_profile(cset, n)
     cfg = config if config is not None else SchedulerConfig()
+    if is_well_nested(cset):
+        placed = parenthesis_profile(cset, n)
+        return CanonicalKey(
+            n_leaves=n,
+            dyck=placed.replace(".", ""),
+            placed=placed,
+            config=cfg.cache_signature(),
+        )
+    if not cset.is_right_oriented and cfg.decompose != "auto":
+        # preserve the historical door behaviour outside auto mode
+        raise OrientationError(
+            "canonical signature requires a right-oriented set "
+            "(configure decompose='auto' to admit arbitrary sets)"
+        )
+    placed, dyck = _general_signature(cset)
     return CanonicalKey(
         n_leaves=n,
-        dyck=placed.replace(".", ""),
+        dyck=dyck,
         placed=placed,
         config=cfg.cache_signature(),
+        general=True,
     )
+
+
+def _general_signature(cset: CommunicationSet) -> tuple[str, str]:
+    """Signature forms for sets outside the PADR input class.
+
+    ``placed`` pins the exact pairing with absolute leaf positions (a
+    parenthesis word is ambiguous once crossings exist: the crossing
+    ``(0,2),(1,3)`` and the nested ``(0,3),(1,2)`` share one profile, and
+    serving one's cached schedule for the other would break parity).
+    ``dyck`` is the relabelling-invariant analogue: the left-to-right
+    event sequence over occupied leaves, each event naming its pair's
+    rank and its role.
+    """
+    placed = "G:" + ",".join(f"{c.src}>{c.dst}" for c in cset)
+    rank = {c: i for i, c in enumerate(cset)}
+    events = sorted(
+        [(c.src, "s", rank[c]) for c in cset] + [(c.dst, "d", rank[c]) for c in cset]
+    )
+    dyck = "G:" + "".join(f"{kind}{r}" for _, kind, r in events)
+    return placed, dyck
 
 
 class ScheduleCache:

@@ -37,7 +37,7 @@ from repro.comms.communication import CommunicationSet
 from repro.core.config import SchedulerConfig
 from repro.core.schedule import Schedule
 from repro.exceptions import ReproError, SchedulingError
-from repro.io import cset_to_dict, schedule_from_dict, schedule_to_dict
+from repro.io import cset_to_dict, result_from_dict, result_to_dict
 from repro.obs.instrument import Instrumentation
 from repro.service.cache import CanonicalKey, ScheduleCache, canonical_signature
 from repro.service.worker import (
@@ -92,9 +92,32 @@ class RequestResult:
     signature: str | None = None  # relabelling-invariant Dyck word
 
     @property
+    def result(self) -> Any | None:
+        """The settled result rebuilt from its canonical serialized form.
+
+        A :class:`~repro.core.schedule.Schedule` for well-nested requests,
+        a :class:`~repro.core.plan.GeneralSchedule` for arbitrary sets the
+        service lowered through well-nested decomposition.
+        """
+        return result_from_dict(self.payload) if self.payload else None
+
+    @property
     def schedule(self) -> Schedule | None:
-        """The schedule, rebuilt from its canonical serialized form."""
-        return schedule_from_dict(self.payload) if self.payload else None
+        """The executable round schedule (a general result's combined plan)."""
+        result = self.result
+        return getattr(result, "combined", result)
+
+    @property
+    def batches(self) -> int:
+        """Well-nested sub-batches this request decomposed into.
+
+        ``1`` for well-nested requests (no decomposition needed), ``0``
+        while unsettled or when the request never produced a schedule.
+        """
+        if not self.payload:
+            return 0
+        decompose = self.payload.get("decompose")
+        return int(decompose["n_batches"]) if decompose else 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -275,8 +298,10 @@ class SchedulerService:
                 accepted=False,
                 reason=f"queue full ({self.max_queue})",
             )
-        # canonicalisation doubles as admission validation: oversized or
-        # wrongly-oriented sets are turned away here, not in a worker.
+        # canonicalisation doubles as admission validation: oversized sets
+        # — and, unless config.decompose="auto" admits them for well-nested
+        # decomposition, wrongly-oriented ones — are turned away here, not
+        # in a worker.
         try:
             key = canonical_signature(cset, n_leaves, config=self.config)
         except ReproError as exc:
@@ -533,7 +558,7 @@ class SchedulerService:
         grouped: dict[tuple[int, str, str], list[WorkRequest]] = {}
         for p in pending:
             request: WorkRequest = (p.ticket_id, p.payload, p.key.n_leaves)
-            if config.selects_columnar(p.key.n_leaves):
+            if config.selects_columnar(p.key.n_leaves) and not p.key.general:
                 shape = (p.key.n_leaves, p.key.dyck, p.key.config)
                 grouped.setdefault(shape, []).append(request)
             else:
@@ -611,6 +636,10 @@ class SchedulerService:
     ) -> RequestResult:
         if self.parity_check:
             self._assert_parity(p, payload)
+        decompose = payload.get("decompose")
+        if decompose is not None:
+            self._inc("decompose.requests")
+            self._inc("decompose.batches", int(decompose.get("n_batches", 1)))
         return RequestResult(
             ticket_id=p.ticket_id,
             status=RequestStatus.DONE,
@@ -624,7 +653,7 @@ class SchedulerService:
     def _assert_parity(self, p: _Pending, payload: dict[str, Any]) -> None:
         if self._direct is None:
             self._direct = self.config.build()
-        direct = schedule_to_dict(
+        direct = result_to_dict(
             self._direct.schedule(p.cset, n_leaves=p.key.n_leaves)
         )
         if direct != payload:

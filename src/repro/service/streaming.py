@@ -51,7 +51,7 @@ from repro.comms.communication import CommunicationSet
 from repro.core.config import SchedulerConfig
 from repro.core.schedule import Schedule
 from repro.exceptions import ReproError, SchedulingError
-from repro.io import cset_to_dict, schedule_from_dict, schedule_to_dict
+from repro.io import cset_to_dict, result_from_dict, result_to_dict
 from repro.obs.instrument import Instrumentation
 from repro.service.admission import (
     AdmissionController,
@@ -137,8 +137,24 @@ class StreamResult:
     signature: str | None = None
 
     @property
+    def result(self) -> Any | None:
+        """The settled result (``Schedule``, or ``GeneralSchedule`` when the
+        request was lowered through well-nested decomposition)."""
+        return result_from_dict(self.payload) if self.payload else None
+
+    @property
     def schedule(self) -> Schedule | None:
-        return schedule_from_dict(self.payload) if self.payload else None
+        """The executable round schedule (a general result's combined plan)."""
+        result = self.result
+        return getattr(result, "combined", result)
+
+    @property
+    def batches(self) -> int:
+        """Well-nested sub-batches this request decomposed into (1 = direct)."""
+        if not self.payload:
+            return 0
+        decompose = self.payload.get("decompose")
+        return int(decompose["n_batches"]) if decompose else 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -623,7 +639,7 @@ class StreamingSchedulerService:
         solos: list[_Live] = []
         groups: dict[tuple[int, str, str], list[_Live]] = {}
         for live in leaders.values():
-            if self.config.selects_columnar(live.key.n_leaves):
+            if self.config.selects_columnar(live.key.n_leaves) and not live.key.general:
                 shape = (live.key.n_leaves, live.key.dyck, live.key.config)
                 groups.setdefault(shape, []).append(live)
             else:
@@ -741,6 +757,10 @@ class StreamingSchedulerService:
         if self.parity_check:
             self._assert_parity(live, payload)
         self._inc("stream.done")
+        decompose = payload.get("decompose")
+        if decompose is not None:
+            self._inc("decompose.requests")
+            self._inc("decompose.batches", int(decompose.get("n_batches", 1)))
         latency = now - live.release_tick
         self._observe_latency(latency, live.priority)
         result = StreamResult(
@@ -776,7 +796,7 @@ class StreamingSchedulerService:
     def _assert_parity(self, live: _Live, payload: dict[str, Any]) -> None:
         if self._direct is None:
             self._direct = self.config.build()
-        direct = schedule_to_dict(
+        direct = result_to_dict(
             self._direct.schedule(live.request.cset, n_leaves=live.key.n_leaves)
         )
         if direct != payload:

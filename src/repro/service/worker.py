@@ -28,7 +28,7 @@ from typing import Any
 
 from repro.core.config import SchedulerConfig
 from repro.exceptions import ReproError
-from repro.io import config_from_dict, cset_from_dict, schedule_to_dict
+from repro.io import config_from_dict, cset_from_dict, result_to_dict, schedule_to_dict
 
 __all__ = [
     "WorkRequest",
@@ -68,8 +68,10 @@ def schedule_request(request: WorkRequest) -> WorkResponse:
         return (ticket_id, "transient", "worker not initialised")
     try:
         cset = cset_from_dict(cset_data)
-        schedule = _worker_scheduler.schedule(cset, n_leaves=n_leaves)
-        return (ticket_id, "ok", schedule_to_dict(schedule))
+        result = _worker_scheduler.schedule(cset, n_leaves=n_leaves)
+        # plain schedule payload for well-nested inputs, general-schedule
+        # payload when config.decompose="auto" lowered an arbitrary set
+        return (ticket_id, "ok", result_to_dict(result))
     except ReproError as exc:
         return (ticket_id, "permanent", str(exc))
     except Exception as exc:  # infrastructure trouble: retryable

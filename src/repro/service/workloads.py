@@ -17,13 +17,14 @@ from repro.comms.communication import CommunicationSet
 from repro.comms.generators import (
     disjoint_pairs,
     nested_chain,
+    random_arbitrary,
     random_well_nested,
     segmentable_bus,
     staircase,
 )
 from repro.exceptions import SchedulingError
 
-__all__ = ["mixed_workloads"]
+__all__ = ["arbitrary_workloads", "mixed_workloads"]
 
 
 def mixed_workloads(
@@ -58,3 +59,21 @@ def mixed_workloads(
             # the only randomised family — a fresh draw each cycle.
             batch.append(random_well_nested(n_leaves // 4, n_leaves, rng))
     return batch
+
+
+def arbitrary_workloads(
+    n_leaves: int, count: int, *, seed: int = 0
+) -> list[CommunicationSet]:
+    """``count`` deterministic *arbitrary* pairwise sets on ``n_leaves``.
+
+    Uniformly random endpoint pairings — crossings and both orientations
+    included — the input class the ``decompose="auto"`` door admits.  The
+    same seed always produces the same batch, so service parity and cache
+    tests can replay it.
+    """
+    if n_leaves < 8:
+        raise SchedulingError(f"n_leaves must be >= 8, got {n_leaves}")
+    if count < 1:
+        raise SchedulingError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    return [random_arbitrary(n_leaves // 4, n_leaves, rng) for _ in range(count)]

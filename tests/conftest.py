@@ -94,6 +94,29 @@ def wellnested_set_st(
 
 
 @st.composite
+def arbitrary_set_st(
+    draw,
+    max_pairs: int = 8,
+    n_leaves: int = 64,
+) -> CommunicationSet:
+    """An arbitrary pairwise set: crossings and both orientations allowed."""
+    k = draw(st.integers(min_value=1, max_value=max_pairs))
+    leaves = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n_leaves - 1),
+                min_size=2 * k,
+                max_size=2 * k,
+            )
+        )
+    )
+    perm = draw(st.permutations(leaves))
+    return CommunicationSet(
+        [Communication(perm[2 * i], perm[2 * i + 1]) for i in range(k)]
+    )
+
+
+@st.composite
 def communication_st(draw, n_leaves: int = 64) -> Communication:
     """An arbitrary (possibly left-oriented) communication."""
     a = draw(st.integers(min_value=0, max_value=n_leaves - 1))

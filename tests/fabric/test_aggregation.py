@@ -107,7 +107,7 @@ class TestFabricSchedule:
     def test_delivered_is_the_input_set(self):
         pairs = [(0, 15), (1, 6), (2, 5), (8, 11)]
         fs = self.fabric_run(pairs)
-        assert fs.delivered() == set(cs(*pairs))
+        assert set(fs.delivered) == set(cs(*pairs))
 
     def test_power_splits_into_local_and_cross(self):
         fs = self.fabric_run([(0, 15), (1, 2)])
@@ -142,7 +142,7 @@ class TestGlobalParityProperty:
         fab = FabricController(4, 8, parallel=False)
         fs = fab.schedule_global(cset)
         union = SchedulerConfig().build().schedule(cset, n_leaves=32)
-        assert fs.delivered() == set(union.performed()) == set(cset)
+        assert set(fs.delivered) == set(union.performed()) == set(cset)
 
     @given(cset=wellnested_set_st(max_pairs=8, n_leaves=16))
     @settings(max_examples=40, deadline=None)

@@ -1,0 +1,90 @@
+"""Fabric scheduling of arbitrary global sets via decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import random_arbitrary
+from repro.core.base import ScheduleResult
+from repro.core.config import SchedulerConfig
+from repro.exceptions import NotWellNestedError
+from repro.fabric import FabricController, FabricSchedule, GeneralFabricSchedule
+
+
+def cs(*pairs):
+    return CommunicationSet([Communication(s, d) for s, d in pairs])
+
+
+AUTO = SchedulerConfig(decompose="auto")
+
+
+def make_fabric(**kw):
+    kw.setdefault("config", AUTO)
+    return FabricController(2, 16, parallel=False, **kw)
+
+
+class TestScheduleGlobalGeneral:
+    def test_arbitrary_global_set_delivers_everything(self):
+        cset = random_arbitrary(10, 32, np.random.default_rng(3))
+        gs = make_fabric().schedule_global(cset)
+        assert isinstance(gs, GeneralFabricSchedule)
+        assert set(gs.delivered) == set(cset.comms)
+        assert gs.undelivered == ()
+        assert gs.n_batches >= gs.lower_bound >= 1
+
+    def test_left_pairs_route_through_the_mirror_lens(self):
+        # purely local left pairs on both shards plus a left spanning pair
+        # nesting around the first ([1,18] contains [3,6]): one left batch
+        cset = cs((6, 3), (30, 19), (18, 1))
+        gs = make_fabric().schedule_global(cset)
+        assert isinstance(gs, GeneralFabricSchedule)
+        assert set(gs.delivered) == set(cset.comms)
+        assert gs.batch_orientations == ("left",)
+
+    def test_well_nested_set_keeps_the_single_phase_path(self):
+        cset = cs((0, 31), (1, 2), (17, 20))
+        fs = make_fabric().schedule_global(cset)
+        assert isinstance(fs, FabricSchedule)
+        assert set(fs.delivered) == set(cset.comms)
+
+    def test_never_mode_pre_rejects(self):
+        with pytest.raises(NotWellNestedError):
+            make_fabric().schedule_global(
+                cs((0, 2), (1, 3)), decompose="never"
+            )
+
+    def test_strict_default_raises_from_the_local_leg(self):
+        from repro.exceptions import ReproError
+
+        fabric = FabricController(2, 16, parallel=False)
+        with pytest.raises(ReproError):
+            fabric.schedule_global(cs((0, 2), (1, 3)))
+
+    def test_call_override_beats_config(self):
+        fabric = FabricController(2, 16, parallel=False)  # strict config
+        gs = fabric.schedule_global(cs((0, 2), (1, 3)), decompose="auto")
+        assert isinstance(gs, GeneralFabricSchedule)
+
+    def test_phases_serialize_rounds_and_power(self):
+        cset = random_arbitrary(10, 32, np.random.default_rng(5))
+        gs = make_fabric().schedule_global(cset)
+        assert gs.total_rounds == sum(p.total_rounds for p in gs.phases)
+        assert gs.total_power_units == sum(
+            p.total_power_units for p in gs.phases
+        )
+
+    def test_protocol_conformance_and_stats(self):
+        cset = random_arbitrary(8, 32, np.random.default_rng(7))
+        gs = make_fabric().schedule_global(cset)
+        assert isinstance(gs, ScheduleResult)
+        stats = gs.stats()
+        assert stats.n_comms == len(cset)
+        assert stats.n_rounds == gs.rounds_used
+
+    def test_deterministic(self):
+        cset = random_arbitrary(8, 32, np.random.default_rng(9))
+        a = make_fabric().schedule_global(cset)
+        b = make_fabric().schedule_global(cset)
+        assert a.delivered == b.delivered
+        assert a.total_rounds == b.total_rounds
+        assert a.batch_orientations == b.batch_orientations

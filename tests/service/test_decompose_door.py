@@ -1,0 +1,175 @@
+"""The decompose="auto" door: arbitrary sets through both services.
+
+Covers the admission change (admit instead of reject), the pairing-exact
+general cache signature, per-request batch accounting, and the extended
+parity contract (service payloads bit-identical to the direct scheduler
+for general results too).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comms.communication import Communication, CommunicationSet
+from repro.comms.generators import random_arbitrary
+from repro.core.config import SchedulerConfig
+from repro.core.plan import GeneralSchedule
+from repro.exceptions import OrientationError
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.service import (
+    Priority,
+    RequestStatus,
+    SchedulerService,
+    StreamRequest,
+    StreamStatus,
+    StreamingSchedulerService,
+    arbitrary_workloads,
+)
+from repro.service.cache import canonical_signature
+
+
+def cs(*pairs):
+    return CommunicationSet([Communication(s, d) for s, d in pairs])
+
+
+AUTO = SchedulerConfig(decompose="auto")
+
+
+class TestGeneralSignature:
+    def test_strict_config_still_rejects_non_right_oriented(self):
+        with pytest.raises(OrientationError, match="decompose='auto'"):
+            canonical_signature(cs((3, 0)), 4, config=SchedulerConfig())
+
+    def test_auto_config_admits_and_marks_general(self):
+        key = canonical_signature(cs((3, 0), (1, 2)), 4, config=AUTO)
+        assert key.general
+        assert key.placed.startswith("G:")
+
+    def test_well_nested_keys_identical_under_both_modes(self):
+        wn = cs((0, 3), (1, 2))
+        strict = canonical_signature(wn, 8, config=SchedulerConfig())
+        auto = canonical_signature(wn, 8, config=AUTO)
+        assert not auto.general
+        assert (strict.dyck, strict.placed) == (auto.dyck, auto.placed)
+
+    def test_crossing_and_nested_sets_get_distinct_keys(self):
+        # both render "(())" as a parenthesis profile; the general
+        # signature must keep them apart or the cache would serve one
+        # set's schedule for the other.
+        crossing = canonical_signature(cs((0, 2), (1, 3)), 4, config=AUTO)
+        nested = canonical_signature(cs((0, 3), (1, 2)), 4, config=AUTO)
+        assert crossing.general
+        assert crossing.placed != nested.placed
+
+    def test_relabelling_shares_dyck_but_not_placed(self):
+        a = canonical_signature(cs((0, 2), (1, 3)), 16, config=AUTO)
+        b = canonical_signature(cs((4, 6), (5, 7)), 16, config=AUTO)
+        assert a.dyck == b.dyck
+        assert a.placed != b.placed
+
+
+class TestBatchServiceDoor:
+    def test_strict_service_rejects_arbitrary(self):
+        service = SchedulerService()
+        ticket = service.submit(cs((3, 0), (1, 2)), n_leaves=4)
+        assert not ticket.accepted
+        assert "decompose" in (ticket.reason or "")
+
+    def test_auto_service_admits_and_delivers(self):
+        cset = random_arbitrary(8, 32, np.random.default_rng(2))
+        service = SchedulerService(config=AUTO, parity_check=True)
+        ticket = service.submit(cset, n_leaves=32)
+        assert ticket.accepted
+        report = service.drain()
+        result = report.results[ticket.id]
+        assert result.status is RequestStatus.DONE
+        assert isinstance(result.result, GeneralSchedule)
+        assert result.batches > 1
+        assert sorted(result.schedule.performed()) == sorted(cset.comms)
+
+    def test_well_nested_requests_report_one_batch(self):
+        service = SchedulerService(config=AUTO, parity_check=True)
+        ticket = service.submit(cs((0, 3), (1, 2)), n_leaves=8)
+        report = service.drain()
+        assert report.results[ticket.id].batches == 1
+
+    def test_duplicate_arbitrary_requests_hit_the_cache(self):
+        cset = random_arbitrary(6, 32, np.random.default_rng(4))
+        service = SchedulerService(config=AUTO, parity_check=True)
+        report = service(
+            [cset, cset, cs((0, 3), (1, 2))], n_leaves=32
+        )
+        assert report.n_done == 3
+        assert report.n_cached == 1
+
+    def test_batch_metrics_account_decomposition(self):
+        obs = Instrumentation(MetricsRegistry(), run="svc")
+        cset = random_arbitrary(6, 32, np.random.default_rng(4))
+        service = SchedulerService(config=AUTO, obs=obs)
+        report = service([cset, cs((0, 3), (1, 2))], n_leaves=32)
+        assert report.n_done == 2
+        counters = obs.metrics.snapshot()["counters"]
+        requests = next(
+            v for k, v in counters.items() if "decompose.requests" in k
+        )
+        batches = next(
+            v for k, v in counters.items() if "decompose.batches" in k
+        )
+        assert requests == 1  # only the arbitrary request decomposed
+        assert batches > 1
+
+    def test_mixed_batch_all_settle_with_parity(self):
+        batch = arbitrary_workloads(32, 6, seed=1)
+        service = SchedulerService(config=AUTO, parity_check=True)
+        report = service(batch, n_leaves=32)
+        assert report.n_done == len(batch)
+        for result in report.results.values():
+            cset = batch[result.ticket_id]
+            assert sorted(result.schedule.performed()) == sorted(cset.comms)
+
+
+class TestStreamingDoor:
+    def test_stream_admits_and_delivers_arbitrary(self):
+        cset = random_arbitrary(8, 32, np.random.default_rng(6))
+        service = StreamingSchedulerService(config=AUTO, parity_check=True)
+        report = service.run(
+            [
+                StreamRequest(cset=cset, n_leaves=32),
+                StreamRequest(cset=cs((0, 3), (1, 2)), n_leaves=32),
+            ]
+        )
+        assert report.n_done == 2
+        by_batches = sorted(
+            r.batches
+            for r in report.results.values()
+            if r.status is StreamStatus.DONE
+        )
+        assert by_batches[0] == 1 and by_batches[-1] > 1
+
+    def test_strict_stream_rejects_arbitrary(self):
+        service = StreamingSchedulerService()
+        ticket = service.submit(
+            StreamRequest(cset=cs((3, 0)), n_leaves=4, priority=Priority.HIGH)
+        )
+        assert not ticket.accepted
+        report = service.report()
+        assert report.results[ticket.id].status is StreamStatus.REJECTED
+
+    def test_stream_metrics_account_decomposition(self):
+        obs = Instrumentation(MetricsRegistry(), run="stream")
+        cset = random_arbitrary(6, 32, np.random.default_rng(8))
+        service = StreamingSchedulerService(config=AUTO, obs=obs)
+        service.run([StreamRequest(cset=cset, n_leaves=32)])
+        counters = obs.metrics.snapshot()["counters"]
+        assert any("decompose.requests" in k for k in counters)
+
+
+class TestWorkloadHelper:
+    def test_arbitrary_workloads_deterministic(self):
+        assert arbitrary_workloads(32, 4, seed=3) == arbitrary_workloads(
+            32, 4, seed=3
+        )
+
+    def test_arbitrary_workloads_fit_the_tree(self):
+        for cset in arbitrary_workloads(64, 8, seed=0):
+            assert cset.max_pe < 64
+            assert len(cset) == 16

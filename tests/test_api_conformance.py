@@ -100,13 +100,13 @@ class TestSignature:
         scheduler, _ = case
         sig = inspect.signature(type(scheduler).schedule)
         assert list(sig.parameters) == [
-            "self", "cset", "n_leaves", "policy", "network", "obs",
+            "self", "cset", "n_leaves", "policy", "network", "obs", "decompose",
         ]
 
     def test_options_are_keyword_only(self, case):
         scheduler, _ = case
         sig = inspect.signature(type(scheduler).schedule)
-        for name in ("n_leaves", "policy", "network", "obs"):
+        for name in ("n_leaves", "policy", "network", "obs", "decompose"):
             assert sig.parameters[name].kind is inspect.Parameter.KEYWORD_ONLY
 
 

@@ -179,7 +179,7 @@ class TestSchemaVersioning:
     """Explicit ``"schema"`` field: writers stamp it, loaders window it."""
 
     def test_writers_stamp_current_schema(self, tmp_path, fig2_set):
-        assert SCHEDULE_SCHEMA == 3
+        assert SCHEDULE_SCHEMA == 4
         assert cset_to_dict(fig2_set)["schema"] == SCHEDULE_SCHEMA
         schedule = PADRScheduler().schedule(fig2_set, n_leaves=16)
         assert schedule_to_dict(schedule)["schema"] == SCHEDULE_SCHEMA
@@ -188,8 +188,8 @@ class TestSchemaVersioning:
         assert json.loads(path.read_text())["schema"] == SCHEDULE_SCHEMA
 
     def test_previous_schema_still_loads(self, fig2_set):
-        # the two-release window: schema 2 (the previous generation)
-        # must keep loading under the schema-3 writers.
+        # the two-release window: schema 3 (the previous generation)
+        # must keep loading under the schema-4 writers.
         data = cset_to_dict(fig2_set)
         data["schema"] = SCHEDULE_SCHEMA - 1
         assert cset_from_dict(data) == fig2_set
@@ -203,7 +203,7 @@ class TestSchemaVersioning:
 
     def test_schema_1_payload_without_field_now_rejected(self, fig2_set):
         # schema-1 payloads predate the field; they aged out of the
-        # two-release window at schema 3 and must be rewritten by a
+        # two-release window long ago and must be rewritten by a
         # schema-2 release, not silently misread.
         data = cset_to_dict(fig2_set)
         del data["schema"]
@@ -222,7 +222,7 @@ class TestSchemaVersioning:
     def test_future_schema_rejected_with_window(self, fig2_set):
         data = cset_to_dict(fig2_set)
         data["schema"] = SCHEDULE_SCHEMA + 1
-        with pytest.raises(SerializationError, match=r"schemas \[2, 3\]"):
+        with pytest.raises(SerializationError, match=r"schemas \[3, 4\]"):
             cset_from_dict(data)
 
     def test_future_schedule_schema_rejected(self):
@@ -267,16 +267,16 @@ class TestFabricRoundTrip:
         fs = self.fabric_schedule()
         data = json.loads(json.dumps(fabric_schedule_to_dict(fs)))
         back = fabric_schedule_from_dict(data)
-        assert back.delivered() == fs.delivered()
+        assert back.delivered == fs.delivered
         assert back.total_rounds == fs.total_rounds
         assert back.total_power_units == fs.total_power_units
         assert back.cross == fs.cross
 
-    def test_fabric_payloads_carry_schema_3(self):
+    def test_fabric_payloads_carry_current_schema(self):
         from repro.io import SCHEDULE_SCHEMA, fabric_schedule_to_dict
 
         data = fabric_schedule_to_dict(self.fabric_schedule())
-        assert data["schema"] == SCHEDULE_SCHEMA == 3
+        assert data["schema"] == SCHEDULE_SCHEMA == 4
         assert set(data["local"]) == {"0", "1"}
 
     def test_malformed_fabric_schedule_rejected(self):
